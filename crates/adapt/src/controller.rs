@@ -1,0 +1,192 @@
+//! The adaptation controller: reshape requests, honoured at safe points.
+//!
+//! The paper assumes an *external* resource-selection tool decides when the
+//! resource set changes (§I: "the adequate set of resources committed to the
+//! application is identified with other tools"); this controller is the
+//! interface between such a tool and the engines. Requests arrive either
+//! asynchronously ([`AdaptationController::request`]) or from a scripted
+//! [`ResourceTimeline`] (the experiments' stand-in for a Grid resource
+//! manager); engines poll once per safe-point crossing and apply the reshape
+//! via the protocol of §IV.B.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ppar_core::ctx::{AdaptHook, Ctx};
+use ppar_core::mode::ExecMode;
+
+/// A scripted sequence of resource-availability events: "at safe-point
+/// crossing `n`, the application should reshape to `mode`".
+#[derive(Debug, Clone, Default)]
+pub struct ResourceTimeline {
+    events: Vec<(u64, ExecMode)>,
+}
+
+impl ResourceTimeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        ResourceTimeline::default()
+    }
+
+    /// Add an event (builder style). Crossings are 1-based.
+    pub fn at(mut self, crossing: u64, mode: ExecMode) -> Self {
+        self.events.push((crossing, mode));
+        self.events.sort_by_key(|(c, _)| *c);
+        self
+    }
+
+    /// The scripted events.
+    pub fn events(&self) -> &[(u64, ExecMode)] {
+        &self.events
+    }
+}
+
+/// Implements [`AdaptHook`]: tracks safe-point crossings, surfaces pending
+/// reshape requests, records applied adaptations.
+pub struct AdaptationController {
+    crossings: AtomicU64,
+    external: Mutex<Option<ExecMode>>,
+    timeline: Mutex<Vec<(u64, ExecMode)>>,
+    active: Mutex<Option<ExecMode>>,
+    history: Mutex<Vec<(u64, ExecMode)>>,
+}
+
+impl AdaptationController {
+    /// Controller with no scripted events.
+    pub fn new() -> Arc<AdaptationController> {
+        AdaptationController::with_timeline(ResourceTimeline::new())
+    }
+
+    /// Controller driven by a scripted timeline.
+    pub fn with_timeline(timeline: ResourceTimeline) -> Arc<AdaptationController> {
+        Arc::new(AdaptationController {
+            crossings: AtomicU64::new(0),
+            external: Mutex::new(None),
+            timeline: Mutex::new(timeline.events),
+            active: Mutex::new(None),
+            history: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Asynchronous reshape request (e.g. from a resource monitor): applied
+    /// at the next safe-point crossing. Overwrites any earlier unapplied
+    /// request.
+    pub fn request(&self, mode: ExecMode) {
+        *self.external.lock() = Some(mode);
+    }
+
+    /// Safe-point crossings observed so far.
+    pub fn crossings(&self) -> u64 {
+        self.crossings.load(Ordering::SeqCst)
+    }
+
+    /// Applied adaptations as `(crossing, mode)` pairs.
+    pub fn history(&self) -> Vec<(u64, ExecMode)> {
+        self.history.lock().clone()
+    }
+}
+
+impl AdaptHook for AdaptationController {
+    fn pending(&self, _ctx: &Ctx, _name: &str) -> Option<ExecMode> {
+        let c = self.crossings.fetch_add(1, Ordering::SeqCst) + 1;
+        // An in-flight decision stays pending until confirmed.
+        if let Some(mode) = *self.active.lock() {
+            return Some(mode);
+        }
+        // External requests take precedence over the script.
+        if let Some(mode) = self.external.lock().take() {
+            *self.active.lock() = Some(mode);
+            return Some(mode);
+        }
+        let mut timeline = self.timeline.lock();
+        if let Some(&(at, mode)) = timeline.first() {
+            if c >= at {
+                timeline.remove(0);
+                *self.active.lock() = Some(mode);
+                return Some(mode);
+            }
+        }
+        None
+    }
+
+    fn confirm(&self, mode: ExecMode) {
+        *self.active.lock() = None;
+        let c = self.crossings.load(Ordering::SeqCst);
+        self.history.lock().push((c, mode));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppar_core::ctx::{Ctx, RunShared, SeqEngine};
+    use ppar_core::plan::Plan;
+    use ppar_core::state::Registry;
+
+    fn dummy_ctx() -> Ctx {
+        Ctx::new_root(RunShared::new(
+            Arc::new(Plan::new()),
+            Arc::new(Registry::new()),
+            Arc::new(SeqEngine),
+            None,
+            None,
+        ))
+    }
+
+    #[test]
+    fn timeline_fires_in_order() {
+        let t = ResourceTimeline::new()
+            .at(5, ExecMode::smp(8))
+            .at(2, ExecMode::smp(4));
+        assert_eq!(t.events()[0].0, 2, "events sort by crossing");
+        let ctrl = AdaptationController::with_timeline(t);
+        let ctx = dummy_ctx();
+        assert_eq!(ctrl.pending(&ctx, "p"), None); // crossing 1
+        let got = ctrl.pending(&ctx, "p"); // crossing 2
+        assert_eq!(got, Some(ExecMode::smp(4)));
+        ctrl.confirm(ExecMode::smp(4));
+        assert_eq!(ctrl.pending(&ctx, "p"), None); // crossing 3
+        assert_eq!(ctrl.pending(&ctx, "p"), None); // crossing 4
+        assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(8))); // 5
+        ctrl.confirm(ExecMode::smp(8));
+        assert_eq!(ctrl.history().len(), 2);
+    }
+
+    #[test]
+    fn request_stays_pending_until_confirmed() {
+        let ctrl = AdaptationController::new();
+        let ctx = dummy_ctx();
+        ctrl.request(ExecMode::smp(6));
+        assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(6)));
+        // Not confirmed yet: subsequent crossings still see it.
+        assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(6)));
+        ctrl.confirm(ExecMode::smp(6));
+        assert_eq!(ctrl.pending(&ctx, "p"), None);
+        assert_eq!(ctrl.history(), vec![(2, ExecMode::smp(6))]);
+    }
+
+    #[test]
+    fn external_request_overrides_timeline() {
+        let ctrl = AdaptationController::with_timeline(
+            ResourceTimeline::new().at(1, ExecMode::smp(2)),
+        );
+        let ctx = dummy_ctx();
+        ctrl.request(ExecMode::smp(16));
+        assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(16)));
+        ctrl.confirm(ExecMode::smp(16));
+        // The timeline event (crossing 1 already passed) fires next.
+        assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(2)));
+    }
+
+    #[test]
+    fn crossings_count_polls() {
+        let ctrl = AdaptationController::new();
+        let ctx = dummy_ctx();
+        for _ in 0..7 {
+            ctrl.pending(&ctx, "p");
+        }
+        assert_eq!(ctrl.crossings(), 7);
+    }
+}

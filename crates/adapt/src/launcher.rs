@@ -1,0 +1,200 @@
+//! The multi-mode launcher: deploys one base program sequentially, on a
+//! thread team, or on a simulated distributed aggregate — with optional
+//! checkpointing and run-time adaptation — and drives crash/restart cycles.
+//!
+//! Because master-collected checkpoint data is identical in every mode, the
+//! launcher can restart a crashed (or deliberately stopped) run **in a
+//! different mode** — the paper's adaptation-by-restart (Fig. 6: start on
+//! 2 processes, restart on 8). Run-time adaptation (Fig. 7) instead installs
+//! an [`crate::controller::AdaptationController`] and reshapes without
+//! restarting.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppar_ckpt::hook::{CheckpointModule, CkptStats};
+use ppar_core::ctx::{AdaptHook, CkptHook, Ctx, RunShared, SeqEngine};
+use ppar_core::error::Result;
+use ppar_core::plan::Plan;
+use ppar_core::state::Registry;
+use ppar_dsm::spmd::{run_spmd, SpmdConfig};
+use ppar_smp::TeamEngine;
+
+pub use ppar_ckpt::pcr::AppStatus;
+
+use crate::controller::AdaptationController;
+
+/// A deployment target for one launch.
+#[derive(Debug, Clone)]
+pub enum Deploy {
+    /// Strict sequential execution (no team, not expandable).
+    Seq,
+    /// Thread team of `threads`, expandable at run time up to `max_threads`.
+    /// `Smp { threads: 1, .. }` is the *adaptive sequential* deployment: it
+    /// runs alone but can grow when resources arrive.
+    Smp {
+        /// Initial team size.
+        threads: usize,
+        /// Expansion headroom.
+        max_threads: usize,
+    },
+    /// Simulated distributed aggregate.
+    Dist(SpmdConfig),
+}
+
+impl Deploy {
+    /// Short tag for reports.
+    pub fn tag(&self) -> String {
+        match self {
+            Deploy::Seq => "seq".into(),
+            Deploy::Smp { threads, .. } => format!("smp{threads}"),
+            Deploy::Dist(cfg) => format!("dist{}", cfg.nranks),
+        }
+    }
+}
+
+/// Outcome of one launch.
+pub struct LaunchOutcome<R> {
+    /// Per-rank `(status, result)` pairs (a single entry for Seq/Smp).
+    pub results: Vec<(AppStatus, R)>,
+    /// Did this launch replay a previous failure?
+    pub replayed: bool,
+    /// Rank-0 checkpoint statistics, when checkpointing was plugged.
+    pub stats: Option<CkptStats>,
+    /// Wall time of the whole launch.
+    pub elapsed: Duration,
+}
+
+impl<R> LaunchOutcome<R> {
+    /// Did every rank complete?
+    pub fn completed(&self) -> bool {
+        self.results.iter().all(|(s, _)| *s == AppStatus::Completed)
+    }
+}
+
+/// Launch `app` once under `deploy`. `ckpt_dir` plugs checkpointing (and
+/// arms replay if the directory holds a failed run); `controller` plugs
+/// run-time adaptation. The app returns its status: `Completed` clears the
+/// run marker, `Crashed` leaves it for the next launch to detect.
+pub fn launch<R: Send>(
+    deploy: &Deploy,
+    plan: Plan,
+    ckpt_dir: Option<&Path>,
+    controller: Option<Arc<AdaptationController>>,
+    app: impl Fn(&Ctx) -> (AppStatus, R) + Sync,
+) -> Result<LaunchOutcome<R>> {
+    let plan = Arc::new(plan);
+    let start = Instant::now();
+    let adapt_hook = controller.map(|c| c as Arc<dyn AdaptHook>);
+
+    match deploy {
+        Deploy::Seq | Deploy::Smp { .. } => {
+            let module = match ckpt_dir {
+                Some(dir) => Some(CheckpointModule::create(dir, &plan)?),
+                None => None,
+            };
+            let replayed = module.as_ref().map(|m| m.will_replay()).unwrap_or(false);
+            let engine: Arc<dyn ppar_core::ctx::Engine> = match deploy {
+                Deploy::Seq => Arc::new(SeqEngine),
+                Deploy::Smp {
+                    threads,
+                    max_threads,
+                } => TeamEngine::new(*threads, *max_threads),
+                Deploy::Dist(_) => unreachable!(),
+            };
+            let shared = RunShared::new(
+                plan,
+                Arc::new(Registry::new()),
+                engine,
+                module.clone().map(|m| m as Arc<dyn CkptHook>),
+                adapt_hook,
+            );
+            let ctx = Ctx::new_root(shared);
+            let (status, result) = app(&ctx);
+            if status == AppStatus::Completed {
+                ctx.finish();
+            }
+            Ok(LaunchOutcome {
+                results: vec![(status, result)],
+                replayed,
+                stats: module.map(|m| m.stats()),
+                elapsed: start.elapsed(),
+            })
+        }
+        Deploy::Dist(cfg) => {
+            // Pre-create every element's checkpoint module BEFORE any rank
+            // thread starts — the moral equivalent of mpirun synchronising
+            // process startup. Creating them lazily inside the rank threads
+            // races with a fast root that replays, completes and clears the
+            // run marker before a slow rank reads it, leaving the aggregate
+            // disagreeing about replay mode.
+            let modules: Vec<Option<Arc<CheckpointModule>>> = match ckpt_dir {
+                Some(dir) => CheckpointModule::create_group(dir, &plan, cfg.nranks)?
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+                None => vec![None; cfg.nranks],
+            };
+            let rank0 = modules.first().cloned().flatten();
+            let modules_ref = &modules;
+            let hooks = move |rank: usize| {
+                let ck = modules_ref[rank]
+                    .clone()
+                    .map(|m| m as Arc<dyn CkptHook>);
+                // Run-time adaptation of the aggregate shape goes through
+                // restart (Fig. 6); no controller is installed per rank.
+                (ck, None)
+            };
+            let results = run_spmd(cfg, plan, &hooks, false, |ctx| {
+                let (status, result) = app(ctx);
+                if status == AppStatus::Completed {
+                    ctx.finish();
+                }
+                (status, result)
+            });
+            Ok(LaunchOutcome {
+                results,
+                replayed: rank0.as_ref().map(|m| m.will_replay()).unwrap_or(false),
+                stats: rank0.map(|m| m.stats()),
+                elapsed: start.elapsed(),
+            })
+        }
+    }
+}
+
+/// Keep launching until the application completes, switching deployment per
+/// attempt via `schedule(attempt)`. Returns each launch's outcome. This is
+/// the adaptation-by-restart driver: e.g. `schedule(0) = Dist(2 ranks)`,
+/// `schedule(1) = Dist(8 ranks)` reproduces Fig. 6.
+pub fn run_until_complete<R: Send>(
+    schedule: impl Fn(usize) -> Deploy,
+    plan: &Plan,
+    ckpt_dir: &Path,
+    app: impl Fn(&Ctx) -> (AppStatus, R) + Sync,
+    max_attempts: usize,
+) -> Result<Vec<LaunchOutcome<R>>> {
+    let mut outcomes = Vec::new();
+    for attempt in 0..max_attempts {
+        let deploy = schedule(attempt);
+        let outcome = launch(&deploy, plan.clone(), Some(ckpt_dir), None, &app)?;
+        let done = outcome.completed();
+        outcomes.push(outcome);
+        if done {
+            return Ok(outcomes);
+        }
+    }
+    Err(ppar_core::error::PparError::InvalidAdaptation(format!(
+        "application did not complete within {max_attempts} attempts"
+    )))
+}
+
+/// Over-decomposition configuration (Fig. 8 baseline): `of × pe` aggregate
+/// elements over-subscribed onto `pe` cores of a single node.
+pub fn overdecomposed(pe: usize, of: usize, model: ppar_dsm::NetModel) -> SpmdConfig {
+    SpmdConfig {
+        topology: ppar_dsm::Topology::single_node(pe),
+        nranks: pe * of.max(1),
+        model,
+    }
+}

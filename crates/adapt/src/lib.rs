@@ -1,0 +1,26 @@
+//! # ppar-adapt — run-time adaptation for pluggable parallelisation
+//!
+//! Implements §IV.B of *Checkpoint and Run-Time Adaptation with Pluggable
+//! Parallelisation* (Medeiros & Sobral, ICPP 2011) above the engine crates:
+//!
+//! * [`controller::AdaptationController`] — the [`ppar_core::AdaptHook`]
+//!   implementation: accepts reshape requests (asynchronously or from a
+//!   scripted [`controller::ResourceTimeline`], the experiments' stand-in
+//!   for an external Grid resource manager) and surfaces them to engines at
+//!   safe-point crossings. The shared-memory engine then runs the §IV.B
+//!   expansion/contraction protocol (replay-into-region / graceful drain).
+//! * [`launcher`] — deploys one base program in any execution mode with
+//!   optional checkpointing, and drives crash/restart cycles; because
+//!   master-collected checkpoints are mode independent, a restart may use a
+//!   *different* mode or aggregate size (adaptation by restart, Fig. 6).
+//! * [`launcher::overdecomposed`] — the traditional over-decomposition
+//!   baseline the paper compares against (Fig. 8).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod launcher;
+
+pub use controller::{AdaptationController, ResourceTimeline};
+pub use launcher::{launch, overdecomposed, run_until_complete, AppStatus, Deploy, LaunchOutcome};

@@ -1,0 +1,36 @@
+//! Fig. 4 spot benches: snapshot save cost (serialise + persist) for
+//! sequential and master-collect distributed checkpoints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_ckpt::store::{CheckpointStore, Snapshot};
+use ppar_core::shared::SharedGrid;
+use ppar_core::state::StateCell;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_save_cost");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for n in [128usize, 256, 512] {
+        let grid = SharedGrid::new(n, n, 1.5f64);
+        let dir = std::env::temp_dir().join(format!("ppar_crit_fig4_{n}"));
+        let store = CheckpointStore::new(&dir).unwrap();
+        g.bench_function(format!("snapshot_write_n{n}"), |b| {
+            b.iter(|| {
+                let snap = Snapshot {
+                    mode_tag: "seq".into(),
+                    count: 1,
+                    rank: None,
+                    nranks: 1,
+                    fields: vec![("G".into(), grid.save_bytes())],
+                };
+                store.write_master(&snap).unwrap()
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 5 spot benches: replay cost (skipped re-execution) and snapshot
+//! load cost after a failure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_adapt::{launch, AppStatus, Deploy};
+use ppar_jgf::sor::pluggable::{plan_ckpt, plan_seq, sor_pluggable};
+use ppar_jgf::sor::SorParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_restart");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    let params = || SorParams::new(160, 20);
+    g.bench_function("seq_crash_then_restart", |b| {
+        b.iter(|| {
+            let dir = std::env::temp_dir()
+                .join(format!("ppar_crit_fig5_{:?}", std::thread::current().id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            // crash at the snapshot
+            let mut p = params();
+            p.fail_after = Some(20);
+            launch(
+                &Deploy::Seq,
+                plan_seq().merge(plan_ckpt(20)),
+                Some(&dir),
+                None,
+                |ctx| (AppStatus::Crashed, sor_pluggable(ctx, &p)),
+            )
+            .unwrap();
+            // replay + load
+            let out = launch(
+                &Deploy::Seq,
+                plan_seq().merge(plan_ckpt(20)),
+                Some(&dir),
+                None,
+                |ctx| (AppStatus::Completed, sor_pluggable(ctx, &params())),
+            )
+            .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            out.stats.unwrap().replayed_points
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 6 spot bench: the checkpoint/restart mode switch (2 P -> 8 P).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_adapt::{launch, AppStatus, Deploy};
+use ppar_dsm::SpmdConfig;
+use ppar_jgf::sor::pluggable::{plan_ckpt, plan_dist, sor_pluggable};
+use ppar_jgf::sor::SorParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_restart_expand");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("p2_crash_then_p8", |b| {
+        b.iter(|| {
+            let dir = std::env::temp_dir()
+                .join(format!("ppar_crit_fig6_{:?}", std::thread::current().id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut p = SorParams::new(128, 12);
+            p.fail_after = Some(6);
+            launch(
+                &Deploy::Dist(SpmdConfig::instant(2)),
+                plan_dist().merge(plan_ckpt(6)),
+                Some(&dir),
+                None,
+                |ctx| (AppStatus::Crashed, sor_pluggable(ctx, &p)),
+            )
+            .unwrap();
+            let out = launch(
+                &Deploy::Dist(SpmdConfig::instant(8)),
+                plan_dist().merge(plan_ckpt(6)),
+                Some(&dir),
+                None,
+                |ctx| (AppStatus::Completed, sor_pluggable(ctx, &SorParams::new(128, 12))),
+            )
+            .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            out.results.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

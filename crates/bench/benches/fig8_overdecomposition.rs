@@ -1,0 +1,29 @@
+//! Fig. 8 spot benches: over-decomposition factors on a fixed core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_adapt::{launch, overdecomposed, AppStatus, Deploy};
+use ppar_dsm::NetModel;
+use ppar_jgf::sor::pluggable::{plan_dist, sor_pluggable};
+use ppar_jgf::sor::SorParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_overdecomposition");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    for of in [1usize, 4, 8] {
+        g.bench_function(format!("of{of}_on_8pe"), |b| {
+            b.iter(|| {
+                let cfg = overdecomposed(8, of, NetModel::default());
+                launch(&Deploy::Dist(cfg), plan_dist(), None, None, |ctx| {
+                    (AppStatus::Completed, sor_pluggable(ctx, &SorParams::new(128, 8)))
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 9 spot benches: pluggable (adaptive-capable) versions vs
+//! hand-written fixed versions — the "within 5%" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_jgf::sor::baseline::sor_threads;
+use ppar_jgf::sor::pluggable::{plan_seq, plan_smp, sor_pluggable};
+use ppar_jgf::sor::{sor_seq, SorParams};
+use ppar_core::run_sequential;
+use ppar_smp::run_smp;
+use std::sync::Arc;
+
+fn params() -> SorParams {
+    SorParams::new(160, 10)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_adaptive_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("hand_seq", |b| b.iter(|| sor_seq(&params())));
+    g.bench_function("pluggable_seq", |b| {
+        b.iter(|| run_sequential(Arc::new(plan_seq()), None, None, |ctx| sor_pluggable(ctx, &params())))
+    });
+    g.bench_function("hand_threads_4", |b| b.iter(|| sor_threads(&params(), 4)));
+    g.bench_function("pluggable_smp_4", |b| {
+        b.iter(|| run_smp(Arc::new(plan_smp()), 4, None, None, |ctx| sor_pluggable(ctx, &params())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! `repro` — regenerate every table/figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [fig3|fig4|fig5|fig6|fig7|fig8|fig9|loc|all] [--full] [--out DIR]
+//! ```
+//!
+//! Prints each figure as an ASCII table and writes a CSV per figure under
+//! `--out` (default `results/`). `--full` uses paper-scale parameters;
+//! the default quick parameters finish in a few minutes.
+
+use ppar_bench::figs::{self, ExpConfig};
+use ppar_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_idx = args.iter().position(|a| a == "--out");
+    let out_dir = out_idx
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    let which: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != out_idx.map(|o| o + 1))
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+
+    let cfg = if full {
+        ExpConfig::full()
+    } else {
+        ExpConfig::quick()
+    };
+    eprintln!(
+        "repro: SOR N={} iters={} ({} mode); writing CSVs to {out_dir}/",
+        cfg.n,
+        cfg.iterations,
+        if full { "full" } else { "quick" }
+    );
+
+    let run = |name: &str, f: &dyn Fn() -> Table| {
+        if !all && !which.contains(&name) {
+            return;
+        }
+        eprintln!("repro: running {name} ...");
+        let table = f();
+        println!("{}", table.render());
+        let path = format!("{out_dir}/{name}.csv");
+        table.write_csv(&path).expect("write csv");
+        eprintln!("repro: wrote {path}");
+    };
+
+    run("fig3", &|| figs::fig3(&cfg));
+    run("fig4", &|| figs::fig4(&cfg));
+    run("fig5", &|| figs::fig5(&cfg));
+    run("fig6", &|| figs::fig6(&cfg));
+    run("fig7", &|| figs::fig7(&cfg));
+    run("fig8", &|| figs::fig8(&cfg));
+    run("fig9", &|| figs::fig9(&cfg));
+    run("loc", &figs::loc_table);
+}

@@ -1,0 +1,628 @@
+//! One experiment per figure of the paper's evaluation (§V).
+//!
+//! All figures use the JGF SOR kernel, as in the paper. Environments:
+//! `seq` (strict sequential), `N LE` (shared-memory lines of execution) and
+//! `N P` (simulated distributed processes on the paper's 2×24-core cluster
+//! topology with default link costs).
+
+use std::sync::Arc;
+
+use ppar_adapt::{
+    launch, overdecomposed, AdaptationController, AppStatus, Deploy, ResourceTimeline,
+};
+use ppar_core::mode::ExecMode;
+use ppar_core::plan::Plan;
+use ppar_core::run_sequential;
+use ppar_dsm::{NetModel, SpmdConfig, Topology};
+use ppar_jgf::sor::baseline::{
+    sor_dist, sor_dist_invasive, sor_seq_invasive, sor_threads, sor_threads_invasive,
+};
+use ppar_jgf::sor::pluggable::{plan_ckpt, plan_dist, plan_seq, plan_smp, sor_pluggable};
+use ppar_jgf::sor::{sor_seq, SorParams};
+use ppar_smp::run_smp;
+
+use crate::harness::{scratch_dir, time, Table};
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// SOR grid side.
+    pub n: usize,
+    /// SOR iterations per run.
+    pub iterations: usize,
+    /// Shared-memory team sizes ("LE" series).
+    pub le_counts: Vec<usize>,
+    /// Distributed process counts ("P" series).
+    pub p_counts: Vec<usize>,
+    /// Over-decomposition factors (Fig. 8).
+    pub of_factors: Vec<usize>,
+    /// Processing-element counts (Fig. 9).
+    pub pe_counts: Vec<usize>,
+}
+
+impl ExpConfig {
+    /// Fast settings: every figure in a couple of minutes.
+    pub fn quick() -> ExpConfig {
+        ExpConfig {
+            n: 1400,
+            iterations: 60,
+            le_counts: vec![2, 4, 8, 16],
+            p_counts: vec![2, 4, 8, 16, 32],
+            of_factors: vec![1, 2, 4, 8, 16],
+            pe_counts: vec![1, 4, 8, 16, 32],
+        }
+    }
+
+    /// Paper-scale settings (N=2000 is the JGF size C grid).
+    pub fn full() -> ExpConfig {
+        ExpConfig {
+            n: 2000,
+            iterations: 100,
+            ..ExpConfig::quick()
+        }
+    }
+
+    fn params(&self) -> SorParams {
+        SorParams::new(self.n, self.iterations)
+    }
+}
+
+/// One measured environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Env {
+    /// Strict sequential.
+    Seq,
+    /// `k` lines of execution (thread team).
+    Le(usize),
+    /// `k` simulated processes on the paper cluster.
+    P(usize),
+}
+
+impl Env {
+    fn label(&self) -> String {
+        match self {
+            Env::Seq => "seq".into(),
+            Env::Le(k) => format!("{k} LE"),
+            Env::P(k) => format!("{k} P"),
+        }
+    }
+
+    fn deploy(&self) -> Deploy {
+        match *self {
+            Env::Seq => Deploy::Seq,
+            Env::Le(k) => Deploy::Smp {
+                threads: k,
+                max_threads: k,
+            },
+            Env::P(k) => Deploy::Dist(SpmdConfig {
+                topology: Topology::paper_cluster(),
+                nranks: k,
+                model: NetModel::default(),
+            }),
+        }
+    }
+
+    fn base_plan(&self) -> Plan {
+        match self {
+            Env::Seq => plan_seq(),
+            Env::Le(_) => plan_smp(),
+            Env::P(_) => plan_dist(),
+        }
+    }
+}
+
+fn envs(cfg: &ExpConfig) -> Vec<Env> {
+    let mut v = vec![Env::Seq];
+    v.extend(cfg.le_counts.iter().map(|&k| Env::Le(k)));
+    v.extend(cfg.p_counts.iter().map(|&k| Env::P(k)));
+    v
+}
+
+/// Run the pluggable SOR in `env` with an optional checkpoint module;
+/// returns `(seconds, stats)`.
+fn run_pp(
+    env: Env,
+    ckpt_every: Option<usize>,
+    params: &SorParams,
+    dir: Option<&std::path::Path>,
+) -> (f64, Option<ppar_ckpt::CkptStats>) {
+    let mut plan = env.base_plan();
+    if let Some(every) = ckpt_every {
+        plan = plan.merge(plan_ckpt(every));
+    }
+    let crash = params.fail_after.is_some();
+    let params = params.clone();
+    let (outcome, secs) = time(|| {
+        launch(&env.deploy(), plan, dir, None, move |ctx| {
+            let r = sor_pluggable(ctx, &params);
+            let status = if crash {
+                AppStatus::Crashed
+            } else {
+                AppStatus::Completed
+            };
+            (status, r)
+        })
+        .expect("launch")
+    });
+    (secs, outcome.stats)
+}
+
+/// Run the hand-written ("original") SOR in `env`.
+fn run_original(env: Env, params: &SorParams) -> f64 {
+    match env {
+        Env::Seq => time(|| sor_seq(params)).1,
+        Env::Le(k) => time(|| sor_threads(params, k)).1,
+        Env::P(k) => {
+            let cfg = SpmdConfig {
+                topology: Topology::paper_cluster(),
+                nranks: k,
+                model: NetModel::default(),
+            };
+            time(|| sor_dist(params, &cfg)).1
+        }
+    }
+}
+
+/// Run the invasively checkpointed SOR in `env`.
+fn run_invasive(env: Env, every: usize, params: &SorParams) -> f64 {
+    let dir = scratch_dir("invasive");
+    let secs = match env {
+        Env::Seq => time(|| sor_seq_invasive(params, every, &dir)).1,
+        Env::Le(k) => time(|| sor_threads_invasive(params, k, every, &dir)).1,
+        Env::P(k) => {
+            let cfg = SpmdConfig {
+                topology: Topology::paper_cluster(),
+                nranks: k,
+                model: NetModel::default(),
+            };
+            time(|| sor_dist_invasive(params, &cfg, every, &dir)).1
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — checkpoint overhead
+// ---------------------------------------------------------------------------
+
+/// Fig. 3: execution time of original vs invasive vs pluggable
+/// checkpointing, with 0 or 1 snapshots taken, across environments.
+pub fn fig3(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Fig 3 — checkpoint overhead (seconds)",
+        &["env", "original", "invasive_0ckpt", "invasive_1ckpt", "pp_0ckpt", "pp_1ckpt"],
+    );
+    let params = cfg.params();
+    for env in envs(cfg) {
+        let original = run_original(env, &params);
+        let inv0 = run_invasive(env, 0, &params);
+        let inv1 = run_invasive(env, cfg.iterations, &params);
+        let dir0 = scratch_dir("pp0");
+        let (pp0, _) = run_pp(env, Some(0), &params, Some(&dir0));
+        let dir1 = scratch_dir("pp1");
+        let (pp1, _) = run_pp(env, Some(cfg.iterations), &params, Some(&dir1));
+        let _ = std::fs::remove_dir_all(&dir0);
+        let _ = std::fs::remove_dir_all(&dir1);
+        t.row(vec![
+            env.label(),
+            Table::f(original),
+            Table::f(inv0),
+            Table::f(inv1),
+            Table::f(pp0),
+            Table::f(pp1),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — time to save checkpoint data
+// ---------------------------------------------------------------------------
+
+/// Fig. 4: cost of persisting one snapshot per environment (barrier + data
+/// collection + serialisation + write).
+pub fn fig4(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Fig 4 — time to save checkpoint data (seconds)",
+        &["env", "save_time", "payload_mb"],
+    );
+    let params = cfg.params();
+    for env in envs(cfg) {
+        let dir = scratch_dir("fig4");
+        let (_, stats) = run_pp(env, Some(cfg.iterations), &params, Some(&dir));
+        let stats = stats.expect("checkpoint stats");
+        t.row(vec![
+            env.label(),
+            Table::f(stats.last_save_time.as_secs_f64()),
+            Table::f(stats.bytes_written as f64 / 1e6),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — restart overhead (replay vs load)
+// ---------------------------------------------------------------------------
+
+/// Fig. 5: after a failure at the `iterations`-th safe point, time to
+/// replay the application and to load the checkpoint data, per environment.
+pub fn fig5(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Fig 5 — restart overhead (seconds)",
+        &["env", "replay", "load", "replayed_points"],
+    );
+    for env in envs(cfg) {
+        let dir = scratch_dir("fig5");
+        // Run 1: snapshot at the final safe point, then crash.
+        let crash_params = SorParams {
+            fail_after: Some(cfg.iterations),
+            ..cfg.params()
+        };
+        let (_, _) = run_pp(env, Some(cfg.iterations), &crash_params, Some(&dir));
+        // Run 2: replay to the snapshot and finish.
+        let (_, stats) = run_pp(env, Some(cfg.iterations), &cfg.params(), Some(&dir));
+        let stats = stats.expect("stats");
+        t.row(vec![
+            env.label(),
+            Table::f(stats.replay_time.as_secs_f64()),
+            Table::f(stats.load_time.as_secs_f64()),
+            format!("{}", stats.replayed_points),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — restart on more resources
+// ---------------------------------------------------------------------------
+
+/// Fig. 6: per-iteration times when a 2-process run is checkpointed at
+/// iteration 26 and restarted on 8 processes, vs staying on 2.
+pub fn fig6(cfg: &ExpConfig) -> Table {
+    let iters = cfg.iterations.max(50);
+    let switch = 26.min(iters / 2 + 1);
+    let mut base_params = SorParams::new(cfg.n, iters);
+    base_params.record_iter_times = true;
+
+    // Baseline: 2 P all the way.
+    let (baseline_secs, baseline_times) = {
+        let params = base_params.clone();
+        let (outcome, secs) = time(|| {
+            launch(&Env::P(2).deploy(), plan_dist(), None, None, move |ctx| {
+                (AppStatus::Completed, sor_pluggable(ctx, &params))
+            })
+            .expect("launch")
+        });
+        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+    };
+
+    // Adaptive: 2 P, checkpoint+crash at `switch`, restart on 8 P.
+    let dir = scratch_dir("fig6");
+    let (run1_secs, run1_times) = {
+        let mut params = base_params.clone();
+        params.fail_after = Some(switch);
+        let p2 = params.clone();
+        let (outcome, secs) = time(|| {
+            launch(
+                &Env::P(2).deploy(),
+                plan_dist().merge(plan_ckpt(switch)),
+                Some(&dir),
+                None,
+                move |ctx| (AppStatus::Crashed, sor_pluggable(ctx, &p2)),
+            )
+            .expect("launch")
+        });
+        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+    };
+    let (run2_secs, run2_times) = {
+        let params = base_params.clone();
+        let (outcome, secs) = time(|| {
+            launch(
+                &Env::P(8).deploy(),
+                plan_dist().merge(plan_ckpt(switch)),
+                Some(&dir),
+                None,
+                move |ctx| (AppStatus::Completed, sor_pluggable(ctx, &params)),
+            )
+            .expect("launch")
+        });
+        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut t = Table::new(
+        &format!(
+            "Fig 6 — restart on more resources (2P -> 8P at iteration {switch}; \
+             totals: stay-2P {:.3}s vs adapt {:.3}s)",
+            baseline_secs,
+            run1_secs + run2_secs
+        ),
+        &["iteration", "stay_2p", "adapt_2p_then_8p"],
+    );
+    // The adaptive series: run-1 iteration times up to the switch, then
+    // run-2's live iterations (its first `switch` entries are replay).
+    let adaptive: Vec<f64> = run1_times
+        .iter()
+        .copied()
+        .chain(run2_times.iter().copied())
+        .collect();
+    for i in 0..baseline_times.len().max(adaptive.len()) {
+        t.row(vec![
+            format!("{}", i + 1),
+            baseline_times.get(i).map(|&v| Table::f(v)).unwrap_or_default(),
+            adaptive.get(i).map(|&v| Table::f(v)).unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — run-time adaptation vs adaptation by restart
+// ---------------------------------------------------------------------------
+
+/// Fig. 7: starting on {2,4,8} LE and expanding to 16 LE mid-run: fixed
+/// teams vs run-time expansion vs checkpoint/restart expansion.
+pub fn fig7(cfg: &ExpConfig) -> Table {
+    let target = 16usize;
+    let switch = (cfg.iterations / 4).max(2);
+    let mut t = Table::new(
+        &format!(
+            "Fig 7 — resource expansion to {target} LE at safe point {switch} (seconds)"
+        ),
+        &["start_LE", "fixed_start", "fixed_16", "runtime_adapt", "restart_adapt"],
+    );
+    let params = cfg.params();
+    for &start in &[2usize, 4, 8] {
+        // fixed teams
+        let p1 = params.clone();
+        let (_, fixed_start) = time(|| {
+            run_smp(Arc::new(plan_smp()), start, None, None, |ctx| {
+                sor_pluggable(ctx, &p1)
+            })
+        });
+        let p2 = params.clone();
+        let (_, fixed_16) = time(|| {
+            run_smp(Arc::new(plan_smp()), target, None, None, |ctx| {
+                sor_pluggable(ctx, &p2)
+            })
+        });
+        // run-time adaptation
+        let controller = AdaptationController::with_timeline(
+            ResourceTimeline::new().at(switch as u64, ExecMode::smp(target)),
+        );
+        let p3 = params.clone();
+        let (_, runtime_adapt) = time(|| {
+            launch(
+                &Deploy::Smp {
+                    threads: start,
+                    max_threads: target,
+                },
+                plan_smp().merge(plan_ckpt(0)),
+                None,
+                Some(controller),
+                move |ctx| (AppStatus::Completed, sor_pluggable(ctx, &p3)),
+            )
+            .expect("launch")
+        });
+        // adaptation by restart: checkpoint at `switch`, crash, restart @16
+        let dir = scratch_dir("fig7");
+        let mut crash_params = params.clone();
+        crash_params.fail_after = Some(switch);
+        let p4 = crash_params.clone();
+        let (_, t1) = time(|| {
+            launch(
+                &Deploy::Smp {
+                    threads: start,
+                    max_threads: start,
+                },
+                plan_smp().merge(plan_ckpt(switch)),
+                Some(&dir),
+                None,
+                move |ctx| (AppStatus::Crashed, sor_pluggable(ctx, &p4)),
+            )
+            .expect("launch")
+        });
+        let p5 = params.clone();
+        let (_, t2) = time(|| {
+            launch(
+                &Deploy::Smp {
+                    threads: target,
+                    max_threads: target,
+                },
+                plan_smp().merge(plan_ckpt(switch)),
+                Some(&dir),
+                None,
+                move |ctx| (AppStatus::Completed, sor_pluggable(ctx, &p5)),
+            )
+            .expect("launch")
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        t.row(vec![
+            format!("{start}"),
+            Table::f(fixed_start),
+            Table::f(fixed_16),
+            Table::f(runtime_adapt),
+            Table::f(t1 + t2),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — over-decomposition overhead
+// ---------------------------------------------------------------------------
+
+/// Fig. 8: SOR with `of × 16` processes over-subscribed onto 16 cores —
+/// the traditional adaptability mechanism the paper argues against.
+pub fn fig8(cfg: &ExpConfig) -> Table {
+    let pe = 16usize;
+    let mut t = Table::new(
+        "Fig 8 — over-decomposition overhead on 16 PEs (seconds)",
+        &["of", "processes", "time"],
+    );
+    let params = cfg.params();
+    for &of in &cfg.of_factors {
+        let spmd = overdecomposed(pe, of, NetModel::default());
+        let p = params.clone();
+        let (_, secs) = time(|| {
+            launch(&Deploy::Dist(spmd), plan_dist(), None, None, move |ctx| {
+                (AppStatus::Completed, sor_pluggable(ctx, &p))
+            })
+            .expect("launch")
+        });
+        t.row(vec![
+            format!("{of}"),
+            format!("{}", pe * of),
+            Table::f(secs),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — adaptability overhead across versions
+// ---------------------------------------------------------------------------
+
+/// Fig. 9: JGF-style fixed versions (sequential / threads / message
+/// passing) vs the adaptive pluggable version choosing its mode per
+/// processing-element count, on a cluster of 8-core machines.
+pub fn fig9(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Fig 9 — adaptability overhead on 8-core machines (seconds)",
+        &["PE", "jgf_seq", "jgf_threads", "jgf_mpi", "adaptive"],
+    );
+    let params = cfg.params();
+    let machine_cores = 8usize;
+    for &pe in &cfg.pe_counts {
+        let jgf_seq = time(|| sor_seq(&params)).1;
+        let jgf_threads = time(|| sor_threads(&params, pe.min(machine_cores))).1;
+        let machines = pe.div_ceil(machine_cores).max(1);
+        let dist_cfg = SpmdConfig {
+            topology: Topology::eight_core_cluster(machines),
+            nranks: pe,
+            model: NetModel::default(),
+        };
+        let p1 = params.clone();
+        let (_, jgf_mpi) = time(|| {
+            launch(
+                &Deploy::Dist(dist_cfg),
+                plan_dist(),
+                None,
+                None,
+                move |ctx| (AppStatus::Completed, sor_pluggable(ctx, &p1)),
+            )
+            .expect("launch")
+        });
+        // Adaptive: one code base, mode chosen by committed resources.
+        let p2 = params.clone();
+        let (_, adaptive) = time(|| {
+            if pe == 1 {
+                run_sequential(Arc::new(plan_seq()), None, None, |ctx| {
+                    sor_pluggable(ctx, &p2)
+                })
+            } else if pe <= machine_cores {
+                run_smp(Arc::new(plan_smp()), pe, None, None, |ctx| {
+                    sor_pluggable(ctx, &p2)
+                })
+            } else {
+                let results = ppar_dsm::run_spmd_plain(
+                    &SpmdConfig {
+                        topology: Topology::eight_core_cluster(machines),
+                        nranks: pe,
+                        model: NetModel::default(),
+                    },
+                    Arc::new(plan_dist()),
+                    |ctx| sor_pluggable(ctx, &p2),
+                );
+                results.into_iter().next().unwrap()
+            }
+        });
+        t.row(vec![
+            format!("{pe}"),
+            Table::f(jgf_seq),
+            Table::f(jgf_threads),
+            Table::f(jgf_mpi),
+            Table::f(adaptive),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// §V programming-overhead table
+// ---------------------------------------------------------------------------
+
+/// The §V claim: "specifying the safe points, ignorable methods and safe
+/// data fields introduces a very small programming overhead" — plugs per
+/// plan module, per kernel.
+pub fn loc_table() -> Table {
+    let mut t = Table::new(
+        "Plan sizes (plugs per deployment module)",
+        &["kernel", "smp_plugs", "dist_plugs", "ckpt_plugs"],
+    );
+    for (kernel, smp, dist, ckpt) in ppar_jgf::plan_size_report() {
+        t.row(vec![
+            kernel.to_string(),
+            format!("{smp}"),
+            format!("{dist}"),
+            format!("{ckpt}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            n: 64,
+            iterations: 6,
+            le_counts: vec![2],
+            p_counts: vec![2],
+            of_factors: vec![1, 2],
+            pe_counts: vec![1, 4],
+        }
+    }
+
+    #[test]
+    fn fig3_produces_all_environments() {
+        let t = fig3(&tiny());
+        assert_eq!(t.rows.len(), 3); // seq + 1 LE + 1 P
+        assert_eq!(t.headers.len(), 6);
+    }
+
+    #[test]
+    fn fig4_and_fig5_report_checkpoint_costs() {
+        let t4 = fig4(&tiny());
+        assert_eq!(t4.rows.len(), 3);
+        let t5 = fig5(&tiny());
+        assert_eq!(t5.rows.len(), 3);
+        for row in &t5.rows {
+            assert_eq!(row[3], "6", "replayed to the 6th safe point: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig7_rows_cover_start_sizes() {
+        let t = fig7(&tiny());
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn fig8_scales_process_count() {
+        let t = fig8(&tiny());
+        assert_eq!(t.rows[0][1], "16");
+        assert_eq!(t.rows[1][1], "32");
+    }
+
+    #[test]
+    fn loc_table_lists_kernels() {
+        let t = loc_table();
+        assert_eq!(t.rows.len(), 6);
+    }
+}

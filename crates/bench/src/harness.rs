@@ -1,0 +1,153 @@
+//! Measurement and reporting utilities for the figure experiments.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Time a closure; returns `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Run `f` `reps` times and keep the minimum wall time (the usual
+/// microbenchmark noise reducer for short deterministic workloads).
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (_, t) = time(&mut f);
+        best = best.min(t);
+    }
+    best
+}
+
+/// A simple named-column table: the unit every figure experiment produces.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (first column is typically the series/environment label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Format a float cell.
+    pub fn f(v: f64) -> String {
+        if v.abs() >= 100.0 {
+            format!("{v:.1}")
+        } else if v.abs() >= 1.0 {
+            format!("{v:.3}")
+        } else {
+            format!("{v:.5}")
+        }
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells.iter()) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Write as CSV.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// A scratch checkpoint directory under the system temp dir, cleared on
+/// creation.
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ppar_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_writes_csv() {
+        let mut t = Table::new("Fig X", &["env", "time"]);
+        t.row(vec!["seq".into(), Table::f(1.23456)]);
+        t.row(vec!["smp8".into(), Table::f(0.001234)]);
+        let rendered = t.render();
+        assert!(rendered.contains("Fig X"));
+        assert!(rendered.contains("seq"));
+        let path = std::env::temp_dir().join(format!("ppar_tab_{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("env,time\n"));
+        assert_eq!(csv.lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn time_best_takes_minimum() {
+        let mut calls = 0;
+        let t = time_best(3, || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert_eq!(calls, 3);
+        assert!(t >= 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

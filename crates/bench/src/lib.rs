@@ -1,0 +1,20 @@
+//! # ppar-bench — the paper's evaluation, regenerated
+//!
+//! One experiment function per figure of §V (Figs. 3–9), each returning a
+//! [`harness::Table`] whose rows mirror the series the paper plots. The
+//! `repro` binary runs them all and writes CSVs; the Criterion benches under
+//! `benches/` wrap representative cells of each figure for statistically
+//! robust spot measurements.
+//!
+//! Absolute numbers differ from the paper (Rust + a simulated cluster vs
+//! Java + a real one); EXPERIMENTS.md records the shape checks: who wins,
+//! monotonicity, and where crossovers fall.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figs;
+pub mod harness;
+
+pub use figs::ExpConfig;
+pub use harness::Table;

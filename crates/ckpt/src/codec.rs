@@ -1,0 +1,822 @@
+//! Portable binary serde codec for checkpoint payloads.
+//!
+//! Application-level checkpointing demands a format that is (a) portable
+//! across heterogeneous Grid resources and (b) minimal — "the amount of
+//! saved information must be minimal, as Grids have dedicated remote storage
+//! elements" (§I). This codec is a compact, non-self-describing binary
+//! encoding in the spirit of bincode, written from scratch:
+//!
+//! * fixed-width integers and floats, little-endian;
+//! * `bool` as one byte (0/1), `char` as its `u32` scalar value;
+//! * strings/byte-slices/sequences/maps prefixed by a `u64` length;
+//! * `Option` as a one-byte tag followed by the value;
+//! * structs/tuples as their fields in order, no framing;
+//! * enum variants as a `u32` variant index followed by the content.
+//!
+//! Because the encoding is not self-describing, `deserialize_any` is
+//! unsupported — exactly like the wire formats used by MPI-era checkpoint
+//! libraries. Round-tripping is guaranteed for any type whose `Deserialize`
+//! mirrors its `Serialize` (all derived impls).
+
+use std::fmt::{self, Display};
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+use ppar_core::error::PparError;
+
+/// Codec error (wraps into [`PparError::Codec`]).
+#[derive(Debug)]
+pub struct CodecError(pub String);
+
+impl Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl From<CodecError> for PparError {
+    fn from(e: CodecError) -> Self {
+        PparError::Codec(e.0)
+    }
+}
+
+/// Serialize `value` to bytes.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, PparError> {
+    let mut ser = Serializer { out: Vec::new() };
+    value.serialize(&mut ser).map_err(PparError::from)?;
+    Ok(ser.out)
+}
+
+/// Deserialize a value from bytes produced by [`to_bytes`]. Fails on
+/// trailing garbage.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, PparError> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de).map_err(PparError::from)?;
+    if !de.input.is_empty() {
+        return Err(PparError::Codec(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.put(&(len as u64).to_le_bytes());
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.put(&[v as u8]);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.put(&[v]);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.put(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.put(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.put(&[0]);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len = len.ok_or_else(|| {
+            CodecError("sequences must have a known length".to_string())
+        })?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len =
+            len.ok_or_else(|| CodecError("maps must have a known length".to_string()))?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+macro_rules! impl_compound {
+    ($trait:ident, $method:ident) => {
+        impl ser::$trait for Compound<'_> {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut *self.ser)
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(SerializeSeq, serialize_element);
+impl_compound!(SerializeTuple, serialize_element);
+impl_compound!(SerializeTupleStruct, serialize_field);
+impl_compound!(SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError(format!(
+                "unexpected end of input: wanted {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    fn take_len(&mut self) -> Result<usize, CodecError> {
+        let len = u64::from_le_bytes(self.take_array::<8>()?);
+        usize::try_from(len).map_err(|_| CodecError(format!("length {len} overflows usize")))
+    }
+}
+
+macro_rules! de_num {
+    ($method:ident, $visit:ident, $t:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            visitor.$visit(<$t>::from_le_bytes(self.take_array::<$n>()?))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError(
+            "ppar checkpoint codec is not self-describing; deserialize_any unsupported"
+                .to_string(),
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_num!(deserialize_i8, visit_i8, i8, 1);
+    de_num!(deserialize_i16, visit_i16, i16, 2);
+    de_num!(deserialize_i32, visit_i32, i32, 4);
+    de_num!(deserialize_i64, visit_i64, i64, 8);
+    de_num!(deserialize_u16, visit_u16, u16, 2);
+    de_num!(deserialize_u32, visit_u32, u32, 4);
+    de_num!(deserialize_u64, visit_u64, u64, 8);
+    de_num!(deserialize_f32, visit_f32, f32, 4);
+    de_num!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let code = u32::from_le_bytes(self.take_array::<4>()?);
+        let c = char::from_u32(code)
+            .ok_or_else(|| CodecError(format!("invalid char scalar {code:#x}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| CodecError(format!("invalid utf-8 in string: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        self.deserialize_counted(len, visitor)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_counted(len, visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_counted(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_map(CountedAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_counted(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError("identifiers are not encoded".to_string()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError(
+            "cannot skip values in a non-self-describing format".to_string(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+impl<'de> Deserializer<'de> {
+    fn deserialize_counted<V: Visitor<'de>>(
+        &mut self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+}
+
+struct CountedAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for CountedAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for CountedAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), CodecError> {
+        let index = u32::from_le_bytes(self.de.take_array::<4>()?);
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.de.deserialize_counted(len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.de.deserialize_counted(fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0xABu8);
+        roundtrip(&-7i8);
+        roundtrip(&1234u16);
+        roundtrip(&-30000i16);
+        roundtrip(&0xDEADBEEFu32);
+        roundtrip(&i32::MIN);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&3.5f32);
+        roundtrip(&-2.718281828459045f64);
+        roundtrip(&'λ');
+        roundtrip(&"hello grid".to_string());
+        roundtrip(&());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1.0f64, 2.0, 3.0]);
+        roundtrip(&Some(42i32));
+        roundtrip(&Option::<i32>::None);
+        roundtrip(&(1u8, "two".to_string(), 3.0f64));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2]);
+        m.insert("b".to_string(), vec![]);
+        roundtrip(&m);
+        roundtrip(&vec![vec![1i64], vec![], vec![2, 3]]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Particle {
+        pos: [f64; 3],
+        vel: [f64; 3],
+        id: u64,
+        tag: Option<String>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Event {
+        Start,
+        Step { dt: f64, n: u32 },
+        Done(String),
+        Pair(u32, u32),
+    }
+
+    #[test]
+    fn derived_types_roundtrip() {
+        roundtrip(&Particle {
+            pos: [1.0, 2.0, 3.0],
+            vel: [-0.5, 0.0, 0.5],
+            id: 99,
+            tag: Some("p1".to_string()),
+        });
+        roundtrip(&Event::Start);
+        roundtrip(&Event::Step { dt: 0.01, n: 1000 });
+        roundtrip(&Event::Done("ok".to_string()));
+        roundtrip(&Event::Pair(3, 4));
+        roundtrip(&vec![Event::Start, Event::Pair(1, 2)]);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
+        assert!(from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes::<Vec<u64>>(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_rejected() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9, 1]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = to_bytes(&"ab".to_string()).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert!(from_bytes::<String>(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 3 f64s: 8-byte length prefix + 24 payload bytes.
+        assert_eq!(to_bytes(&vec![1.0f64, 2.0, 3.0]).unwrap().len(), 32);
+        // Struct fields carry zero framing.
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+            b: u32,
+        }
+        assert_eq!(to_bytes(&S { a: 1, b: 2 }).unwrap().len(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vec_f64_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..200)) {
+            let bytes = to_bytes(&v).unwrap();
+            let back: Vec<f64> = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(v.len(), back.len());
+            for (a, b) in v.iter().zip(back.iter()) {
+                prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+            }
+        }
+
+        #[test]
+        fn prop_string_map_roundtrip(
+            m in proptest::collection::btree_map(".*", any::<i64>(), 0..20)
+        ) {
+            let bytes = to_bytes(&m).unwrap();
+            let back: BTreeMap<String, i64> = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn prop_nested_roundtrip(
+            v in proptest::collection::vec(
+                (any::<u32>(), proptest::collection::vec(any::<f32>(), 0..8)),
+                0..30
+            )
+        ) {
+            let bytes = to_bytes(&v).unwrap();
+            let back: Vec<(u32, Vec<f32>)> = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(format!("{v:?}"), format!("{back:?}"));
+        }
+    }
+}

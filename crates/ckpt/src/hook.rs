@@ -1,0 +1,531 @@
+//! The checkpoint module: safe-point clock, snapshot/restore, replay state.
+//!
+//! This is the run-time realisation of the paper's four checkpointing
+//! modules (§IV.A, Fig. 2):
+//!
+//! * **pcr** — at start-up, detect whether the previous execution failed
+//!   (marker present + snapshot present) and arm replay mode;
+//! * **allocations** — reach announced data through the
+//!   [`ppar_core::state::Registry`];
+//! * **safepoints** — count safe points per line of execution and trigger
+//!   snapshots every `k` safe points;
+//! * **ignorablemethods** — during replay, report which methods to skip.
+//!
+//! The module is engine-agnostic: engines decide *who* calls
+//! [`CheckpointModule`]'s snapshot/load entry points and how the
+//! team/aggregate is quiesced around them (barriers in shared memory,
+//! gathers at the root in distributed memory); the module does the counting,
+//! the (de)serialisation and the persistence.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use ppar_core::ctx::{CkptHook, Ctx, PointDirective};
+use ppar_core::error::{PparError, Result};
+use ppar_core::partition::block_owned;
+use ppar_core::plan::{DistCkptStrategy, Plan};
+
+use crate::store::{CheckpointStore, Snapshot};
+
+static NEXT_MODULE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // Per-thread safe-point clocks, keyed by module id (one process may host
+    // many modules: one per simulated aggregate element).
+    static CLOCKS: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
+}
+
+/// Observable cost/state counters, powering Fig. 3–5 measurements.
+#[derive(Debug, Clone, Default)]
+pub struct CkptStats {
+    /// Snapshots persisted by this module.
+    pub snapshots_taken: u64,
+    /// Total bytes written across snapshots.
+    pub bytes_written: u64,
+    /// Cumulative wall time spent inside `take_snapshot`.
+    pub save_time: Duration,
+    /// Wall time of the most recent `take_snapshot`.
+    pub last_save_time: Duration,
+    /// Wall time spent inside `load_snapshot` (the Fig. 5 "load" bar).
+    pub load_time: Duration,
+    /// Wall time from module creation to replay completion (the Fig. 5
+    /// "replay" bar, including the skipped re-execution).
+    pub replay_time: Duration,
+    /// Safe points replayed before the snapshot was loaded.
+    pub replayed_points: u64,
+}
+
+/// The pluggable checkpoint/restart module. One instance per process (or per
+/// simulated aggregate element). Implements [`CkptHook`] for the engines.
+pub struct CheckpointModule {
+    id: u64,
+    store: CheckpointStore,
+    every: u64,
+    replay: AtomicBool,
+    detected_failure: bool,
+    target: AtomicU64,
+    stats: Mutex<CkptStats>,
+    created: Instant,
+}
+
+impl CheckpointModule {
+    /// Open `dir`, run the pcr start-up protocol (failure detection) and arm
+    /// replay if the previous execution died after a snapshot. Sets the
+    /// in-flight marker for the new run.
+    pub fn create(dir: impl AsRef<Path>, plan: &Plan) -> Result<Arc<CheckpointModule>> {
+        Ok(CheckpointModule::create_group(dir, plan, 1)?
+            .pop()
+            .expect("one module"))
+    }
+
+    /// Create one module per aggregate element with a **single** start-up
+    /// failure-detection pass. This is how a distributed launcher must
+    /// construct its modules: detecting per-element would race with the
+    /// marker the first element sets (and, across threads, with a fast
+    /// element finishing the whole run before a slow one starts).
+    pub fn create_group(
+        dir: impl AsRef<Path>,
+        plan: &Plan,
+        n: usize,
+    ) -> Result<Vec<Arc<CheckpointModule>>> {
+        let store = CheckpointStore::new(dir)?;
+        let every = plan.checkpoint_every().unwrap_or(0) as u64;
+
+        let detected_failure = store.marker_exists();
+        let restart_count = if detected_failure {
+            store.restart_count()?
+        } else {
+            None
+        };
+        let (replay, target) = match restart_count {
+            Some(count) if count > 0 => (true, count),
+            // Failure before the first snapshot (or no failure): fresh run.
+            _ => (false, 0),
+        };
+
+        store.set_marker()?;
+        Ok((0..n.max(1))
+            .map(|_| {
+                Arc::new(CheckpointModule {
+                    id: NEXT_MODULE_ID.fetch_add(1, Ordering::Relaxed),
+                    store: store.clone(),
+                    every,
+                    replay: AtomicBool::new(replay),
+                    detected_failure,
+                    target: AtomicU64::new(target),
+                    stats: Mutex::new(CkptStats::default()),
+                    created: Instant::now(),
+                })
+            })
+            .collect())
+    }
+
+    /// Did start-up detect a failed previous execution?
+    pub fn detected_failure(&self) -> bool {
+        self.detected_failure
+    }
+
+    /// Will (or did) this run replay to a snapshot?
+    pub fn will_replay(&self) -> bool {
+        self.target.load(Ordering::SeqCst) > 0
+    }
+
+    /// The safe-point count being replayed to (0 = fresh run).
+    pub fn replay_target(&self) -> u64 {
+        self.target.load(Ordering::SeqCst)
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> CkptStats {
+        self.stats.lock().clone()
+    }
+
+    /// The underlying store (benches clear it between experiments).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    fn clock_increment(&self) -> u64 {
+        CLOCKS.with(|c| {
+            let mut map = c.borrow_mut();
+            let e = map.entry(self.id).or_insert(0);
+            *e += 1;
+            *e
+        })
+    }
+
+    fn clock_set(&self, v: u64) {
+        CLOCKS.with(|c| {
+            c.borrow_mut().insert(self.id, v);
+        });
+    }
+
+    fn clock_get(&self) -> u64 {
+        CLOCKS.with(|c| c.borrow().get(&self.id).copied().unwrap_or(0))
+    }
+
+    /// Build the field payload list for a master snapshot (complete data at
+    /// the caller — engines must have collected partitioned fields first).
+    fn master_fields(&self, ctx: &Ctx) -> Result<Vec<(String, Vec<u8>)>> {
+        let mut fields = Vec::new();
+        for name in ctx.plan().safe_data() {
+            let cell = ctx.registry().state(name)?;
+            fields.push((name.clone(), cell.save_bytes()));
+        }
+        Ok(fields)
+    }
+
+    /// Build the field payload list for a local shard: partitioned fields
+    /// contribute only this element's block; everything else is saved whole.
+    fn shard_fields(&self, ctx: &Ctx) -> Result<Vec<(String, Vec<u8>)>> {
+        let rank = ctx.rank();
+        let nranks = ctx.num_ranks();
+        let mut fields = Vec::new();
+        for name in ctx.plan().safe_data() {
+            if ctx.plan().field_partition(name).is_some() {
+                let cell = ctx.registry().dist(name)?;
+                let owned = block_owned(cell.logical_len(), nranks, rank);
+                fields.push((name.clone(), cell.extract(owned)));
+            } else {
+                let cell = ctx.registry().state(name)?;
+                fields.push((name.clone(), cell.save_bytes()));
+            }
+        }
+        Ok(fields)
+    }
+
+    fn install_master_fields(&self, ctx: &Ctx, snap: &Snapshot) -> Result<()> {
+        for name in ctx.plan().safe_data() {
+            let bytes = snap.field(name).ok_or_else(|| {
+                PparError::CorruptCheckpoint(format!("snapshot missing field {name:?}"))
+            })?;
+            ctx.registry().state(name)?.load_bytes(bytes)?;
+        }
+        Ok(())
+    }
+
+    fn install_shard_fields(&self, ctx: &Ctx, snap: &Snapshot) -> Result<()> {
+        let rank = ctx.rank();
+        let nranks = ctx.num_ranks();
+        if snap.nranks as usize != nranks {
+            return Err(PparError::FormatMismatch {
+                expected: format!("{nranks} ranks"),
+                found: format!("{} ranks (local snapshots restart only in the same \
+                                aggregate size)", snap.nranks),
+            });
+        }
+        for name in ctx.plan().safe_data() {
+            let bytes = snap.field(name).ok_or_else(|| {
+                PparError::CorruptCheckpoint(format!("shard missing field {name:?}"))
+            })?;
+            if ctx.plan().field_partition(name).is_some() {
+                let cell = ctx.registry().dist(name)?;
+                let owned = block_owned(cell.logical_len(), nranks, rank);
+                cell.install(owned, bytes)?;
+            } else {
+                ctx.registry().state(name)?.load_bytes(bytes)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CkptHook for CheckpointModule {
+    fn at_point(&self, _ctx: &Ctx, _name: &str) -> PointDirective {
+        let c = self.clock_increment();
+        if self.replay.load(Ordering::SeqCst) {
+            if c == self.target.load(Ordering::SeqCst) {
+                return PointDirective::LoadAndResume;
+            }
+            return PointDirective::Continue;
+        }
+        if self.every > 0 && c % self.every == 0 {
+            return PointDirective::Snapshot;
+        }
+        PointDirective::Continue
+    }
+
+    fn skip_method(&self, ctx: &Ctx, name: &str) -> bool {
+        self.replay.load(Ordering::SeqCst) && ctx.plan().is_ignorable(name)
+    }
+
+    fn replaying(&self) -> bool {
+        self.replay.load(Ordering::SeqCst)
+    }
+
+    fn take_snapshot(&self, ctx: &Ctx) -> Result<()> {
+        let t0 = Instant::now();
+        let count = self.clock_get();
+        let mode_tag = ctx.mode().tag();
+        let nranks = ctx.num_ranks() as u32;
+        let strategy = ctx.plan().dist_ckpt_strategy();
+
+        let written = if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
+            let snap = Snapshot {
+                mode_tag,
+                count,
+                rank: Some(ctx.rank() as u32),
+                nranks,
+                fields: self.shard_fields(ctx)?,
+            };
+            self.store.write_shard(&snap)?
+        } else {
+            let snap = Snapshot {
+                mode_tag,
+                count,
+                rank: None,
+                nranks,
+                fields: self.master_fields(ctx)?,
+            };
+            self.store.write_master(&snap)?
+        };
+
+        let dt = t0.elapsed();
+        let mut stats = self.stats.lock();
+        stats.snapshots_taken += 1;
+        stats.bytes_written += written;
+        stats.save_time += dt;
+        stats.last_save_time = dt;
+        Ok(())
+    }
+
+    fn load_snapshot(&self, ctx: &Ctx) -> Result<()> {
+        let t0 = Instant::now();
+        let strategy = ctx.plan().dist_ckpt_strategy();
+        let nranks = ctx.num_ranks();
+
+        if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
+            // Every element loads its own shard.
+            let snap = self
+                .store
+                .read_shard(ctx.rank() as u32)?
+                .ok_or_else(|| {
+                    PparError::CorruptCheckpoint(format!(
+                        "missing shard for rank {}",
+                        ctx.rank()
+                    ))
+                })?;
+            self.install_shard_fields(ctx, &snap)?;
+        } else if ctx.rank() == 0 {
+            // Master-collect: the root installs the full snapshot; the engine
+            // subsequently scatters partitioned fields and broadcasts the
+            // rest (no file access on other elements).
+            let snap = self.store.read_master()?.ok_or_else(|| {
+                PparError::CorruptCheckpoint("missing master snapshot".into())
+            })?;
+            self.install_master_fields(ctx, &snap)?;
+        }
+
+        let was_replaying = self.replay.swap(false, Ordering::SeqCst);
+        let mut stats = self.stats.lock();
+        stats.load_time += t0.elapsed();
+        if was_replaying {
+            stats.replay_time = self.created.elapsed() - t0.elapsed();
+            stats.replayed_points = self.clock_get();
+        }
+        Ok(())
+    }
+
+    fn sync_thread_clock(&self, count: u64) {
+        self.clock_set(count);
+    }
+
+    fn count(&self) -> u64 {
+        self.clock_get()
+    }
+
+    fn note_load_extra(&self, extra: Duration) {
+        self.stats.lock().load_time += extra;
+    }
+
+    fn finish(&self, _ctx: &Ctx) -> Result<()> {
+        self.store.clear_marker()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppar_core::ctx::{Ctx, RunShared, SeqEngine};
+    use ppar_core::plan::{Plug, PointSet};
+    use ppar_core::state::Registry;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ppar_hook_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ckpt_plan(every: usize) -> Plan {
+        Plan::new()
+            .plug(Plug::SafeData { field: "G".into() })
+            .plug(Plug::SafePoints {
+                points: PointSet::Named(vec!["iter".into()]),
+                every,
+            })
+            .plug(Plug::Ignorable {
+                method: "sweep".into(),
+            })
+    }
+
+    fn seq_ctx(plan: Plan, hook: Arc<CheckpointModule>) -> Ctx {
+        Ctx::new_root(RunShared::new(
+            Arc::new(plan),
+            Arc::new(Registry::new()),
+            Arc::new(SeqEngine),
+            Some(hook),
+            None,
+        ))
+    }
+
+    #[test]
+    fn fresh_run_counts_and_snapshots() {
+        let dir = tmpdir("fresh");
+        let plan = ckpt_plan(3);
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        assert!(!module.detected_failure());
+        assert!(!module.will_replay());
+
+        let ctx = seq_ctx(ckpt_plan(3), module.clone());
+        let g = ctx.alloc_vec("G", 4, 0.0f64);
+        g.fill(1.5);
+
+        for i in 1..=7u64 {
+            ctx.point("iter");
+            assert_eq!(module.count(), i);
+        }
+        // every=3 -> snapshots at points 3 and 6
+        assert_eq!(module.stats().snapshots_taken, 2);
+        let snap = module.store().read_master().unwrap().unwrap();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.field("G").unwrap().len(), 32);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_then_replay_restores_data() {
+        let dir = tmpdir("replay");
+
+        // --- run 1: snapshot at point 4, then "crash" (marker not cleared)
+        {
+            let plan = ckpt_plan(4);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            let ctx = seq_ctx(ckpt_plan(4), module.clone());
+            let g = ctx.alloc_vec("G", 3, 0.0f64);
+            for i in 1..=5 {
+                g.set(0, i as f64); // state evolves
+                ctx.point("iter");
+            }
+            // crash: no finish(), marker stays
+            assert_eq!(module.stats().snapshots_taken, 1);
+        }
+
+        // --- run 2: detects failure, replays to point 4, restores G
+        {
+            let plan = ckpt_plan(4);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            assert!(module.detected_failure());
+            assert!(module.will_replay());
+            assert_eq!(module.replay_target(), 4);
+
+            let ctx = seq_ctx(ckpt_plan(4), module.clone());
+            let g = ctx.alloc_vec("G", 3, 0.0f64);
+
+            // Ignorable methods are skipped while replaying.
+            let mut ran = false;
+            ctx.call("sweep", |_| ran = true);
+            assert!(!ran);
+
+            // Replay points 1..4; at 4 the engine gets LoadAndResume and the
+            // sequential engine calls load_snapshot inline.
+            for _ in 0..4 {
+                ctx.point("iter");
+            }
+            assert!(!module.replaying());
+            assert_eq!(g.get(0), 4.0, "G restored from snapshot at point 4");
+
+            // Live again: ignorables run.
+            let mut ran = false;
+            ctx.call("sweep", |_| ran = true);
+            assert!(ran);
+
+            let stats = module.stats();
+            assert_eq!(stats.replayed_points, 4);
+            assert!(stats.load_time > Duration::ZERO);
+
+            ctx.finish();
+        }
+
+        // --- run 3: clean previous finish -> fresh start
+        {
+            let plan = ckpt_plan(4);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            assert!(!module.detected_failure());
+            assert!(!module.will_replay());
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_before_first_snapshot_is_fresh_start() {
+        let dir = tmpdir("early_fail");
+        {
+            let plan = ckpt_plan(100);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            let ctx = seq_ctx(ckpt_plan(100), module);
+            ctx.point("iter"); // no snapshot taken, then crash
+        }
+        let plan = ckpt_plan(100);
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        assert!(module.detected_failure());
+        assert!(!module.will_replay(), "no snapshot -> restart from scratch");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_zero_counts_but_never_snapshots() {
+        let dir = tmpdir("count_only");
+        let plan = ckpt_plan(0);
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        let ctx = seq_ctx(ckpt_plan(0), module.clone());
+        ctx.alloc_vec("G", 2, 0.0f64);
+        for _ in 0..50 {
+            ctx.point("iter");
+        }
+        assert_eq!(module.count(), 50);
+        assert_eq!(module.stats().snapshots_taken, 0);
+        assert!(module.store().read_master().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_new_thread_adopts_master_clock() {
+        let dir = tmpdir("sync");
+        let plan = ckpt_plan(0);
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        let ctx = seq_ctx(ckpt_plan(0), module.clone());
+        ctx.alloc_vec("G", 2, 0.0f64);
+        for _ in 0..9 {
+            ctx.point("iter");
+        }
+        let captured = module.count(); // captured on the forking thread
+        let m = module.clone();
+        std::thread::spawn(move || {
+            assert_eq!(m.count(), 0, "fresh thread has a zero clock");
+            m.sync_thread_clock(captured);
+            assert_eq!(m.count(), 9, "after sync the thread matches the master");
+        })
+        .join()
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

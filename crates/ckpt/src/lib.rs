@@ -1,0 +1,37 @@
+//! # ppar-ckpt — pluggable application-level checkpointing
+//!
+//! Implements §IV.A of *Checkpoint and Run-Time Adaptation with Pluggable
+//! Parallelisation* (Medeiros & Sobral, ICPP 2011): the programmer declares
+//! `SafeData`, `SafePoints` and `IgnorableMethods` in the plan (next to, not
+//! inside, the sequential base code), and this crate provides everything
+//! else —
+//!
+//! * a portable binary snapshot format ([`codec`], [`store`]) with CRC-32
+//!   integrity and atomic replacement;
+//! * the safe-point clock and snapshot policy ([`hook::CheckpointModule`]);
+//! * failure detection at start-up (run marker + snapshot ⇒ replay);
+//! * replay-based restart: the application re-executes with ignorable
+//!   methods skipped until the checkpointed safe-point count, then loads the
+//!   saved data and continues — rebuilding the call stack entirely at
+//!   application level;
+//! * a sequential launcher ([`pcr::launch_seq`]) driving crash/restart
+//!   cycles (the multi-mode launcher lives in `ppar-adapt`).
+//!
+//! Because master-collected checkpoint data is mode-independent, a snapshot
+//! taken in any execution mode can restart in any other — the basis for
+//! adaptation-by-restart (Fig. 6 of the paper).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod crc;
+pub mod hook;
+pub mod pcr;
+pub mod serde_cell;
+pub mod store;
+
+pub use hook::{CheckpointModule, CkptStats};
+pub use pcr::{launch_seq, AppStatus, RunReport};
+pub use serde_cell::{alloc_serde, SerdeCell};
+pub use store::{CheckpointStore, Snapshot};

@@ -1,0 +1,177 @@
+//! The pcr driver: checkpointed sequential runs with crash/restart cycles.
+//!
+//! This is the sequential-mode slice of the paper's Fig. 2 protocol. The
+//! full multi-mode launcher (which can also restart a run in a *different*
+//! execution mode, and drive run-time adaptation) lives in `ppar-adapt`;
+//! benches and tests that only need sequential checkpoint/restart semantics
+//! use this lighter entry point.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ppar_core::ctx::{Ctx, RunShared, SeqEngine};
+use ppar_core::error::Result;
+use ppar_core::plan::Plan;
+use ppar_core::state::Registry;
+
+use crate::hook::{CheckpointModule, CkptStats};
+
+/// How the application body ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppStatus {
+    /// Ran to completion: the run marker is cleared.
+    Completed,
+    /// Simulated crash (resource failure): the marker is left in place so the
+    /// next launch replays from the last snapshot — exactly what a real
+    /// process death would leave behind.
+    Crashed,
+}
+
+/// Outcome of one launch.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// The application's return value.
+    pub result: R,
+    /// Completion status reported by the application body.
+    pub status: AppStatus,
+    /// Whether this launch started by replaying a previous failure.
+    pub replayed: bool,
+    /// Checkpoint cost counters.
+    pub stats: CkptStats,
+}
+
+/// Launch `app` sequentially under `plan` with checkpointing in `dir`.
+///
+/// Start-up follows the paper's pcr protocol: if the previous launch left a
+/// run marker *and* a snapshot, replay mode is armed and the application
+/// re-executes with ignorable methods skipped until the checkpointed safe
+/// point, where data is loaded and execution continues live.
+pub fn launch_seq<R>(
+    dir: impl AsRef<Path>,
+    plan: Plan,
+    app: impl FnOnce(&Ctx) -> (AppStatus, R),
+) -> Result<RunReport<R>> {
+    let plan = Arc::new(plan);
+    let module = CheckpointModule::create(dir, &plan)?;
+    let replayed = module.will_replay();
+    let shared = RunShared::new(
+        plan,
+        Arc::new(Registry::new()),
+        Arc::new(SeqEngine),
+        Some(module.clone() as Arc<dyn ppar_core::ctx::CkptHook>),
+        None,
+    );
+    let ctx = Ctx::new_root(shared);
+    let (status, result) = app(&ctx);
+    if status == AppStatus::Completed {
+        ctx.finish();
+    }
+    Ok(RunReport {
+        result,
+        status,
+        replayed,
+        stats: module.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppar_core::plan::{Plug, PointSet};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ppar_pcr_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn plan(every: usize) -> Plan {
+        Plan::new()
+            .plug(Plug::SafeData { field: "acc".into() })
+            .plug(Plug::SafePoints {
+                points: PointSet::All,
+                every,
+            })
+            .plug(Plug::Ignorable {
+                method: "work".into(),
+            })
+    }
+
+    /// A tiny iterative app: accumulates i into acc[0] for 20 iterations,
+    /// optionally crashing after `fail_after` iterations.
+    fn app(fail_after: Option<usize>) -> impl FnOnce(&Ctx) -> (AppStatus, f64) {
+        move |ctx| {
+            let acc = ctx.alloc_vec("acc", 1, 0.0f64);
+            for i in 1..=20usize {
+                ctx.call("work", |_| {
+                    acc.set(0, acc.get(0) + i as f64);
+                });
+                ctx.point("iter");
+                if Some(i) == fail_after {
+                    return (AppStatus::Crashed, acc.get(0));
+                }
+            }
+            (AppStatus::Completed, acc.get(0))
+        }
+    }
+
+    #[test]
+    fn crash_restart_produces_sequential_result() {
+        let dir = tmpdir("crc");
+        let expected: f64 = (1..=20).sum::<usize>() as f64;
+
+        // Run 1: snapshot every 5 points, crash after iteration 13.
+        let r1 = launch_seq(&dir, plan(5), app(Some(13))).unwrap();
+        assert_eq!(r1.status, AppStatus::Crashed);
+        assert!(!r1.replayed);
+        assert_eq!(r1.stats.snapshots_taken, 2); // at points 5 and 10
+
+        // Run 2: replays to point 10 (ignoring `work`), then finishes live.
+        let r2 = launch_seq(&dir, plan(5), app(None)).unwrap();
+        assert_eq!(r2.status, AppStatus::Completed);
+        assert!(r2.replayed);
+        assert_eq!(
+            r2.result, expected,
+            "restart must produce the uncrashed result"
+        );
+        assert_eq!(r2.stats.replayed_points, 10);
+
+        // Run 3: fresh (marker cleared by run 2).
+        let r3 = launch_seq(&dir, plan(5), app(None)).unwrap();
+        assert!(!r3.replayed);
+        assert_eq!(r3.result, expected);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_crash_replays_twice() {
+        let dir = tmpdir("double");
+        let expected: f64 = (1..=20).sum::<usize>() as f64;
+
+        launch_seq(&dir, plan(4), app(Some(6))).unwrap(); // ckpt at 4, crash at 6
+        let r2 = launch_seq(&dir, plan(4), app(Some(10))).unwrap(); // replay->4, ckpt at 8, crash at 10
+        assert!(r2.replayed);
+        let r3 = launch_seq(&dir, plan(4), app(None)).unwrap(); // replay->8, finish
+        assert!(r3.replayed);
+        assert_eq!(r3.result, expected);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_with_no_snapshot_restarts_from_scratch() {
+        let dir = tmpdir("noshot");
+        let expected: f64 = (1..=20).sum::<usize>() as f64;
+
+        let r1 = launch_seq(&dir, plan(100), app(Some(3))).unwrap();
+        assert_eq!(r1.stats.snapshots_taken, 0);
+
+        let r2 = launch_seq(&dir, plan(100), app(None)).unwrap();
+        assert!(!r2.replayed, "nothing to replay to");
+        assert_eq!(r2.result, expected);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,136 @@
+//! Snapshot support for arbitrary serde-serialisable state.
+//!
+//! Bulk numeric data uses the raw containers in `ppar_core::shared`; richer
+//! application state (a GA population, an MD particle set, simulation
+//! configuration) registers a [`SerdeCell`] instead, which snapshots through
+//! the portable [`crate::codec`].
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use ppar_core::ctx::Ctx;
+use ppar_core::error::Result;
+use ppar_core::state::StateCell;
+
+use crate::codec;
+
+/// A mutex-protected value of any serde type, checkpointable by name.
+pub struct SerdeCell<T> {
+    value: RwLock<T>,
+}
+
+impl<T> SerdeCell<T>
+where
+    T: Serialize + DeserializeOwned + Send + Sync,
+{
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        SerdeCell {
+            value: RwLock::new(value),
+        }
+    }
+
+    /// Read access through a closure.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.value.read())
+    }
+
+    /// Write access through a closure.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.value.write())
+    }
+
+    /// Replace the value.
+    pub fn set(&self, v: T) {
+        *self.value.write() = v;
+    }
+
+    /// Clone the value out.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.value.read().clone()
+    }
+}
+
+impl<T> StateCell for SerdeCell<T>
+where
+    T: Serialize + DeserializeOwned + Send + Sync,
+{
+    fn save_bytes(&self) -> Vec<u8> {
+        codec::to_bytes(&*self.value.read()).expect("serde state must serialize")
+    }
+
+    fn load_bytes(&self, bytes: &[u8]) -> Result<()> {
+        *self.value.write() = codec::from_bytes(bytes)?;
+        Ok(())
+    }
+
+    fn byte_len(&self) -> usize {
+        self.save_bytes().len()
+    }
+}
+
+/// Allocate a [`SerdeCell`] and register it under `name` (the serde
+/// equivalent of [`Ctx::alloc_vec`]).
+pub fn alloc_serde<T>(ctx: &Ctx, name: &str, value: T) -> Arc<SerdeCell<T>>
+where
+    T: Serialize + DeserializeOwned + Send + Sync + 'static,
+{
+    let cell = Arc::new(SerdeCell::new(value));
+    ctx.register_state(name, cell.clone());
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+    struct Population {
+        genomes: Vec<Vec<f64>>,
+        generation: u64,
+        best: Option<f64>,
+    }
+
+    #[test]
+    fn serde_cell_roundtrip() {
+        let pop = Population {
+            genomes: vec![vec![1.0, 2.0], vec![3.0]],
+            generation: 17,
+            best: Some(0.25),
+        };
+        let cell = SerdeCell::new(pop.clone());
+        let bytes = cell.save_bytes();
+        assert_eq!(bytes.len(), cell.byte_len());
+
+        let other = SerdeCell::new(Population {
+            genomes: vec![],
+            generation: 0,
+            best: None,
+        });
+        other.load_bytes(&bytes).unwrap();
+        assert_eq!(other.get(), pop);
+    }
+
+    #[test]
+    fn with_and_with_mut() {
+        let cell = SerdeCell::new(vec![1u32, 2, 3]);
+        assert_eq!(cell.with(|v| v.len()), 3);
+        cell.with_mut(|v| v.push(4));
+        assert_eq!(cell.get(), vec![1, 2, 3, 4]);
+        cell.set(vec![]);
+        assert!(cell.with(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let cell = SerdeCell::new(42u64);
+        assert!(cell.load_bytes(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! Persistent checkpoint storage: snapshot files and the failure marker.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! <dir>/
+//!   RUNNING              # exists while a run is in flight (the pcr module's
+//!                        # failure detector: marker + snapshot => replay)
+//!   ckpt_master.bin      # master-collected snapshot (restartable in ANY mode)
+//!   ckpt_rank_<r>.bin    # per-element shards (local-snapshot strategy)
+//! ```
+//!
+//! Snapshot files are written atomically (temp file + rename) and carry a
+//! trailing CRC-32 over the entire content, so a crash *during* checkpointing
+//! can never produce a snapshot that is both present and corrupt: either the
+//! old snapshot survives or the new one is complete.
+//!
+//! File format (all integers little-endian):
+//!
+//! ```text
+//! magic    8B  "PPARCKP1"
+//! mode     len-prefixed UTF-8 tag (e.g. "seq", "smp8", "dist32")
+//! count    u64   safe points executed when the snapshot was taken
+//! rank     u32   owning element, 0xFFFF_FFFF for a master snapshot
+//! nranks   u32   aggregate size at snapshot time
+//! nfields  u32
+//! fields   nfields × { name: len-prefixed UTF-8, payload: len-prefixed bytes }
+//! crc      u32   CRC-32 of every preceding byte
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ppar_core::error::{PparError, Result};
+
+use crate::crc::crc32;
+
+const MAGIC: &[u8; 8] = b"PPARCKP1";
+const MASTER_RANK: u32 = 0xFFFF_FFFF;
+
+/// An in-memory snapshot: header plus named field payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Execution-mode tag at snapshot time (`ExecMode::tag()`); informative
+    /// only — master snapshots restart in any mode.
+    pub mode_tag: String,
+    /// Safe points executed when the snapshot was taken.
+    pub count: u64,
+    /// Owning element for shard snapshots; `None` for master snapshots.
+    pub rank: Option<u32>,
+    /// Aggregate size at snapshot time (1 for non-distributed runs).
+    pub nranks: u32,
+    /// Field name → payload bytes, in `SafeData` declaration order.
+    pub fields: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Payload bytes of field `name`.
+    pub fn field(&self, name: &str) -> Option<&[u8]> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Total payload size (the paper's "checkpoint data" volume).
+    pub fn payload_bytes(&self) -> usize {
+        self.fields.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.payload_bytes());
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, &self.mode_tag);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.rank.unwrap_or(MASTER_RANK).to_le_bytes());
+        out.extend_from_slice(&self.nranks.to_le_bytes());
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (name, payload) in &self.fields {
+            put_str(&mut out, name);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PparError::CorruptCheckpoint("file too short".into()));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored_crc {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "CRC mismatch: stored {stored_crc:#010x}, computed {:#010x}",
+                crc32(body)
+            )));
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(PparError::FormatMismatch {
+                expected: String::from_utf8_lossy(MAGIC).into_owned(),
+                found: String::from_utf8_lossy(magic).into_owned(),
+            });
+        }
+        let mode_tag = r.take_str()?;
+        let count = r.take_u64()?;
+        let rank_raw = r.take_u32()?;
+        let nranks = r.take_u32()?;
+        let nfields = r.take_u32()?;
+        let mut fields = Vec::with_capacity(nfields as usize);
+        for _ in 0..nfields {
+            let name = r.take_str()?;
+            let len = r.take_u64()? as usize;
+            fields.push((name, r.take(len)?.to_vec()));
+        }
+        if r.pos != body.len() {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "{} unconsumed bytes before CRC",
+                body.len() - r.pos
+            )));
+        }
+        Ok(Snapshot {
+            mode_tag,
+            count,
+            rank: (rank_raw != MASTER_RANK).then_some(rank_raw),
+            nranks,
+            fields,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PparError::CorruptCheckpoint(format!("invalid utf-8: {e}")))
+    }
+}
+
+/// A checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl AsRef<Path>) -> Result<CheckpointStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(CheckpointStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn master_path(&self) -> PathBuf {
+        self.dir.join("ckpt_master.bin")
+    }
+
+    fn shard_path(&self, rank: u32) -> PathBuf {
+        self.dir.join(format!("ckpt_rank_{rank}.bin"))
+    }
+
+    fn marker_path(&self) -> PathBuf {
+        self.dir.join("RUNNING")
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.flush()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Persist a master snapshot; returns bytes written.
+    pub fn write_master(&self, snap: &Snapshot) -> Result<u64> {
+        debug_assert!(snap.rank.is_none(), "master snapshot must have rank None");
+        let bytes = snap.encode();
+        self.write_atomic(&self.master_path(), &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Persist one element's shard; returns bytes written.
+    pub fn write_shard(&self, snap: &Snapshot) -> Result<u64> {
+        let rank = snap
+            .rank
+            .ok_or_else(|| PparError::InvalidPlan("shard snapshot needs a rank".into()))?;
+        let bytes = snap.encode();
+        self.write_atomic(&self.shard_path(rank), &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    fn read(&self, path: &Path) -> Result<Option<Snapshot>> {
+        match fs::read(path) {
+            Ok(bytes) => Snapshot::decode(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Load the master snapshot, if present.
+    pub fn read_master(&self) -> Result<Option<Snapshot>> {
+        self.read(&self.master_path())
+    }
+
+    /// Load element `rank`'s shard, if present.
+    pub fn read_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+        self.read(&self.shard_path(rank))
+    }
+
+    /// The safe-point count a restart should replay to: prefers the master
+    /// snapshot, falls back to shard 0 (local-snapshot strategy). `None`
+    /// when no usable snapshot exists.
+    pub fn restart_count(&self) -> Result<Option<u64>> {
+        if let Some(s) = self.read_master()? {
+            return Ok(Some(s.count));
+        }
+        if let Some(s) = self.read_shard(0)? {
+            return Ok(Some(s.count));
+        }
+        Ok(None)
+    }
+
+    /// Mark a run as in flight. Idempotent (all aggregate elements call it).
+    pub fn set_marker(&self) -> Result<()> {
+        fs::write(self.marker_path(), b"running")?;
+        Ok(())
+    }
+
+    /// Is a run marked as in flight?
+    pub fn marker_exists(&self) -> bool {
+        self.marker_path().exists()
+    }
+
+    /// Clear the in-flight marker (normal completion).
+    pub fn clear_marker(&self) -> Result<()> {
+        match fs::remove_file(self.marker_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Remove all snapshots and the marker (fresh directory for a new
+    /// experiment).
+    pub fn clear_all(&self) -> Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == "RUNNING" || name.starts_with("ckpt_") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ppar_store_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample(rank: Option<u32>) -> Snapshot {
+        Snapshot {
+            mode_tag: "smp4".to_string(),
+            count: 123,
+            rank,
+            nranks: 8,
+            fields: vec![
+                ("G".to_string(), vec![1, 2, 3, 4]),
+                ("energy".to_string(), 42.0f64.to_le_bytes().to_vec()),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for rank in [None, Some(0), Some(31)] {
+            let s = sample(rank);
+            let decoded = Snapshot::decode(&s.encode()).unwrap();
+            assert_eq!(decoded, s);
+        }
+    }
+
+    #[test]
+    fn field_lookup_and_payload_size() {
+        let s = sample(None);
+        assert_eq!(s.field("G"), Some(&[1u8, 2, 3, 4][..]));
+        assert!(s.field("missing").is_none());
+        assert_eq!(s.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let s = sample(None);
+        let mut bytes = s.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match Snapshot::decode(&bytes) {
+            Err(PparError::CorruptCheckpoint(msg)) => assert!(msg.contains("CRC")),
+            other => panic!("expected CRC error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let s = sample(None);
+        let bytes = s.encode();
+        assert!(Snapshot::decode(&bytes[..bytes.len() - 9]).is_err());
+        assert!(Snapshot::decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_reports_format_mismatch() {
+        let s = sample(None);
+        let mut bytes = s.encode();
+        bytes[0] = b'X';
+        // fix up CRC so we reach the magic check
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(PparError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_write_read_master_and_shards() {
+        let dir = tmpdir("rw");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(store.read_master().unwrap().is_none());
+
+        let master = sample(None);
+        let written = store.write_master(&master).unwrap();
+        assert!(written > 0);
+        assert_eq!(store.read_master().unwrap().unwrap(), master);
+
+        let shard = sample(Some(3));
+        store.write_shard(&shard).unwrap();
+        assert_eq!(store.read_shard(3).unwrap().unwrap(), shard);
+        assert!(store.read_shard(4).unwrap().is_none());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_count_prefers_master() {
+        let dir = tmpdir("count");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert_eq!(store.restart_count().unwrap(), None);
+
+        let mut shard = sample(Some(0));
+        shard.count = 50;
+        store.write_shard(&shard).unwrap();
+        assert_eq!(store.restart_count().unwrap(), Some(50));
+
+        let mut master = sample(None);
+        master.count = 80;
+        store.write_master(&master).unwrap();
+        assert_eq!(store.restart_count().unwrap(), Some(80));
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn marker_lifecycle() {
+        let dir = tmpdir("marker");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(!store.marker_exists());
+        store.set_marker().unwrap();
+        store.set_marker().unwrap(); // idempotent
+        assert!(store.marker_exists());
+        store.clear_marker().unwrap();
+        store.clear_marker().unwrap(); // idempotent
+        assert!(!store.marker_exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_all_removes_artifacts() {
+        let dir = tmpdir("clear");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.set_marker().unwrap();
+        store.write_master(&sample(None)).unwrap();
+        store.write_shard(&sample(Some(1))).unwrap();
+        store.clear_all().unwrap();
+        assert!(!store.marker_exists());
+        assert!(store.read_master().unwrap().is_none());
+        assert!(store.read_shard(1).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let dir = tmpdir("atomic");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let mut s = sample(None);
+        store.write_master(&s).unwrap();
+        s.count = 999;
+        s.fields[0].1 = vec![9; 1000];
+        store.write_master(&s).unwrap();
+        let back = store.read_master().unwrap().unwrap();
+        assert_eq!(back.count, 999);
+        assert_eq!(back.fields[0].1.len(), 1000);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Thread-scoped region replay state (run-time expansion protocol).
+//!
+//! §IV.B of the paper: when a team expands *inside* a parallel region, each
+//! new thread "replays the execution inside the parallel region ... in a
+//! manner similar to the restart of the application, but just from the
+//! beginning of the parallel region", rebuilding the thread's call stack.
+//!
+//! While a thread replays:
+//!
+//! * ignorable methods are skipped (same rule as restart replay);
+//! * work-sharing loops, critical/single/master sections and barriers are
+//!   **skipped entirely** — unlike restart replay, the shared data is live
+//!   (the existing team computed it), so re-executing work would corrupt it;
+//! * safe points are *counted*; when the count reaches the replay target
+//!   (the number of safe points the master executed since region entry),
+//!   the thread leaves replay mode and joins the team.
+//!
+//! The state is thread-local because replay is a per-thread condition; the
+//! engines arm it on freshly spawned workers and poll it in every construct.
+
+use std::cell::Cell;
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static TARGET: Cell<u64> = const { Cell::new(0) };
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Arm replay on the current thread: skip constructs until `target` safe
+/// points have been counted. A target of 0 joins immediately at the first
+/// construct poll.
+pub fn begin(target: u64) {
+    ACTIVE.with(|a| a.set(true));
+    TARGET.with(|t| t.set(target));
+    COUNT.with(|c| c.set(0));
+}
+
+/// Is the current thread replaying a region?
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Count one safe-point passage; returns `true` when the target has been
+/// reached (the caller must then call [`end`] and join the team).
+pub fn note_point() -> bool {
+    let c = COUNT.with(|c| {
+        c.set(c.get() + 1);
+        c.get()
+    });
+    c >= TARGET.with(|t| t.get())
+}
+
+/// Points counted so far in this replay.
+pub fn count() -> u64 {
+    COUNT.with(|c| c.get())
+}
+
+/// The replay target.
+pub fn target() -> u64 {
+    TARGET.with(|t| t.get())
+}
+
+/// Leave replay mode on the current thread.
+pub fn end() {
+    ACTIVE.with(|a| a.set(false));
+    TARGET.with(|t| t.set(0));
+    COUNT.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts_to_target() {
+        assert!(!active());
+        begin(3);
+        assert!(active());
+        assert_eq!(target(), 3);
+        assert!(!note_point());
+        assert!(!note_point());
+        assert!(note_point());
+        assert_eq!(count(), 3);
+        end();
+        assert!(!active());
+        assert_eq!(count(), 0);
+    }
+
+    #[test]
+    fn zero_target_reached_on_first_note() {
+        begin(0);
+        assert!(note_point());
+        end();
+    }
+
+    #[test]
+    fn state_is_thread_local() {
+        begin(5);
+        std::thread::spawn(|| {
+            assert!(!active(), "replay must not leak across threads");
+        })
+        .join()
+        .unwrap();
+        assert!(active());
+        end();
+    }
+}

@@ -1,0 +1,271 @@
+//! Work-sharing schedules for the `for` construct.
+//!
+//! The paper's shared-memory model provides a `for` work-sharing construct
+//! "similar to the OpenMP for" (§III.B). This module implements the classic
+//! OpenMP schedule kinds as *pure index arithmetic*, so they can be tested
+//! exhaustively and reused by both the shared-memory team runtime and the
+//! over-decomposition baseline.
+
+use std::ops::Range;
+
+/// How iterations of a work-shared loop are divided among team workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Contiguous near-equal blocks, one per worker (OpenMP `static`).
+    Block,
+    /// Round-robin assignment of single iterations (OpenMP `static,1`).
+    Cyclic,
+    /// Round-robin assignment of fixed-size chunks (OpenMP `static,chunk`).
+    BlockCyclic {
+        /// Chunk size; must be ≥ 1.
+        chunk: usize,
+    },
+    /// First-come-first-served chunks claimed from a shared counter
+    /// (OpenMP `dynamic,chunk`).
+    Dynamic {
+        /// Chunk size; must be ≥ 1.
+        chunk: usize,
+    },
+    /// Exponentially decreasing chunks claimed from a shared counter
+    /// (OpenMP `guided`); chunk never drops below `min_chunk`.
+    Guided {
+        /// Lower bound on chunk size; must be ≥ 1.
+        min_chunk: usize,
+    },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Block
+    }
+}
+
+impl Schedule {
+    /// True when the assignment of iterations to workers is a pure function
+    /// of `(n, workers, worker)` — i.e. no shared counter is needed.
+    pub fn is_static(&self) -> bool {
+        matches!(
+            self,
+            Schedule::Block | Schedule::Cyclic | Schedule::BlockCyclic { .. }
+        )
+    }
+}
+
+/// The contiguous block of `0..n` owned by `worker` under a [`Schedule::Block`]
+/// schedule with `workers` workers.
+///
+/// The first `n % workers` workers receive one extra iteration, matching the
+/// OpenMP static schedule, so that `⋃ block_range(n, w, i) == 0..n` with all
+/// ranges disjoint.
+pub fn block_range(n: usize, workers: usize, worker: usize) -> Range<usize> {
+    assert!(workers > 0, "workers must be >= 1");
+    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    let base = n / workers;
+    let extra = n % workers;
+    let start = worker * base + worker.min(extra);
+    let len = base + usize::from(worker < extra);
+    start..start + len
+}
+
+/// Iterator over the indices of `0..n` owned by `worker` under a cyclic
+/// schedule of stride-`workers` starting at `worker`.
+pub fn cyclic_indices(n: usize, workers: usize, worker: usize) -> impl Iterator<Item = usize> {
+    assert!(workers > 0, "workers must be >= 1");
+    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    (worker..n).step_by(workers)
+}
+
+/// Iterator over the chunk ranges of `0..n` owned by `worker` under a
+/// block-cyclic schedule with the given chunk size.
+pub fn block_cyclic_ranges(
+    n: usize,
+    workers: usize,
+    worker: usize,
+    chunk: usize,
+) -> impl Iterator<Item = Range<usize>> {
+    assert!(workers > 0, "workers must be >= 1");
+    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    let chunk = chunk.max(1);
+    (0..)
+        .map(move |k| (k * workers + worker) * chunk)
+        .take_while(move |&start| start < n)
+        .map(move |start| start..(start + chunk).min(n))
+}
+
+/// Size of the next chunk a guided schedule hands out when `remaining`
+/// iterations are left for `workers` workers.
+pub fn guided_next_chunk(remaining: usize, workers: usize, min_chunk: usize) -> usize {
+    let min_chunk = min_chunk.max(1);
+    if remaining == 0 {
+        return 0;
+    }
+    (remaining / (2 * workers.max(1)).max(1))
+        .max(min_chunk)
+        .min(remaining)
+}
+
+/// Computes, for every worker, the list of index ranges it executes under a
+/// *static* schedule. Panics for dynamic schedules (their assignment depends
+/// on run-time racing and is produced by the team runtime instead).
+pub fn static_assignment(n: usize, workers: usize, schedule: Schedule) -> Vec<Vec<Range<usize>>> {
+    assert!(
+        schedule.is_static(),
+        "static_assignment called with dynamic schedule {schedule:?}"
+    );
+    (0..workers)
+        .map(|w| match schedule {
+            Schedule::Block => {
+                let r = block_range(n, workers, w);
+                if r.is_empty() {
+                    vec![]
+                } else {
+                    vec![r]
+                }
+            }
+            Schedule::Cyclic => cyclic_indices(n, workers, w).map(|i| i..i + 1).collect(),
+            Schedule::BlockCyclic { chunk } => block_cyclic_ranges(n, workers, w, chunk).collect(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn flatten(assignment: &[Vec<Range<usize>>]) -> Vec<usize> {
+        let mut all: Vec<usize> = assignment
+            .iter()
+            .flat_map(|rs| rs.iter().cloned().flatten())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn block_range_covers_exactly_once() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for workers in 1..=9usize {
+                let mut seen = vec![0u8; n];
+                for w in 0..workers {
+                    for i in block_range(n, workers, w) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_is_balanced() {
+        let n = 103;
+        let workers = 10;
+        let sizes: Vec<usize> = (0..workers)
+            .map(|w| block_range(n, workers, w).len())
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn cyclic_interleaves() {
+        let idx: Vec<usize> = cyclic_indices(10, 3, 1).collect();
+        assert_eq!(idx, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn block_cyclic_chunks_are_stride_spaced() {
+        let ranges: Vec<_> = block_cyclic_ranges(20, 2, 0, 3).collect();
+        assert_eq!(ranges, vec![0..3, 6..9, 12..15, 18..20]);
+        let ranges: Vec<_> = block_cyclic_ranges(20, 2, 1, 3).collect();
+        assert_eq!(ranges, vec![3..6, 9..12, 15..18]);
+    }
+
+    #[test]
+    fn guided_chunks_decrease_and_terminate() {
+        let mut remaining = 1000usize;
+        let mut last = usize::MAX;
+        let mut steps = 0;
+        while remaining > 0 {
+            let c = guided_next_chunk(remaining, 4, 2);
+            assert!(c >= 1 && c <= remaining);
+            assert!(c <= last, "chunk grew: {c} after {last}");
+            last = c.max(2);
+            remaining -= c;
+            steps += 1;
+            assert!(steps < 10_000, "guided schedule failed to terminate");
+        }
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        assert_eq!(guided_next_chunk(100, 4, 20), 20);
+        assert_eq!(guided_next_chunk(5, 4, 20), 5);
+        assert_eq!(guided_next_chunk(0, 4, 20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_range_rejects_bad_worker() {
+        block_range(10, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic schedule")]
+    fn static_assignment_rejects_dynamic() {
+        static_assignment(10, 2, Schedule::Dynamic { chunk: 1 });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_static_schedules_partition_exactly(
+            n in 0usize..500,
+            workers in 1usize..17,
+            kind in 0usize..3,
+            chunk in 1usize..8,
+        ) {
+            let schedule = match kind {
+                0 => Schedule::Block,
+                1 => Schedule::Cyclic,
+                _ => Schedule::BlockCyclic { chunk },
+            };
+            let assignment = static_assignment(n, workers, schedule);
+            prop_assert_eq!(assignment.len(), workers);
+            let all = flatten(&assignment);
+            let expected: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(all, expected);
+        }
+
+        #[test]
+        fn prop_block_is_contiguous_and_ordered(
+            n in 0usize..500,
+            workers in 1usize..17,
+        ) {
+            let mut prev_end = 0;
+            for w in 0..workers {
+                let r = block_range(n, workers, w);
+                prop_assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+            }
+            prop_assert_eq!(prev_end, n);
+        }
+
+        #[test]
+        fn prop_guided_covers_all(
+            n in 0usize..2000,
+            workers in 1usize..9,
+            min_chunk in 1usize..16,
+        ) {
+            let mut covered = 0usize;
+            while covered < n {
+                let c = guided_next_chunk(n - covered, workers, min_chunk);
+                prop_assert!(c >= 1);
+                covered += c;
+            }
+            prop_assert_eq!(covered, n);
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! Shared containers for team- and aggregate-parallel base code.
+//!
+//! ## The disjoint-write contract
+//!
+//! The paper's programming model (like OpenMP's) makes the *constructs*
+//! responsible for safety: a work-shared loop hands disjoint iterations to
+//! different workers, and the programmer keeps each iteration's writes inside
+//! its own index set. Rust cannot express that contract in the type system
+//! without crippling stencil codes (which read neighbour cells while writing
+//! their own), so this module provides containers with interior mutability
+//! and an explicit, runtime-checkable contract:
+//!
+//! > Within one *epoch* (the interval between two team synchronisation
+//! > points), an index written by one worker must not be written or read by
+//! > any other worker.
+//!
+//! Violations are undefined behaviour exactly as a data race in the paper's
+//! Java runtime would be a bug. Unlike Java, this library can *detect*
+//! write-write violations: enable [`tracking::enable`] (or set
+//! `PPAR_CHECK_DISJOINT=1` before the first container is touched) and every
+//! conflicting write panics with both workers' identities. The test suite
+//! runs the paper's kernels under tracking.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{PparError, Result};
+use crate::state::{DistCell, Scalar, StateCell};
+
+// ---------------------------------------------------------------------------
+// worker identity + write tracking
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_WORKER: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Record which team worker the current OS thread is acting as. Called by the
+/// runtimes when (re)assigning pool threads; base code never calls this.
+pub fn set_current_worker(worker: usize) {
+    CURRENT_WORKER.with(|w| w.set(worker));
+}
+
+/// The team worker id of the current OS thread (0 outside any team).
+pub fn current_worker() -> usize {
+    CURRENT_WORKER.with(|w| w.get())
+}
+
+/// Optional run-time detector for violations of the disjoint-write contract.
+pub mod tracking {
+    use super::*;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+    struct Log {
+        // (container id, index) -> (worker, epoch)
+        writes: HashMap<(u64, usize), (usize, u64)>,
+    }
+
+    static LOG: Mutex<Option<Log>> = Mutex::new(None);
+
+    /// Turn conflict detection on (idempotent). Writes become significantly
+    /// slower; intended for tests and debugging.
+    pub fn enable() {
+        let mut log = LOG.lock();
+        if log.is_none() {
+            *log = Some(Log {
+                writes: HashMap::new(),
+            });
+        }
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Turn detection off and discard the log.
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+        *LOG.lock() = None;
+    }
+
+    /// Is detection currently on?
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Start a new epoch: writes before this call no longer conflict with
+    /// writes after it. The runtimes call this at every team synchronisation
+    /// point (region boundaries and barriers).
+    pub fn advance_epoch() {
+        if enabled() {
+            EPOCH.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    pub(super) fn record(container: u64, index: usize, worker: usize) {
+        let epoch = EPOCH.load(Ordering::SeqCst);
+        let mut guard = LOG.lock();
+        let log = match guard.as_mut() {
+            Some(l) => l,
+            None => return,
+        };
+        if let Some(&(prev_worker, prev_epoch)) = log.writes.get(&(container, index)) {
+            if prev_epoch == epoch && prev_worker != worker {
+                panic!(
+                    "disjoint-write contract violation: container #{container} index \
+                     {index} written by worker {prev_worker} and worker {worker} in the \
+                     same epoch {epoch}"
+                );
+            }
+        }
+        log.writes.insert((container, index), (worker, epoch));
+    }
+
+    pub(super) fn maybe_init_from_env() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            if std::env::var("PPAR_CHECK_DISJOINT").map(|v| v == "1").unwrap_or(false) {
+                enable();
+            }
+        });
+    }
+}
+
+static NEXT_CONTAINER_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_container_id() -> u64 {
+    tracking::maybe_init_from_env();
+    NEXT_CONTAINER_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// SharedVec
+// ---------------------------------------------------------------------------
+
+/// A fixed-length vector of scalars writable concurrently at disjoint indices
+/// (see the module-level contract).
+pub struct SharedVec<T: Scalar> {
+    id: u64,
+    data: Box<[UnsafeCell<T>]>,
+}
+
+// Safety: T is a plain Copy scalar; concurrent disjoint access is the
+// documented contract, analogous to `&[AtomicT]` but without per-access
+// ordering cost. See module docs.
+unsafe impl<T: Scalar> Sync for SharedVec<T> {}
+unsafe impl<T: Scalar> Send for SharedVec<T> {}
+
+impl<T: Scalar> SharedVec<T> {
+    /// A vector of `len` copies of `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        SharedVec {
+            id: next_container_id(),
+            data: (0..len).map(|_| UnsafeCell::new(init)).collect(),
+        }
+    }
+
+    /// Take ownership of an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        SharedVec {
+            id: next_container_id(),
+            data: v.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        unsafe { *self.data[i].get() }
+    }
+
+    /// Write element `i` (subject to the disjoint-write contract).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        if tracking::enabled() {
+            tracking::record(self.id, i, current_worker());
+        }
+        unsafe {
+            *self.data[i].get() = v;
+        }
+    }
+
+    /// View the whole vector as a slice. Only meaningful while no concurrent
+    /// writers are active (e.g. in master-only or sequential phases).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: UnsafeCell<T> is layout-identical to T.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr() as *const T, self.data.len()) }
+    }
+
+    /// Copy out the contents.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Overwrite `dst_start..dst_start+src.len()` from a slice.
+    pub fn copy_in(&self, dst_start: usize, src: &[T]) {
+        assert!(dst_start + src.len() <= self.len(), "copy_in out of bounds");
+        if tracking::enabled() {
+            let w = current_worker();
+            for i in 0..src.len() {
+                tracking::record(self.id, dst_start + i, w);
+            }
+        }
+        for (k, &v) in src.iter().enumerate() {
+            unsafe {
+                *self.data[dst_start + k].get() = v;
+            }
+        }
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&self, v: T) {
+        self.copy_in_from_fn(|_| v);
+    }
+
+    /// Set every element from an index function.
+    pub fn copy_in_from_fn(&self, f: impl Fn(usize) -> T) {
+        if tracking::enabled() {
+            let w = current_worker();
+            for i in 0..self.len() {
+                tracking::record(self.id, i, w);
+            }
+        }
+        for i in 0..self.len() {
+            unsafe {
+                *self.data[i].get() = f(i);
+            }
+        }
+    }
+}
+
+impl<T: Scalar> StateCell for SharedVec<T> {
+    fn save_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len() * T::WIDTH];
+        for (i, chunk) in out.chunks_exact_mut(T::WIDTH).enumerate() {
+            self.get(i).write_le(chunk);
+        }
+        out
+    }
+
+    fn load_bytes(&self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != self.len() * T::WIDTH {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "SharedVec expected {} bytes, got {}",
+                self.len() * T::WIDTH,
+                bytes.len()
+            )));
+        }
+        for (i, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
+            self.set(i, T::read_le(chunk));
+        }
+        Ok(())
+    }
+
+    fn byte_len(&self) -> usize {
+        self.len() * T::WIDTH
+    }
+}
+
+impl<T: Scalar> DistCell for SharedVec<T> {
+    fn logical_len(&self) -> usize {
+        self.len()
+    }
+
+    fn index_bytes(&self) -> usize {
+        T::WIDTH
+    }
+
+    fn extract(&self, range: std::ops::Range<usize>) -> Vec<u8> {
+        let mut out = vec![0u8; range.len() * T::WIDTH];
+        for (k, chunk) in out.chunks_exact_mut(T::WIDTH).enumerate() {
+            self.get(range.start + k).write_le(chunk);
+        }
+        out
+    }
+
+    fn install(&self, range: std::ops::Range<usize>, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != range.len() * T::WIDTH {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "SharedVec install: range {range:?} needs {} bytes, got {}",
+                range.len() * T::WIDTH,
+                bytes.len()
+            )));
+        }
+        for (k, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
+            self.set(range.start + k, T::read_le(chunk));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SharedGrid
+// ---------------------------------------------------------------------------
+
+/// A dense row-major 2-D grid of scalars with the same concurrency contract
+/// as [`SharedVec`]. The *logical index space* for distribution purposes is
+/// the row index, matching the paper's block-wise matrix partitions.
+pub struct SharedGrid<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: SharedVec<T>,
+}
+
+impl<T: Scalar> SharedGrid<T> {
+    /// A `rows × cols` grid of copies of `init`.
+    pub fn new(rows: usize, cols: usize, init: T) -> Self {
+        SharedGrid {
+            rows,
+            cols,
+            data: SharedVec::new(rows * cols, init),
+        }
+    }
+
+    /// Take ownership of row-major data (`v.len() == rows*cols`).
+    pub fn from_vec(rows: usize, cols: usize, v: Vec<T>) -> Self {
+        assert_eq!(v.len(), rows * cols, "row-major data length mismatch");
+        SharedGrid {
+            rows,
+            cols,
+            data: SharedVec::from_vec(v),
+        }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read cell `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data.get(r * self.cols + c)
+    }
+
+    /// Write cell `(r, c)` (disjoint-write contract).
+    #[inline]
+    pub fn set(&self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data.set(r * self.cols + c, v);
+    }
+
+    /// Borrow row `r` as a slice (no concurrent writers to that row).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Overwrite row `r` from a slice of length `cols`.
+    pub fn set_row(&self, r: usize, src: &[T]) {
+        assert_eq!(src.len(), self.cols, "row length mismatch");
+        self.data.copy_in(r * self.cols, src);
+    }
+
+    /// The flat backing vector.
+    pub fn flat(&self) -> &SharedVec<T> {
+        &self.data
+    }
+
+    /// Sum of all cells as f64 (validation helper).
+    pub fn sum_f64(&self) -> f64
+    where
+        T: Into<f64>,
+    {
+        self.data.as_slice().iter().map(|&v| v.into()).sum()
+    }
+}
+
+impl<T: Scalar> StateCell for SharedGrid<T> {
+    fn save_bytes(&self) -> Vec<u8> {
+        self.data.save_bytes()
+    }
+
+    fn load_bytes(&self, bytes: &[u8]) -> Result<()> {
+        self.data.load_bytes(bytes)
+    }
+
+    fn byte_len(&self) -> usize {
+        self.data.byte_len()
+    }
+}
+
+impl<T: Scalar> DistCell for SharedGrid<T> {
+    fn logical_len(&self) -> usize {
+        self.rows
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.cols * T::WIDTH
+    }
+
+    fn extract(&self, range: std::ops::Range<usize>) -> Vec<u8> {
+        self.data
+            .extract(range.start * self.cols..range.end * self.cols)
+    }
+
+    fn install(&self, range: std::ops::Range<usize>, bytes: &[u8]) -> Result<()> {
+        self.data
+            .install(range.start * self.cols..range.end * self.cols, bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TeamLocal
+// ---------------------------------------------------------------------------
+
+/// Cache-line padding to prevent false sharing between worker slots.
+#[repr(align(64))]
+struct Pad<T>(UnsafeCell<T>);
+
+/// A per-team-worker private field (the paper's "thread local fields",
+/// §III.B): each worker in a team sees its own copy, avoiding
+/// synchronisation. On team expansion the runtime copies the master's value
+/// into new workers' slots ("thread local variables are updated with the
+/// value of the main thread", §IV.B).
+pub struct TeamLocal<T: Clone + Send> {
+    slots: Box<[Pad<T>]>,
+}
+
+unsafe impl<T: Clone + Send> Sync for TeamLocal<T> {}
+unsafe impl<T: Clone + Send> Send for TeamLocal<T> {}
+
+impl<T: Clone + Send> TeamLocal<T> {
+    /// Allocate `capacity` slots initialised by `init(slot_index)`.
+    /// `capacity` bounds the largest team this field can serve; the runtimes
+    /// panic with a clear message if an expansion exceeds it.
+    pub fn new(capacity: usize, init: impl Fn(usize) -> T) -> Self {
+        TeamLocal {
+            slots: (0..capacity.max(1))
+                .map(|i| Pad(UnsafeCell::new(init(i))))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn check(&self, worker: usize) {
+        assert!(
+            worker < self.slots.len(),
+            "TeamLocal capacity {} too small for worker {worker}; allocate it with a \
+             capacity covering the largest team (including future expansions)",
+            self.slots.len()
+        );
+    }
+
+    /// Read worker `worker`'s value.
+    pub fn get(&self, worker: usize) -> T {
+        self.check(worker);
+        unsafe { (*self.slots[worker].0.get()).clone() }
+    }
+
+    /// Mutate worker `worker`'s value. Must only be called from the thread
+    /// currently acting as that worker (the `Ctx` wrappers enforce this by
+    /// construction).
+    pub fn with_mut<R>(&self, worker: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        self.check(worker);
+        unsafe { f(&mut *self.slots[worker].0.get()) }
+    }
+
+    /// Replace worker `worker`'s value.
+    pub fn set(&self, worker: usize, v: T) {
+        self.with_mut(worker, |slot| *slot = v);
+    }
+
+    /// Copy the master's (slot 0) value into workers `1..team`. Called by the
+    /// runtimes during expansion, at a point with no concurrent access.
+    pub fn broadcast_master(&self, team: usize) {
+        let master = self.get(0);
+        for w in 1..team.min(self.slots.len()) {
+            self.set(w, master.clone());
+        }
+    }
+
+    /// Fold all slots `0..team` into one value (used to merge per-worker
+    /// accumulators after a region).
+    pub fn fold<A>(&self, team: usize, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+        let mut acc = init;
+        for w in 0..team.min(self.slots.len()) {
+            acc = f(acc, self.get(w));
+        }
+        acc
+    }
+}
+
+impl<T: Scalar> StateCell for TeamLocal<T> {
+    /// Checkpoints persist only the master's slot: per-worker values are
+    /// execution artefacts, and on restart the team is rebuilt with the
+    /// master's value broadcast (same rule as expansion).
+    fn save_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; T::WIDTH];
+        self.get(0).write_le(&mut out);
+        out
+    }
+
+    fn load_bytes(&self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != T::WIDTH {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "TeamLocal expected {} bytes, got {}",
+                T::WIDTH,
+                bytes.len()
+            )));
+        }
+        self.set(0, T::read_le(bytes));
+        self.broadcast_master(self.capacity());
+        Ok(())
+    }
+
+    fn byte_len(&self) -> usize {
+        T::WIDTH
+    }
+}
+
+/// Convenience alias used by kernels: a shared grid of `f64`.
+pub type GridF64 = SharedGrid<f64>;
+/// Convenience alias used by kernels: a shared vector of `f64`.
+pub type VecF64 = SharedVec<f64>;
+
+/// Helper constructing an `Arc<SharedVec<T>>` (the form the registry holds).
+pub fn shared_vec<T: Scalar>(len: usize, init: T) -> Arc<SharedVec<T>> {
+    Arc::new(SharedVec::new(len, init))
+}
+
+/// Helper constructing an `Arc<SharedGrid<T>>`.
+pub fn shared_grid<T: Scalar>(rows: usize, cols: usize, init: T) -> Arc<SharedGrid<T>> {
+    Arc::new(SharedGrid::new(rows, cols, init))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_vec_basics() {
+        let v = SharedVec::new(4, 0.0f64);
+        v.set(2, 3.5);
+        assert_eq!(v.get(2), 3.5);
+        assert_eq!(v.as_slice(), &[0.0, 0.0, 3.5, 0.0]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn shared_vec_state_roundtrip() {
+        let v = SharedVec::from_vec(vec![1.0f64, -2.0, 3.0]);
+        let bytes = v.save_bytes();
+        assert_eq!(bytes.len(), 24);
+        let w = SharedVec::new(3, 0.0f64);
+        w.load_bytes(&bytes).unwrap();
+        assert_eq!(w.to_vec(), vec![1.0, -2.0, 3.0]);
+        assert!(w.load_bytes(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn shared_vec_extract_install() {
+        let v = SharedVec::from_vec(vec![1i64, 2, 3, 4, 5]);
+        let bytes = v.extract(1..4);
+        let w = SharedVec::new(5, 0i64);
+        w.install(1..4, &bytes).unwrap();
+        assert_eq!(w.to_vec(), vec![0, 2, 3, 4, 0]);
+        assert!(w.install(0..2, &bytes).is_err());
+    }
+
+    #[test]
+    fn shared_grid_indexing_and_rows() {
+        let g = SharedGrid::new(3, 4, 0.0f64);
+        g.set(1, 2, 7.0);
+        assert_eq!(g.get(1, 2), 7.0);
+        assert_eq!(g.row(1), &[0.0, 0.0, 7.0, 0.0]);
+        g.set_row(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.row(2), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.sum_f64(), 17.0);
+    }
+
+    #[test]
+    fn shared_grid_row_extract_install_roundtrip() {
+        let g = SharedGrid::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bytes = g.extract(1..2);
+        assert_eq!(bytes.len(), 3 * 8);
+        let h = SharedGrid::new(2, 3, 0.0f64);
+        h.install(1..2, &bytes).unwrap();
+        assert_eq!(h.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(h.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_visible() {
+        let v = Arc::new(SharedVec::new(1000, 0u64));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let v = v.clone();
+                std::thread::spawn(move || {
+                    for i in (t as usize..1000).step_by(4) {
+                        v.set(i, t + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for i in 0..1000 {
+            assert_eq!(v.get(i), (i % 4) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn team_local_isolation_and_fold() {
+        let tl = TeamLocal::new(4, |_| 0i64);
+        tl.set(0, 10);
+        tl.set(3, 5);
+        assert_eq!(tl.get(0), 10);
+        assert_eq!(tl.get(1), 0);
+        assert_eq!(tl.fold(4, 0, |a, b| a + b), 15);
+    }
+
+    #[test]
+    fn team_local_broadcast_master() {
+        let tl = TeamLocal::new(3, |i| i as i64);
+        tl.broadcast_master(3);
+        assert_eq!(tl.get(1), 0);
+        assert_eq!(tl.get(2), 0);
+    }
+
+    #[test]
+    fn team_local_state_cell_restores_and_broadcasts() {
+        let tl = TeamLocal::new(3, |_| 0.0f64);
+        tl.set(0, 9.5);
+        let bytes = tl.save_bytes();
+        let tl2 = TeamLocal::new(3, |_| 0.0f64);
+        tl2.load_bytes(&bytes).unwrap();
+        assert_eq!(tl2.get(0), 9.5);
+        assert_eq!(tl2.get(2), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "TeamLocal capacity")]
+    fn team_local_rejects_over_capacity_worker() {
+        let tl = TeamLocal::new(2, |_| 0u8);
+        tl.get(2);
+    }
+
+    #[test]
+    fn worker_identity_is_thread_local() {
+        set_current_worker(3);
+        assert_eq!(current_worker(), 3);
+        let handle = std::thread::spawn(|| current_worker());
+        assert_eq!(handle.join().unwrap(), 0);
+        set_current_worker(0);
+    }
+
+    // Tracking tests run in a dedicated integration binary (tests/tracking.rs)
+    // because the tracker is process-global state and unit tests run
+    // concurrently.
+}

@@ -1,0 +1,336 @@
+//! Rank endpoints and collective operations.
+//!
+//! Collectives are built from the eager point-to-point transport in
+//! [`crate::net`]. Every collective call consumes one slot of the
+//! endpoint's collective-sequence counter; SPMD discipline (all ranks issue
+//! the same collectives in the same order) keeps the counters aligned, and
+//! the sequence number is baked into the message tag so concurrent
+//! collectives can never cross-match.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ppar_core::plan::ReduceOp;
+
+use crate::net::SimNet;
+
+/// Tag space layout: user messages get the high bit; collective messages
+/// encode (sequence << 4 | op).
+const USER_TAG_BIT: u64 = 1 << 63;
+
+#[derive(Clone, Copy)]
+#[repr(u64)]
+enum CollOp {
+    Barrier = 0,
+    Bcast = 1,
+    Gather = 2,
+    Scatter = 3,
+    Reduce = 4,
+    Halo = 5,
+}
+
+/// One rank's handle on the simulated interconnect.
+pub struct Endpoint {
+    net: Arc<SimNet>,
+    rank: usize,
+    coll_seq: AtomicU64,
+}
+
+impl Endpoint {
+    /// Endpoint for `rank` on `net`.
+    pub fn new(net: Arc<SimNet>, rank: usize) -> Endpoint {
+        assert!(rank < net.nranks(), "rank out of range");
+        Endpoint {
+            net,
+            rank,
+            coll_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Aggregate size.
+    pub fn nranks(&self) -> usize {
+        self.net.nranks()
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Arc<SimNet> {
+        &self.net
+    }
+
+    fn next_tag(&self, op: CollOp) -> u64 {
+        let seq = self.coll_seq.fetch_add(1, Ordering::SeqCst);
+        (seq << 4) | op as u64
+    }
+
+    // ---- point to point (user tag space) ----
+
+    /// Send `bytes` to `dst` under user tag `tag`.
+    pub fn send(&self, dst: usize, tag: u64, bytes: Vec<u8>) {
+        self.net.send(self.rank, dst, USER_TAG_BIT | tag, bytes);
+    }
+
+    /// Receive from `src` under user tag `tag`.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        self.net.recv(self.rank, src, USER_TAG_BIT | tag)
+    }
+
+    // ---- collectives ----
+
+    /// Global barrier (flat gather-to-0 + release broadcast).
+    pub fn barrier(&self) {
+        let tag = self.next_tag(CollOp::Barrier);
+        let n = self.nranks();
+        if n == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for src in 1..n {
+                self.net.recv(0, src, tag);
+            }
+            for dst in 1..n {
+                self.net.send(0, dst, tag, Vec::new());
+            }
+        } else {
+            self.net.send(self.rank, 0, tag, Vec::new());
+            self.net.recv(self.rank, 0, tag);
+        }
+    }
+
+    /// Broadcast `bytes` from `root`; non-roots pass `None` and receive the
+    /// root's bytes.
+    pub fn bcast(&self, root: usize, bytes: Option<Vec<u8>>) -> Vec<u8> {
+        let tag = self.next_tag(CollOp::Bcast);
+        if self.rank == root {
+            let bytes = bytes.expect("root must provide broadcast payload");
+            for dst in 0..self.nranks() {
+                if dst != root {
+                    self.net.send(root, dst, tag, bytes.clone());
+                }
+            }
+            bytes
+        } else {
+            self.net.recv(self.rank, root, tag)
+        }
+    }
+
+    /// Gather every rank's `bytes` at `root`; returns `Some(payloads)` (rank
+    /// indexed) at the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let tag = self.next_tag(CollOp::Gather);
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.nranks()];
+            out[root] = bytes;
+            for src in 0..self.nranks() {
+                if src != root {
+                    out[src] = self.net.recv(root, src, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.net.send(self.rank, root, tag, bytes);
+            None
+        }
+    }
+
+    /// Scatter per-rank payloads from `root` (rank-indexed); every rank
+    /// receives its own slice.
+    pub fn scatter(&self, root: usize, payloads: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+        let tag = self.next_tag(CollOp::Scatter);
+        if self.rank == root {
+            let mut payloads = payloads.expect("root must provide scatter payloads");
+            assert_eq!(payloads.len(), self.nranks(), "one payload per rank");
+            for (dst, payload) in payloads.iter_mut().enumerate() {
+                if dst != root {
+                    self.net.send(root, dst, tag, std::mem::take(payload));
+                }
+            }
+            std::mem::take(&mut payloads[root])
+        } else {
+            self.net.recv(self.rank, root, tag)
+        }
+    }
+
+    /// All-reduce a scalar with `op`: every rank receives the combined value.
+    pub fn allreduce_f64(&self, op: ReduceOp, value: f64) -> f64 {
+        let tag = self.next_tag(CollOp::Reduce);
+        let n = self.nranks();
+        if n == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..n {
+                let bytes = self.net.recv(0, src, tag);
+                let v = f64::from_le_bytes(bytes.try_into().expect("8-byte f64"));
+                acc = op.apply_f64(acc, v);
+            }
+            for dst in 1..n {
+                self.net.send(0, dst, tag, acc.to_le_bytes().to_vec());
+            }
+            acc
+        } else {
+            self.net.send(self.rank, 0, tag, value.to_le_bytes().to_vec());
+            let bytes = self.net.recv(self.rank, 0, tag);
+            f64::from_le_bytes(bytes.try_into().expect("8-byte f64"))
+        }
+    }
+
+    /// Neighbour exchange for block-partitioned stencil fields: send
+    /// `to_prev`/`to_next` to the previous/next rank, receive theirs.
+    /// Returns `(from_prev, from_next)`. Ranks at the edges skip the
+    /// missing neighbour. Payload `None` skips that direction (empty
+    /// partitions).
+    pub fn halo_exchange(
+        &self,
+        to_prev: Option<Vec<u8>>,
+        to_next: Option<Vec<u8>>,
+    ) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+        let tag = self.next_tag(CollOp::Halo);
+        let n = self.nranks();
+        let rank = self.rank;
+        // Eager sends cannot deadlock: deposit both, then receive.
+        if rank > 0 {
+            if let Some(bytes) = to_prev {
+                self.net.send(rank, rank - 1, tag, bytes);
+            }
+        }
+        if rank + 1 < n {
+            if let Some(bytes) = to_next {
+                self.net.send(rank, rank + 1, tag, bytes);
+            }
+        }
+        let from_prev = (rank > 0).then(|| self.net.recv(rank, rank - 1, tag));
+        let from_next = (rank + 1 < n).then(|| self.net.recv(rank, rank + 1, tag));
+        (from_prev, from_next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f(rank)` on `n` rank threads over an instant network.
+    fn spmd<R: Send>(n: usize, f: impl Fn(&Endpoint) -> R + Sync) -> Vec<R> {
+        let net = SimNet::instant(n);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (rank, slot) in out.iter_mut().enumerate() {
+                let net = net.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let ep = Endpoint::new(net, rank);
+                    *slot = Some(f(&ep));
+                });
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        spmd(6, |ep| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ep.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), 6);
+            ep.barrier();
+            counter.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn bcast_delivers_roots_bytes() {
+        let results = spmd(5, |ep| {
+            let payload = (ep.rank() == 2).then(|| vec![9, 9, 9]);
+            ep.bcast(2, payload)
+        });
+        for r in results {
+            assert_eq!(r, vec![9, 9, 9]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_rank_payloads() {
+        let results = spmd(4, |ep| ep.gather(0, vec![ep.rank() as u8; ep.rank() + 1]));
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root.len(), 4);
+        for (rank, payload) in root.iter().enumerate() {
+            assert_eq!(payload, &vec![rank as u8; rank + 1]);
+        }
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn scatter_distributes_per_rank() {
+        let results = spmd(4, |ep| {
+            let payloads = (ep.rank() == 0)
+                .then(|| (0..4).map(|r| vec![r as u8 * 10]).collect::<Vec<_>>());
+            ep.scatter(0, payloads)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &vec![rank as u8 * 10]);
+        }
+    }
+
+    #[test]
+    fn allreduce_combines_across_ranks() {
+        let results = spmd(8, |ep| ep.allreduce_f64(ReduceOp::Sum, (ep.rank() + 1) as f64));
+        for r in results {
+            assert_eq!(r, 36.0);
+        }
+        let maxes = spmd(5, |ep| ep.allreduce_f64(ReduceOp::Max, ep.rank() as f64));
+        for m in maxes {
+            assert_eq!(m, 4.0);
+        }
+    }
+
+    #[test]
+    fn halo_exchange_swaps_neighbour_rows() {
+        let results = spmd(4, |ep| {
+            let rank = ep.rank() as u8;
+            ep.halo_exchange(Some(vec![rank, 0]), Some(vec![rank, 1]))
+        });
+        // rank 1: from_prev = rank0's to_next = [0,1]; from_next = rank2's
+        // to_prev = [2,0].
+        assert_eq!(results[1].0, Some(vec![0, 1]));
+        assert_eq!(results[1].1, Some(vec![2, 0]));
+        // Edges.
+        assert_eq!(results[0].0, None);
+        assert_eq!(results[3].1, None);
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_match() {
+        let results = spmd(3, |ep| {
+            let a = ep.allreduce_f64(ReduceOp::Sum, 1.0);
+            ep.barrier();
+            let b = ep.allreduce_f64(ReduceOp::Prod, 2.0);
+            let c = ep.bcast(0, (ep.rank() == 0).then(|| vec![7]));
+            (a, b, c)
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, 3.0);
+            assert_eq!(b, 8.0);
+            assert_eq!(c, vec![7]);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let results = spmd(5, |ep| {
+            let next = (ep.rank() + 1) % 5;
+            let prev = (ep.rank() + 4) % 5;
+            ep.send(next, 42, vec![ep.rank() as u8]);
+            ep.recv(prev, 42)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &vec![((rank + 4) % 5) as u8]);
+        }
+    }
+}

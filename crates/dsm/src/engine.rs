@@ -1,0 +1,451 @@
+//! The distributed-memory SPMD engine (object aggregates, §III.C).
+//!
+//! One `DsmEngine` instance runs per aggregate element (simulated process).
+//! Data movement is entirely plan-driven:
+//!
+//! * `ScatterBefore`/`GatherAfter`/`BroadcastBefore`/`ReduceAfter` wrap
+//!   method join points;
+//! * `UpdateAt` actions (halo exchange, gather, scatter, all-reduce) fire at
+//!   named execution points — "we specify the points in execution where
+//!   data is partitioned and scattered, gathered and updated";
+//! * `DistFor` aligns a loop with a partitioned field: each element iterates
+//!   only its owned indices;
+//! * `OnElement`/`Master` delegate methods to one element.
+//!
+//! Checkpointing (§IV.A) supports both strategies: **master-collect**
+//! (partitioned safe data is gathered at element 0, which writes one
+//! mode-independent snapshot — no barriers needed, restartable in any mode)
+//! and **local-snapshot** (each element persists its own partition between
+//! two global barriers; restart requires the same element count).
+//!
+//! Memory layout note (documented substitution): every element allocates
+//! the *full* index space of partitioned fields and touches only its owned
+//! range (plus halos). Network costs are charged only for bytes actually
+//! moved, so the performance shape matches a distributed-allocation
+//! implementation while keeping scatter/gather/halo logic uniform.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use ppar_core::ctx::{Ctx, Engine, PointDirective};
+use ppar_core::mode::ExecMode;
+use ppar_core::partition::{block_owned, block_with_halo, owned_ranges, Partition};
+use ppar_core::plan::{DistCkptStrategy, Plan, ReduceOp, UpdateAction};
+use ppar_core::state::DistCell;
+
+use crate::collective::Endpoint;
+
+/// Per-element engine for distributed execution.
+pub struct DsmEngine {
+    ep: Endpoint,
+}
+
+impl DsmEngine {
+    /// Engine for one aggregate element.
+    pub fn new(ep: Endpoint) -> Arc<DsmEngine> {
+        Arc::new(DsmEngine { ep })
+    }
+
+    /// The element's endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    fn partition_of(&self, plan: &Plan, field: &str) -> Partition {
+        plan.field_partition(field).unwrap_or_else(|| {
+            panic!("field {field:?} used in a distributed plug but not declared Partitioned")
+        })
+    }
+
+    /// Concatenated bytes of `rank`'s owned indices.
+    fn extract_owned(
+        cell: &dyn DistCell,
+        partition: Partition,
+        nranks: usize,
+        rank: usize,
+    ) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in owned_ranges(partition, cell.logical_len(), nranks, rank) {
+            out.extend_from_slice(&cell.extract(r));
+        }
+        out
+    }
+
+    /// Inverse of [`DsmEngine::extract_owned`].
+    fn install_owned(
+        cell: &dyn DistCell,
+        partition: Partition,
+        nranks: usize,
+        rank: usize,
+        bytes: &[u8],
+    ) {
+        let mut offset = 0;
+        for r in owned_ranges(partition, cell.logical_len(), nranks, rank) {
+            let len = r.len() * cell.index_bytes();
+            cell.install(r, &bytes[offset..offset + len])
+                .expect("owned-range install failed");
+            offset += len;
+        }
+        assert_eq!(offset, bytes.len(), "owned payload length mismatch");
+    }
+
+    /// Scatter `field` from the root to all elements (owned ranges only).
+    fn scatter_field(&self, ctx: &Ctx, field: &str) {
+        let plan = ctx.plan();
+        let partition = self.partition_of(plan, field);
+        let cell = ctx.registry().dist(field).expect("scatter field registered");
+        let n = self.ep.nranks();
+        let payloads = (self.ep.rank() == 0).then(|| {
+            (0..n)
+                .map(|r| DsmEngine::extract_owned(&*cell, partition, n, r))
+                .collect::<Vec<_>>()
+        });
+        let mine = self.ep.scatter(0, payloads);
+        DsmEngine::install_owned(&*cell, partition, n, self.ep.rank(), &mine);
+    }
+
+    /// Scatter a block-partitioned `field` *with* `halo` extra indices on
+    /// each side (post-restore refresh).
+    fn scatter_field_with_halo(&self, ctx: &Ctx, field: &str, halo: usize) {
+        let cell = ctx.registry().dist(field).expect("halo field registered");
+        let n = self.ep.nranks();
+        let len = cell.logical_len();
+        let payloads = (self.ep.rank() == 0).then(|| {
+            (0..n)
+                .map(|r| cell.extract(block_with_halo(len, n, r, halo)))
+                .collect::<Vec<_>>()
+        });
+        let mine = self.ep.scatter(0, payloads);
+        let range = block_with_halo(len, n, self.ep.rank(), halo);
+        cell.install(range, &mine).expect("halo install failed");
+    }
+
+    /// Gather `field`'s partitions into the root's full copy.
+    fn gather_field(&self, ctx: &Ctx, field: &str) {
+        let plan = ctx.plan();
+        let partition = self.partition_of(plan, field);
+        let cell = ctx.registry().dist(field).expect("gather field registered");
+        let n = self.ep.nranks();
+        let rank = self.ep.rank();
+        let mine = DsmEngine::extract_owned(&*cell, partition, n, rank);
+        if let Some(all) = self.ep.gather(0, mine) {
+            for (r, payload) in all.into_iter().enumerate() {
+                if r != 0 {
+                    DsmEngine::install_owned(&*cell, partition, n, r, &payload);
+                }
+            }
+        }
+    }
+
+    /// Broadcast a replicated `field` from the root.
+    fn broadcast_field(&self, ctx: &Ctx, field: &str) {
+        let cell = ctx
+            .registry()
+            .state(field)
+            .expect("broadcast field registered");
+        let payload = (self.ep.rank() == 0).then(|| cell.save_bytes());
+        let bytes = self.ep.bcast(0, payload);
+        if self.ep.rank() != 0 {
+            cell.load_bytes(&bytes).expect("broadcast install failed");
+        }
+    }
+
+    /// Element-wise all-reduce of an `f64` field.
+    fn allreduce_field(&self, ctx: &Ctx, field: &str, op: ReduceOp) {
+        let cell = ctx
+            .registry()
+            .state(field)
+            .expect("allreduce field registered");
+        let mine = cell.save_bytes();
+        assert!(
+            mine.len() % 8 == 0,
+            "AllReduce update actions require f64 cells"
+        );
+        let all = self.ep.gather(0, mine);
+        let combined = if let Some(all) = all {
+            let mut acc: Vec<f64> = all[0]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for payload in &all[1..] {
+                for (a, c) in acc.iter_mut().zip(payload.chunks_exact(8)) {
+                    *a = op.apply_f64(*a, f64::from_le_bytes(c.try_into().unwrap()));
+                }
+            }
+            Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>())
+        } else {
+            None
+        };
+        let bytes = self.ep.bcast(0, combined);
+        cell.load_bytes(&bytes).expect("allreduce install failed");
+    }
+
+    /// Exchange `halo` boundary indices of a block-partitioned field with
+    /// the neighbouring elements.
+    fn halo_exchange_field(&self, ctx: &Ctx, field: &str, halo: usize) {
+        let cell = ctx.registry().dist(field).expect("halo field registered");
+        let n = self.ep.nranks();
+        let rank = self.ep.rank();
+        let len = cell.logical_len();
+        assert!(
+            len >= n,
+            "halo exchange requires at least one index per element \
+             (field {field:?}: {len} indices, {n} elements)"
+        );
+        let own = block_owned(len, n, rank);
+        let h = halo.min(own.len());
+        let to_prev = (rank > 0).then(|| cell.extract(own.start..own.start + h));
+        let to_next = (rank + 1 < n).then(|| cell.extract(own.end - h..own.end));
+        let (from_prev, from_next) = self.ep.halo_exchange(to_prev, to_next);
+        if let Some(bytes) = from_prev {
+            cell.install(own.start - h..own.start, &bytes)
+                .expect("halo install (prev)");
+        }
+        if let Some(bytes) = from_next {
+            cell.install(own.end..own.end + h, &bytes)
+                .expect("halo install (next)");
+        }
+    }
+
+    fn apply_update(&self, ctx: &Ctx, field: &str, action: UpdateAction) {
+        match action {
+            UpdateAction::HaloExchange { halo } => self.halo_exchange_field(ctx, field, halo),
+            UpdateAction::Gather => self.gather_field(ctx, field),
+            UpdateAction::Scatter => self.scatter_field(ctx, field),
+            UpdateAction::Broadcast => self.broadcast_field(ctx, field),
+            UpdateAction::AllReduce(op) => self.allreduce_field(ctx, field, op),
+        }
+    }
+
+    /// After a restored snapshot: redistribute safe data and refresh halos.
+    fn redistribute_after_load(&self, ctx: &Ctx) {
+        let plan = ctx.plan();
+        let halo_depths: std::collections::HashMap<String, usize> =
+            plan.halo_fields().into_iter().collect();
+        for field in plan.safe_data() {
+            if plan.field_partition(field).is_some() {
+                match halo_depths.get(field) {
+                    Some(&h) if h > 0 => self.scatter_field_with_halo(ctx, field, h),
+                    _ => self.scatter_field(ctx, field),
+                }
+            } else {
+                self.broadcast_field(ctx, field);
+            }
+        }
+    }
+}
+
+impl Engine for DsmEngine {
+    fn mode(&self) -> ExecMode {
+        ExecMode::Distributed {
+            processes: self.ep.nranks(),
+        }
+    }
+
+    fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    fn nranks(&self) -> usize {
+        self.ep.nranks()
+    }
+
+    fn call(&self, ctx: &Ctx, name: &str, body: &mut dyn FnMut(&Ctx)) {
+        let plan = ctx.plan();
+        let (before, after) = plan.barrier_around(name);
+        if before {
+            self.barrier(ctx);
+        }
+        for field in plan.broadcasts_before(name) {
+            self.broadcast_field(ctx, field);
+        }
+        for field in plan.scatters_before(name) {
+            self.scatter_field(ctx, field);
+        }
+        let delegated = plan.delegated_element(name);
+        let master_only = plan.is_master_only(name) || plan.is_single(name);
+        let run_here = match delegated {
+            Some(id) => self.ep.rank() == id,
+            None => !master_only || self.ep.rank() == 0,
+        };
+        if run_here {
+            body(ctx);
+        }
+        for field in plan.gathers_after(name) {
+            self.gather_field(ctx, field);
+        }
+        for (field, op) in plan.reduces_after(name) {
+            self.allreduce_field(ctx, field, *op);
+        }
+        if after {
+            self.barrier(ctx);
+        }
+    }
+
+    fn region(&self, ctx: &Ctx, name: &str, body: &(dyn Fn(&Ctx) + Sync)) {
+        // Pure distributed mode: every element already runs the SPMD body
+        // (parallel-method plugs concern the absent local thread team), but
+        // regions are *method join points*, so the data-movement wrappers
+        // apply exactly as for `call` (Fig. 1 wraps `Do()` with
+        // ScatterBefore/GatherAfter).
+        let plan = ctx.plan();
+        for field in plan.broadcasts_before(name) {
+            self.broadcast_field(ctx, field);
+        }
+        for field in plan.scatters_before(name) {
+            self.scatter_field(ctx, field);
+        }
+        body(ctx);
+        for field in plan.gathers_after(name) {
+            self.gather_field(ctx, field);
+        }
+        for (field, op) in plan.reduces_after(name) {
+            self.allreduce_field(ctx, field, *op);
+        }
+    }
+
+    fn for_each(
+        &self,
+        ctx: &Ctx,
+        name: &str,
+        range: Range<usize>,
+        body: &(dyn Fn(&Ctx, usize) + Sync),
+    ) {
+        let plan = ctx.plan();
+        match plan.dist_for_field(name) {
+            Some(field) => {
+                let partition = self.partition_of(plan, field);
+                let cell = ctx.registry().dist(field).expect("DistFor field registered");
+                for owned in owned_ranges(
+                    partition,
+                    cell.logical_len(),
+                    self.ep.nranks(),
+                    self.ep.rank(),
+                ) {
+                    let start = owned.start.max(range.start);
+                    let end = owned.end.min(range.end);
+                    for i in start..end {
+                        body(ctx, i);
+                    }
+                }
+            }
+            None => {
+                // Unaligned loop: replicated execution on every element.
+                for i in range {
+                    body(ctx, i);
+                }
+            }
+        }
+    }
+
+    fn point(&self, ctx: &Ctx, name: &str) {
+        let plan = ctx.plan();
+        let replaying = ctx
+            .ckpt_hook()
+            .map(|ck| ck.replaying())
+            .unwrap_or(false);
+        if !replaying {
+            // Plan-driven data updates fire at every announcement of the
+            // point; during restart replay they are skipped (all elements
+            // replay symmetrically and the restore rescatters everything).
+            for (field, action) in plan.updates_at(name) {
+                self.apply_update(ctx, field, *action);
+            }
+        }
+        if !plan.is_safe_point(name) {
+            return;
+        }
+        let strategy = plan.dist_ckpt_strategy();
+        if let Some(ck) = ctx.ckpt_hook().cloned() {
+            match ck.at_point(ctx, name) {
+                PointDirective::Continue => {}
+                PointDirective::Snapshot => match strategy {
+                    DistCkptStrategy::MasterCollect => {
+                        // Collect partitioned safe data at the root — no
+                        // global barriers (§IV.A, second alternative).
+                        for field in plan.safe_data() {
+                            if plan.field_partition(field).is_some() {
+                                self.gather_field(ctx, field);
+                            }
+                        }
+                        if self.ep.rank() == 0 {
+                            ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
+                        }
+                    }
+                    DistCkptStrategy::LocalSnapshot => {
+                        // Two global barriers around per-element snapshots
+                        // (§IV.A, first alternative).
+                        self.ep.barrier();
+                        ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
+                        self.ep.barrier();
+                    }
+                },
+                PointDirective::LoadAndResume => match strategy {
+                    DistCkptStrategy::MasterCollect => {
+                        ck.load_snapshot(ctx).expect("checkpoint load failed");
+                        // The paper's "load" cost for distributed restarts
+                        // includes scattering the data back across the
+                        // aggregate — attribute it to the load statistics.
+                        let t0 = std::time::Instant::now();
+                        self.redistribute_after_load(ctx);
+                        ck.note_load_extra(t0.elapsed());
+                    }
+                    DistCkptStrategy::LocalSnapshot => {
+                        self.ep.barrier();
+                        ck.load_snapshot(ctx).expect("checkpoint load failed");
+                        self.ep.barrier();
+                        // Owned ranges are restored; halos are stale.
+                        let t0 = std::time::Instant::now();
+                        for (field, halo) in plan.halo_fields() {
+                            if halo > 0 {
+                                self.halo_exchange_field(ctx, &field, halo);
+                            }
+                        }
+                        ck.note_load_extra(t0.elapsed());
+                    }
+                },
+            }
+        }
+        if let Some(ad) = ctx.adapt_hook().cloned() {
+            if let Some(mode) = ad.pending(ctx, name) {
+                panic!(
+                    "DsmEngine cannot reshape to {mode} at run time; distributed \
+                     adaptations go through the ppar-adapt launcher \
+                     (checkpoint/restart in the target mode, Fig. 6)"
+                );
+            }
+        }
+    }
+
+    fn barrier(&self, _ctx: &Ctx) {
+        self.ep.barrier();
+    }
+
+    fn critical(&self, _ctx: &Ctx, _name: &str, body: &mut dyn FnMut()) {
+        // One line of execution per element: mutual exclusion is trivial.
+        body();
+    }
+
+    fn single(&self, _ctx: &Ctx, _name: &str, body: &mut dyn FnMut()) {
+        // The aggregate analogue of `single` is element-0 execution.
+        if self.ep.rank() == 0 {
+            body();
+        }
+    }
+
+    fn master(&self, _ctx: &Ctx, body: &mut dyn FnMut()) {
+        if self.ep.rank() == 0 {
+            body();
+        }
+    }
+
+    fn reduce_f64(&self, _ctx: &Ctx, _name: &str, op: ReduceOp, value: f64) -> f64 {
+        self.ep.allreduce_f64(op, value)
+    }
+
+    fn finish(&self, ctx: &Ctx) {
+        if let Some(ck) = ctx.ckpt_hook() {
+            ck.finish(ctx).expect("failed to clear run marker");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # ppar-dsm — distributed-memory pluggable parallelisation (simulated)
+//!
+//! The object-aggregate runtime of §III.C of *Checkpoint and Run-Time
+//! Adaptation with Pluggable Parallelisation* (Medeiros & Sobral, ICPP
+//! 2011), built on a **simulated cluster**: aggregate elements are OS
+//! threads, and every message pays latency + bandwidth costs with distinct
+//! intra-/inter-machine link classes ([`topology`], [`net`]). This
+//! substitutes for the paper's real 2×24-core cluster while preserving the
+//! evaluation's shape (costs grow with P and jump when ranks span
+//! machines).
+//!
+//! Provided here: the transport and collectives ([`collective`]), the
+//! plan-driven SPMD engine ([`engine::DsmEngine`]) realising partitioned /
+//! replicated / local fields, scatter/gather/broadcast/reduce method plugs,
+//! halo-exchange update points and both distributed checkpoint strategies,
+//! and the job runner ([`spmd::run_spmd`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collective;
+pub mod engine;
+pub mod net;
+pub mod spmd;
+pub mod topology;
+
+pub use collective::Endpoint;
+pub use engine::DsmEngine;
+pub use net::{SimNet, Traffic};
+pub use spmd::{run_spmd, run_spmd_plain, SpmdConfig};
+pub use topology::{LinkClass, NetModel, Topology};

@@ -1,0 +1,109 @@
+//! The SPMD job runner: one thread per simulated aggregate element.
+
+use std::sync::Arc;
+
+use ppar_core::ctx::{AdaptHook, CkptHook, Ctx, RunShared};
+use ppar_core::plan::Plan;
+use ppar_core::state::Registry;
+
+use crate::collective::Endpoint;
+use crate::engine::DsmEngine;
+use crate::net::SimNet;
+use crate::topology::{NetModel, Topology};
+
+/// Configuration of one simulated distributed job.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmdConfig {
+    /// The simulated cluster.
+    pub topology: Topology,
+    /// Number of aggregate elements (may exceed the core count: the
+    /// over-decomposition experiment of Fig. 8 relies on over-subscription).
+    pub nranks: usize,
+    /// Link cost parameters.
+    pub model: NetModel,
+}
+
+impl SpmdConfig {
+    /// `nranks` elements on the paper's 2×24-core cluster with default
+    /// link costs.
+    pub fn paper(nranks: usize) -> SpmdConfig {
+        SpmdConfig {
+            topology: Topology::paper_cluster(),
+            nranks,
+            model: NetModel::default(),
+        }
+    }
+
+    /// Functional-test configuration: free network on one node.
+    pub fn instant(nranks: usize) -> SpmdConfig {
+        SpmdConfig {
+            topology: Topology::single_node(nranks),
+            nranks,
+            model: NetModel::instant(),
+        }
+    }
+}
+
+/// Per-rank hook factory: builds the checkpoint/adaptation modules for each
+/// element (each element owns its own module instance, like a real process
+/// would).
+pub type HookFactory<'a> = &'a (dyn Fn(usize) -> (Option<Arc<dyn CkptHook>>, Option<Arc<dyn AdaptHook>>)
+         + Sync);
+
+/// Run `app` as an SPMD job: `cfg.nranks` threads, each with its own
+/// registry, engine and hooks, connected by a simulated network. Returns
+/// the per-rank results in rank order.
+///
+/// When `auto_finish` is set every rank announces completion (clearing the
+/// run marker); crash-simulation drivers pass `false` and decide manually.
+pub fn run_spmd<R: Send>(
+    cfg: &SpmdConfig,
+    plan: Arc<Plan>,
+    hooks: HookFactory<'_>,
+    auto_finish: bool,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
+    assert!(cfg.nranks >= 1, "need at least one rank");
+    let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
+    let mut out: Vec<Option<R>> = (0..cfg.nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (rank, slot) in out.iter_mut().enumerate() {
+            let net = net.clone();
+            let plan = plan.clone();
+            let app = &app;
+            std::thread::Builder::new()
+                .name(format!("ppar-rank-{rank}"))
+                .spawn_scoped(scope, move || {
+                    let ep = Endpoint::new(net, rank);
+                    let engine = DsmEngine::new(ep);
+                    let (ckpt, adapt) = hooks(rank);
+                    let shared = RunShared::new(
+                        plan,
+                        Arc::new(Registry::new()),
+                        engine,
+                        ckpt,
+                        adapt,
+                    );
+                    let ctx = Ctx::new_root(shared);
+                    let result = app(&ctx);
+                    if auto_finish {
+                        ctx.finish();
+                    }
+                    *slot = Some(result);
+                })
+                .expect("failed to spawn rank thread");
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("rank thread completed"))
+        .collect()
+}
+
+/// [`run_spmd`] without hooks.
+pub fn run_spmd_plain<R: Send>(
+    cfg: &SpmdConfig,
+    plan: Arc<Plan>,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
+    run_spmd(cfg, plan, &|_| (None, None), true, app)
+}

@@ -1,0 +1,76 @@
+//! # ppar-jgf — Java Grande benchmark kernels on pluggable parallelisation
+//!
+//! Rust ports of the JGF kernels the paper uses ("we re-implemented all JGF
+//! parallel benchmarks in this programming model", §III.D) — each written
+//! once as sequential base code and deployed through plan modules:
+//!
+//! | kernel | smp plan | dist plan | baselines |
+//! |---|---|---|---|
+//! | [`sor`] (the evaluation workload) | ✓ | ✓ (halo) | threads, message-passing, invasive-checkpoint |
+//! | [`series`] (the paper's Fig. 1) | ✓ | ✓ (scatter/gather) | — |
+//! | [`crypt`] | ✓ | — | — |
+//! | [`sparse`] | ✓ | ✓ | — |
+//! | [`lufact`] | ✓ (master/barrier plugs) | — | — |
+//! | [`montecarlo`] | ✓ | ✓ | — |
+//!
+//! Every kernel validates bitwise against its own sequential reference in
+//! every deployment (red-black orderings and per-index result slots remove
+//! floating-point reduction-order sensitivity).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crypt;
+pub mod lufact;
+pub mod montecarlo;
+pub mod series;
+pub mod sor;
+pub mod sparse;
+
+/// The paper's §V "programming overhead" table: plugs per plan module for
+/// each kernel (the plan is everything the programmer writes beyond the
+/// sequential base code). Returns `(kernel, smp plugs, dist plugs, ckpt
+/// plugs)`.
+pub fn plan_size_report() -> Vec<(&'static str, usize, usize, usize)> {
+    vec![
+        (
+            "sor",
+            sor::pluggable::plan_smp().len(),
+            sor::pluggable::plan_dist().len(),
+            sor::pluggable::plan_ckpt(10).len(),
+        ),
+        (
+            "series",
+            series::plan_smp().len(),
+            series::plan_dist().len(),
+            series::plan_ckpt().len(),
+        ),
+        ("crypt", crypt::plan_smp().len(), 0, 0),
+        (
+            "sparse",
+            sparse::plan_smp().len(),
+            sparse::plan_dist().len(),
+            0,
+        ),
+        ("lufact", lufact::plan_smp().len(), 0, 0),
+        (
+            "montecarlo",
+            montecarlo::plan_smp().len(),
+            montecarlo::plan_dist().len(),
+            0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn plan_sizes_are_small() {
+        // The pluggable claim: a handful of declarations per deployment.
+        for (kernel, smp, dist, ckpt) in super::plan_size_report() {
+            assert!(smp <= 8, "{kernel} smp plan too large: {smp}");
+            assert!(dist <= 8, "{kernel} dist plan too large: {dist}");
+            assert!(ckpt <= 8, "{kernel} ckpt plan too large: {ckpt}");
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Hand-written SOR baselines: the paper's "original" and "invasive" curves.
+//!
+//! * *original* — direct thread / message-passing implementations with no
+//!   checkpoint support at all (what the JGF suite ships);
+//! * *invasive* — the same code with checkpoint logic spliced into the
+//!   domain loop by hand (counter checks, barrier + master save, restart by
+//!   jumping to the saved iteration). This is the classic technique the
+//!   paper compares pluggable checkpointing against in Fig. 3: the point is
+//!   that PP adds *no additional overhead* over this, while keeping the
+//!   domain code clean.
+
+use std::sync::Barrier;
+
+use ppar_ckpt::store::{CheckpointStore, Snapshot};
+use ppar_core::partition::block_owned;
+use ppar_core::shared::SharedGrid;
+use ppar_core::state::{DistCell, StateCell};
+use ppar_dsm::{Endpoint, SimNet, SpmdConfig};
+
+use super::{fill_grid, init_value, relax_row, SorParams, SorResult};
+
+// ---------------------------------------------------------------------------
+// original: threads
+// ---------------------------------------------------------------------------
+
+/// Hand-written shared-memory SOR (JGF "Threads" style): scoped threads,
+/// block rows, one barrier per colour sweep.
+pub fn sor_threads(p: &SorParams, threads: usize) -> SorResult {
+    let threads = threads.max(1);
+    let n = p.n;
+    let g = SharedGrid::new(n, n, 0.0f64);
+    fill_grid(&g, p.seed);
+    let barrier = Barrier::new(threads);
+    let g_ref = &g;
+    let barrier_ref = &barrier;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let p = p.clone();
+            s.spawn(move || {
+                let rows = block_owned(n.saturating_sub(2), threads, t);
+                for _it in 0..p.iterations {
+                    for color in 0..2usize {
+                        for i in rows.clone() {
+                            relax_row(
+                                n,
+                                i + 1,
+                                color,
+                                p.omega,
+                                &|r, c| g_ref.get(r, c),
+                                &|r, c, v| g_ref.set(r, c, v),
+                            );
+                        }
+                        barrier_ref.wait();
+                    }
+                }
+            });
+        }
+    });
+    SorResult {
+        checksum: g.sum_f64(),
+        iterations_done: p.iterations,
+        iter_times: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// invasive: sequential + threads
+// ---------------------------------------------------------------------------
+
+fn write_invasive_snapshot(store: &CheckpointStore, g: &SharedGrid<f64>, count: u64) {
+    let snap = Snapshot {
+        mode_tag: "invasive".to_string(),
+        count,
+        rank: None,
+        nranks: 1,
+        fields: vec![("G".to_string(), g.save_bytes())],
+    };
+    store.write_master(&snap).expect("invasive snapshot write");
+}
+
+fn read_invasive_restart(store: &CheckpointStore, g: &SharedGrid<f64>) -> usize {
+    if !store.marker_exists() {
+        return 0;
+    }
+    match store.read_master().expect("snapshot read") {
+        Some(snap) => {
+            g.load_bytes(snap.field("G").expect("G payload"))
+                .expect("snapshot install");
+            snap.count as usize
+        }
+        None => 0,
+    }
+}
+
+/// Sequential SOR with hand-inserted checkpointing: the checkpoint counter,
+/// the save call and the restart-resume logic are tangled into the domain
+/// loop — exactly the maintenance burden pluggable checkpointing removes.
+pub fn sor_seq_invasive(p: &SorParams, every: usize, dir: &std::path::Path) -> SorResult {
+    let n = p.n;
+    let store = CheckpointStore::new(dir).expect("store");
+    let g = SharedGrid::new(n, n, 0.0f64);
+    fill_grid(&g, p.seed);
+    let start_iter = read_invasive_restart(&store, &g);
+    store.set_marker().expect("marker");
+
+    let mut done = start_iter;
+    for it in start_iter..p.iterations {
+        for color in 0..2usize {
+            for i in 1..n - 1 {
+                relax_row(
+                    n,
+                    i,
+                    color,
+                    p.omega,
+                    &|r, c| g.get(r, c),
+                    &|r, c, v| g.set(r, c, v),
+                );
+            }
+        }
+        done = it + 1;
+        if every > 0 && done % every == 0 {
+            write_invasive_snapshot(&store, &g, done as u64);
+        }
+        if Some(done) == p.fail_after {
+            return SorResult {
+                checksum: g.sum_f64(),
+                iterations_done: done,
+                iter_times: Vec::new(),
+            };
+        }
+    }
+    store.clear_marker().expect("marker clear");
+    SorResult {
+        checksum: g.sum_f64(),
+        iterations_done: done,
+        iter_times: Vec::new(),
+    }
+}
+
+/// Threaded SOR with hand-inserted checkpointing (barrier, master saves,
+/// barrier — spliced directly into the sweep loop).
+pub fn sor_threads_invasive(
+    p: &SorParams,
+    threads: usize,
+    every: usize,
+    dir: &std::path::Path,
+) -> SorResult {
+    let threads = threads.max(1);
+    let n = p.n;
+    let store = CheckpointStore::new(dir).expect("store");
+    let g = SharedGrid::new(n, n, 0.0f64);
+    fill_grid(&g, p.seed);
+    let start_iter = read_invasive_restart(&store, &g);
+    store.set_marker().expect("marker");
+
+    let barrier = Barrier::new(threads);
+    let g_ref = &g;
+    let store_ref = &store;
+    let barrier_ref = &barrier;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let p = p.clone();
+            s.spawn(move || {
+                let rows = block_owned(n.saturating_sub(2), threads, t);
+                for it in start_iter..p.iterations {
+                    if let Some(f) = p.fail_after {
+                        if it >= f {
+                            break;
+                        }
+                    }
+                    for color in 0..2usize {
+                        for i in rows.clone() {
+                            relax_row(
+                                n,
+                                i + 1,
+                                color,
+                                p.omega,
+                                &|r, c| g_ref.get(r, c),
+                                &|r, c, v| g_ref.set(r, c, v),
+                            );
+                        }
+                        barrier_ref.wait();
+                    }
+                    // invasive checkpoint: count + save between barriers
+                    if every > 0 && (it + 1) % every == 0 {
+                        if t == 0 {
+                            write_invasive_snapshot(store_ref, g_ref, (it + 1) as u64);
+                        }
+                        barrier_ref.wait();
+                    }
+                }
+            });
+        }
+    });
+
+    let done = p.fail_after.unwrap_or(p.iterations).min(p.iterations);
+    if p.fail_after.is_none() {
+        store.clear_marker().expect("marker clear");
+    }
+    SorResult {
+        checksum: g.sum_f64(),
+        iterations_done: done.max(start_iter),
+        iter_times: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// original: message passing (direct SimNet use, JGF "MPI" style)
+// ---------------------------------------------------------------------------
+
+/// Hand-written distributed SOR: explicit halo sends/receives and a final
+/// gather, written directly against the simulated transport.
+pub fn sor_dist(p: &SorParams, cfg: &SpmdConfig) -> SorResult {
+    let n = p.n;
+    let nranks = cfg.nranks;
+    let net = SimNet::new(cfg.topology, nranks, cfg.model);
+    let mut checksums: Vec<Option<f64>> = vec![None; nranks];
+    std::thread::scope(|s| {
+        for (rank, slot) in checksums.iter_mut().enumerate() {
+            let net = net.clone();
+            let p = p.clone();
+            s.spawn(move || {
+                let ep = Endpoint::new(net, rank);
+                let g = SharedGrid::new(n, n, 0.0f64);
+                for i in 0..n {
+                    for j in 0..n {
+                        g.set(i, j, init_value(p.seed, i, j));
+                    }
+                }
+                let own = block_owned(n, nranks, rank);
+                for _it in 0..p.iterations {
+                    for color in 0..2usize {
+                        // halo exchange with neighbours
+                        let to_prev = (rank > 0).then(|| g.extract(own.start..own.start + 1));
+                        let to_next =
+                            (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
+                        let (from_prev, from_next) = ep.halo_exchange(to_prev, to_next);
+                        if let Some(bytes) = from_prev {
+                            g.install(own.start - 1..own.start, &bytes).unwrap();
+                        }
+                        if let Some(bytes) = from_next {
+                            g.install(own.end..own.end + 1, &bytes).unwrap();
+                        }
+                        let lo = own.start.max(1);
+                        let hi = own.end.min(n - 1);
+                        for i in lo..hi {
+                            relax_row(
+                                n,
+                                i,
+                                color,
+                                p.omega,
+                                &|r, c| g.get(r, c),
+                                &|r, c, v| g.set(r, c, v),
+                            );
+                        }
+                    }
+                }
+                // gather owned blocks at the root
+                let mine = g.extract(own.clone());
+                if let Some(all) = ep.gather(0, mine) {
+                    for (r, payload) in all.into_iter().enumerate() {
+                        if r != 0 {
+                            let owned_r = block_owned(n, nranks, r);
+                            g.install(owned_r, &payload).unwrap();
+                        }
+                    }
+                    *slot = Some(g.sum_f64());
+                }
+            });
+        }
+    });
+    SorResult {
+        checksum: checksums[0].expect("root checksum"),
+        iterations_done: p.iterations,
+        iter_times: Vec::new(),
+    }
+}
+
+/// Distributed SOR with hand-inserted master-collect checkpointing.
+pub fn sor_dist_invasive(
+    p: &SorParams,
+    cfg: &SpmdConfig,
+    every: usize,
+    dir: &std::path::Path,
+) -> SorResult {
+    let n = p.n;
+    let nranks = cfg.nranks;
+    let net = SimNet::new(cfg.topology, nranks, cfg.model);
+    let store = CheckpointStore::new(dir).expect("store");
+    // restart detection at the root, broadcast via the data path
+    let restart_iter = {
+        let probe = SharedGrid::new(n, n, 0.0f64);
+        let it = if store.marker_exists() {
+            match store.read_master().expect("read") {
+                Some(snap) => {
+                    probe.load_bytes(snap.field("G").unwrap()).unwrap();
+                    snap.count as usize
+                }
+                None => 0,
+            }
+        } else {
+            0
+        };
+        (it, probe)
+    };
+    let (start_iter, restored) = restart_iter;
+    store.set_marker().expect("marker");
+    let restored_bytes = (start_iter > 0).then(|| restored.save_bytes());
+
+    let store_ref = &store;
+    let restored_ref = &restored_bytes;
+    let mut checksums: Vec<Option<f64>> = vec![None; nranks];
+    std::thread::scope(|s| {
+        for (rank, slot) in checksums.iter_mut().enumerate() {
+            let net = net.clone();
+            let p = p.clone();
+            s.spawn(move || {
+                let ep = Endpoint::new(net, rank);
+                let g = SharedGrid::new(n, n, 0.0f64);
+                for i in 0..n {
+                    for j in 0..n {
+                        g.set(i, j, init_value(p.seed, i, j));
+                    }
+                }
+                if let Some(bytes) = restored_ref {
+                    g.load_bytes(bytes).unwrap();
+                }
+                let own = block_owned(n, nranks, rank);
+                let mut done = start_iter;
+                for it in start_iter..p.iterations {
+                    for color in 0..2usize {
+                        let to_prev = (rank > 0).then(|| g.extract(own.start..own.start + 1));
+                        let to_next =
+                            (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
+                        let (from_prev, from_next) = ep.halo_exchange(to_prev, to_next);
+                        if let Some(bytes) = from_prev {
+                            g.install(own.start - 1..own.start, &bytes).unwrap();
+                        }
+                        if let Some(bytes) = from_next {
+                            g.install(own.end..own.end + 1, &bytes).unwrap();
+                        }
+                        let lo = own.start.max(1);
+                        let hi = own.end.min(n - 1);
+                        for i in lo..hi {
+                            relax_row(
+                                n,
+                                i,
+                                color,
+                                p.omega,
+                                &|r, c| g.get(r, c),
+                                &|r, c, v| g.set(r, c, v),
+                            );
+                        }
+                    }
+                    done = it + 1;
+                    // invasive master-collect checkpoint
+                    if every > 0 && done % every == 0 {
+                        let mine = g.extract(own.clone());
+                        if let Some(all) = ep.gather(0, mine) {
+                            for (r, payload) in all.into_iter().enumerate() {
+                                if r != 0 {
+                                    g.install(block_owned(n, nranks, r), &payload).unwrap();
+                                }
+                            }
+                            write_invasive_snapshot(store_ref, &g, done as u64);
+                        }
+                    }
+                    if Some(done) == p.fail_after {
+                        break;
+                    }
+                }
+                // final gather
+                let mine = g.extract(own.clone());
+                if let Some(all) = ep.gather(0, mine) {
+                    for (r, payload) in all.into_iter().enumerate() {
+                        if r != 0 {
+                            g.install(block_owned(n, nranks, r), &payload).unwrap();
+                        }
+                    }
+                    *slot = Some(g.sum_f64());
+                }
+                let _ = done;
+            });
+        }
+    });
+
+    if p.fail_after.is_none() {
+        store.clear_marker().expect("marker clear");
+    }
+    SorResult {
+        checksum: checksums[0].expect("root checksum"),
+        iterations_done: p.fail_after.unwrap_or(p.iterations),
+        iter_times: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sor::sor_seq;
+
+    fn params() -> SorParams {
+        SorParams::new(33, 6)
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ppar_sorb_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn threads_baseline_matches_seq() {
+        let reference = sor_seq(&params());
+        for t in [1, 2, 4, 6] {
+            assert_eq!(sor_threads(&params(), t).checksum, reference.checksum);
+        }
+    }
+
+    #[test]
+    fn dist_baseline_matches_seq() {
+        let reference = sor_seq(&params());
+        for ranks in [1, 2, 4] {
+            let cfg = SpmdConfig::instant(ranks);
+            assert_eq!(sor_dist(&params(), &cfg).checksum, reference.checksum);
+        }
+    }
+
+    #[test]
+    fn invasive_seq_checkpoint_and_restart() {
+        let reference = sor_seq(&params());
+        let dir = tmpdir("seq");
+        // crash after 4, snapshot every 2
+        let crash = sor_seq_invasive(
+            &SorParams {
+                fail_after: Some(4),
+                ..params()
+            },
+            2,
+            &dir,
+        );
+        assert_eq!(crash.iterations_done, 4);
+        // restart resumes at 4 and matches
+        let resumed = sor_seq_invasive(&params(), 2, &dir);
+        assert_eq!(resumed.checksum, reference.checksum);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invasive_threads_checkpoint_and_restart() {
+        let reference = sor_seq(&params());
+        let dir = tmpdir("thr");
+        sor_threads_invasive(
+            &SorParams {
+                fail_after: Some(4),
+                ..params()
+            },
+            4,
+            2,
+            &dir,
+        );
+        let resumed = sor_threads_invasive(&params(), 4, 2, &dir);
+        assert_eq!(resumed.checksum, reference.checksum);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invasive_dist_checkpoint_and_restart() {
+        let reference = sor_seq(&params());
+        let dir = tmpdir("dist");
+        let cfg = SpmdConfig::instant(3);
+        sor_dist_invasive(
+            &SorParams {
+                fail_after: Some(4),
+                ..params()
+            },
+            &cfg,
+            2,
+            &dir,
+        );
+        let resumed = sor_dist_invasive(&params(), &cfg, 2, &dir);
+        assert_eq!(resumed.checksum, reference.checksum);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

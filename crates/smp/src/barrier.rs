@@ -1,0 +1,221 @@
+//! A team barrier whose participant count can change between generations.
+//!
+//! Run-time adaptation (§IV.B) grows and shrinks the thread team *during* a
+//! parallel region, so the classic fixed-size barrier is not enough:
+//!
+//! * [`TeamBarrier::set_size`] re-sizes the barrier (expansion: new workers
+//!   will arrive at the current generation);
+//! * [`TeamBarrier::leave`] removes the calling worker mid-generation
+//!   (contraction: a drained worker departs without tripping the barrier's
+//!   accounting).
+//!
+//! Implementation: generation-counted mutex + condvar. The paper's barriers
+//! guard checkpoint saves and reshape points — tens to hundreds of crossings
+//! per run — so blocking synchronisation is the right trade-off (no spinning
+//! burn on over-subscribed CPUs, which matters for the over-decomposition
+//! experiment of Fig. 8).
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    size: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable, resizable barrier.
+pub struct TeamBarrier {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl TeamBarrier {
+    /// A barrier for `size` participants (≥ 1).
+    pub fn new(size: usize) -> Self {
+        TeamBarrier {
+            state: Mutex::new(State {
+                size: size.max(1),
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all current participants have arrived. Returns `true` for
+    /// exactly one participant per generation (the "leader", the last to
+    /// arrive), which is convenient for post-barrier cleanup duties.
+    pub fn wait(&self) -> bool {
+        let mut s = self.state.lock();
+        s.arrived += 1;
+        if s.arrived >= s.size {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            false
+        }
+    }
+
+    /// Like [`TeamBarrier::wait`], but the last arriver runs `leader_action`
+    /// *before anyone is released*, with mutable access to the barrier size.
+    /// This is the linchpin of the reshape protocol (§IV.B): the team aligns,
+    /// the leader atomically re-sizes the team / spawns replay workers /
+    /// confirms the adaptation, and only then is the generation released —
+    /// so no worker can race into a later barrier generation with a stale
+    /// team size, and no worker can re-observe the adaptation request.
+    pub fn wait_leader(&self, leader_action: impl FnOnce(&mut usize)) -> bool {
+        let mut s = self.state.lock();
+        s.arrived += 1;
+        if s.arrived >= s.size {
+            let mut size = s.size;
+            leader_action(&mut size);
+            s.size = size.max(1);
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            false
+        }
+    }
+
+    /// Change the participant count. If the change releases the current
+    /// generation (shrinking below the number already waiting), it is
+    /// released. Growing while workers wait is also legal: the generation
+    /// simply waits for the additional arrivals.
+    pub fn set_size(&self, size: usize) {
+        let mut s = self.state.lock();
+        s.size = size.max(1);
+        if s.arrived >= s.size {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The calling worker permanently leaves the team (contraction drain):
+    /// decrements the size; if that completes the current generation, the
+    /// waiters are released.
+    pub fn leave(&self) {
+        let mut s = self.state.lock();
+        s.size = s.size.saturating_sub(1).max(1);
+        if s.arrived >= s.size {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current participant count.
+    pub fn size(&self) -> usize {
+        self.state.lock().size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = TeamBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_cross_together() {
+        let b = Arc::new(TeamBarrier::new(4));
+        let before = Arc::new(AtomicUsize::new(0));
+        let after = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let (b, before, after) = (b.clone(), before.clone(), after.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        before.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // Everyone must have incremented `before` by now.
+                        assert!(before.load(Ordering::SeqCst) >= 4);
+                        b.wait();
+                        after.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(after.load(Ordering::SeqCst), 400);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let b = Arc::new(TeamBarrier::new(8));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (b, leaders) = (b.clone(), leaders.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn leave_releases_waiters() {
+        let b = Arc::new(TeamBarrier::new(3));
+        let b1 = b.clone();
+        let b2 = b.clone();
+        let w1 = std::thread::spawn(move || b1.wait());
+        let w2 = std::thread::spawn(move || b2.wait());
+        // Give the two waiters time to block, then leave as the third.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        b.leave();
+        w1.join().unwrap();
+        w2.join().unwrap();
+        assert_eq!(b.size(), 2);
+    }
+
+    #[test]
+    fn grow_then_new_worker_completes_generation() {
+        let b = Arc::new(TeamBarrier::new(1));
+        b.set_size(2);
+        let b1 = b.clone();
+        let waiter = std::thread::spawn(move || b1.wait());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        b.wait(); // second participant arrives
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn size_never_drops_below_one() {
+        let b = TeamBarrier::new(1);
+        b.leave();
+        assert_eq!(b.size(), 1);
+        b.set_size(0);
+        assert_eq!(b.size(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ppar-smp — shared-memory pluggable parallelisation
+//!
+//! The OpenMP-like thread-team runtime of §III.B of *Checkpoint and Run-Time
+//! Adaptation with Pluggable Parallelisation* (Medeiros & Sobral, ICPP 2011):
+//! parallel methods fork a team over persistent pool threads; `for` plugs
+//! work-share announced loops (block/cyclic/block-cyclic/dynamic/guided);
+//! synchronized/single/master plugs wrap announced methods; barriers and
+//! thread-local fields complete the data-sharing constructs.
+//!
+//! The engine also implements the shared-memory halves of §IV:
+//! checkpoint-at-safe-point with master save between two barriers, restart
+//! replay that re-forks teams to rebuild thread call stacks, and the
+//! run-time expansion/contraction protocol (new workers replay the region
+//! body; drained workers unwind to the region boundary).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod constructs;
+pub mod engine;
+pub mod pool;
+
+pub use barrier::TeamBarrier;
+pub use engine::TeamEngine;
+pub use pool::{Latch, TeamPool};
+
+use std::sync::Arc;
+
+use ppar_core::ctx::{AdaptHook, CkptHook, Ctx, RunShared};
+use ppar_core::plan::Plan;
+use ppar_core::state::Registry;
+
+/// Run `app` under `plan` on a team of `threads` workers (fixed size).
+/// Convenience entry point mirroring [`ppar_core::run_sequential`]; the
+/// adaptive launcher lives in `ppar-adapt`.
+pub fn run_smp<R>(
+    plan: Arc<Plan>,
+    threads: usize,
+    ckpt: Option<Arc<dyn CkptHook>>,
+    adapt: Option<Arc<dyn AdaptHook>>,
+    app: impl FnOnce(&Ctx) -> R,
+) -> R {
+    let engine = TeamEngine::fixed(threads);
+    let shared = RunShared::new(plan, Arc::new(Registry::new()), engine, ckpt, adapt);
+    let ctx = Ctx::new_root(shared);
+    let out = app(&ctx);
+    ctx.finish();
+    out
+}

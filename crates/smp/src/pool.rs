@@ -1,0 +1,225 @@
+//! Persistent worker threads and the region-completion latch.
+//!
+//! Parallel methods fork their body onto pool workers and join before
+//! returning, so the body may borrow the caller's stack (the engine erases
+//! the lifetime and the latch restores the guarantee). Workers persist
+//! across regions — a team reshape (expansion) can dispatch *additional*
+//! workers into a region that is already running, which is why the latch
+//! supports [`Latch::add`] while the master is waiting.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// A count-down latch whose count can grow while waited on (expansion adds
+/// workers to a live region).
+pub struct Latch {
+    count: Mutex<isize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Latch expecting `n` completions.
+    pub fn new(n: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            count: Mutex::new(n as isize),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Expect `k` more completions (called before dispatching new workers).
+    pub fn add(&self, k: usize) {
+        *self.count.lock() += k as isize;
+    }
+
+    /// Record one completion.
+    pub fn count_down(&self) {
+        let mut c = self.count.lock();
+        *c -= 1;
+        if *c <= 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until all expected completions happened.
+    pub fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c > 0 {
+            self.cv.wait(&mut c);
+        }
+    }
+
+    /// Outstanding completions (for assertions).
+    pub fn pending(&self) -> isize {
+        *self.count.lock()
+    }
+}
+
+enum Job {
+    Run(Box<dyn FnOnce() + Send>),
+    Shutdown,
+}
+
+/// A lazily grown pool of persistent worker threads. Slot `s` hosts team
+/// worker `s + 1` (worker 0 is always the thread entering the region).
+pub struct TeamPool {
+    senders: Mutex<Vec<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Default for TeamPool {
+    fn default() -> Self {
+        TeamPool::new()
+    }
+}
+
+impl TeamPool {
+    /// An empty pool; workers are spawned on first use.
+    pub fn new() -> TeamPool {
+        TeamPool {
+            senders: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ensure at least `n` worker slots exist.
+    pub fn ensure(&self, n: usize) {
+        let mut senders = self.senders.lock();
+        let mut handles = self.handles.lock();
+        while senders.len() < n {
+            let (tx, rx) = unbounded::<Job>();
+            let slot = senders.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("ppar-worker-{}", slot + 1))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Run(f) => f(),
+                            Job::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+    }
+
+    /// Number of live worker slots.
+    pub fn size(&self) -> usize {
+        self.senders.lock().len()
+    }
+
+    /// Run `job` on worker slot `slot` (grows the pool if needed). The job
+    /// must signal its own completion (typically via a [`Latch`]).
+    pub fn dispatch(&self, slot: usize, job: impl FnOnce() + Send + 'static) {
+        self.ensure(slot + 1);
+        let senders = self.senders.lock();
+        senders[slot]
+            .send(Job::Run(Box::new(job)))
+            .expect("pool worker hung up");
+    }
+}
+
+impl Drop for TeamPool {
+    fn drop(&mut self) {
+        for tx in self.senders.lock().iter() {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Panic payload used by the contraction protocol: a drained worker unwinds
+/// out of the region body with this marker; the engine's worker wrapper
+/// recognises it as a graceful exit, not a failure.
+pub struct Drained;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn latch_blocks_until_all_done() {
+        let latch = Latch::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let (l, h) = (latch.clone(), hits.clone());
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                h.fetch_add(1, Ordering::SeqCst);
+                l.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        assert_eq!(latch.pending(), 0);
+    }
+
+    #[test]
+    fn latch_add_while_waiting() {
+        let latch = Latch::new(1);
+        let l2 = latch.clone();
+        let waiter = std::thread::spawn(move || l2.wait());
+        latch.add(1); // now expects 2
+        latch.count_down();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "must still wait for the added worker");
+        latch.count_down();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn pool_runs_jobs_on_distinct_threads() {
+        let pool = TeamPool::new();
+        let latch = Latch::new(4);
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        for slot in 0..4 {
+            let (l, ids) = (latch.clone(), ids.clone());
+            pool.dispatch(slot, move || {
+                ids.lock().push(std::thread::current().name().map(String::from));
+                l.count_down();
+            });
+        }
+        latch.wait();
+        let mut names = ids.lock().clone();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4, "each slot is its own thread");
+        assert_eq!(pool.size(), 4);
+    }
+
+    #[test]
+    fn pool_workers_are_reusable() {
+        let pool = TeamPool::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _round in 0..10 {
+            let latch = Latch::new(2);
+            for slot in 0..2 {
+                let (l, c) = (latch.clone(), counter.clone());
+                pool.dispatch(slot, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    l.count_down();
+                });
+            }
+            latch.wait();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert_eq!(pool.size(), 2, "pool does not grow beyond demand");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = TeamPool::new();
+        let latch = Latch::new(1);
+        let l = latch.clone();
+        pool.dispatch(0, move || l.count_down());
+        latch.wait();
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,147 @@
+//! Quickstart: one base program, four deployments.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Writes a tiny stencil program once, then runs it sequentially, on a
+//! thread team, distributed, and distributed-with-checkpointing — changing
+//! nothing but the plan.
+
+use std::sync::Arc;
+
+use ppar_suite::core::prelude::*;
+use ppar_suite::core::run_sequential;
+use ppar_suite::dsm::{run_spmd_plain, SpmdConfig};
+use ppar_suite::smp::run_smp;
+
+/// The base code: sequential by construction. Join points (`region`,
+/// `each`, `point`) are inert without plugs.
+fn smooth(ctx: &Ctx, n: usize, rounds: usize) -> f64 {
+    let field = ctx.alloc_vec("field", n, 0.0f64);
+    let f_init = field.clone();
+    ctx.call("init", move |_| {
+        f_init.copy_in_from_fn(|i| ((i * 37) % 101) as f64);
+    });
+    let f = field.clone();
+    ctx.region("run", move |ctx| {
+        for _round in 0..rounds {
+            // the dist plan refreshes halo cells here
+            ctx.point("pre_sweep");
+            let f2 = f.clone();
+            ctx.call("sweep", move |ctx| {
+                ctx.each("cells", 1..n - 1, |_, i| {
+                    if i % 2 == 1 {
+                        f2.set(i, 0.5 * (f2.get(i - 1) + f2.get(i + 1)));
+                    }
+                });
+            });
+            ctx.point("pre_sweep");
+            let f3 = f.clone();
+            ctx.call("sweep2", move |ctx| {
+                ctx.each("cells2", 1..n - 1, |_, i| {
+                    if i % 2 == 0 {
+                        f3.set(i, 0.5 * (f3.get(i - 1) + f3.get(i + 1)));
+                    }
+                });
+            });
+            ctx.point("round_end"); // safe point
+        }
+    });
+    ctx.point("done"); // the dist plan gathers here
+    field.as_slice().iter().sum()
+}
+
+fn main() {
+    let n = 1024;
+    let rounds = 50;
+
+    // 1. Unplugged: strict sequential execution.
+    let seq = run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
+        smooth(ctx, n, rounds)
+    });
+    println!("sequential        : {seq:.6}");
+
+    // 2. Shared memory: two plugs.
+    let smp_plan = Plan::new()
+        .plug(Plug::ParallelMethod { method: "run".into() })
+        .plug(Plug::For {
+            loop_name: "cells".into(),
+            schedule: Schedule::Block,
+        })
+        .plug(Plug::For {
+            loop_name: "cells2".into(),
+            schedule: Schedule::Block,
+        });
+    let smp = run_smp(Arc::new(smp_plan), 4, None, None, |ctx| {
+        smooth(ctx, n, rounds)
+    });
+    println!("4-thread team     : {smp:.6}");
+
+    // 3. Distributed: partition + halo + gather plugs.
+    let dist_plan = Plan::new()
+        .plug(Plug::Field {
+            field: "field".into(),
+            dist: FieldDist::Partitioned(Partition::Block),
+        })
+        .plug(Plug::UpdateAt {
+            point: "pre_sweep".into(),
+            field: "field".into(),
+            action: UpdateAction::HaloExchange { halo: 1 },
+        })
+        .plug(Plug::DistFor {
+            loop_name: "cells".into(),
+            field: "field".into(),
+        })
+        .plug(Plug::DistFor {
+            loop_name: "cells2".into(),
+            field: "field".into(),
+        })
+        .plug(Plug::UpdateAt {
+            point: "done".into(),
+            field: "field".into(),
+            action: UpdateAction::Gather,
+        });
+    let dist = run_spmd_plain(&SpmdConfig::instant(4), Arc::new(dist_plan.clone()), |ctx| {
+        smooth(ctx, n, rounds)
+    });
+    println!("4-process SPMD    : {:.6}", dist[0]);
+
+    // 4. Distributed + checkpointing: three more declarations.
+    let ckpt_plan = dist_plan
+        .plug(Plug::SafeData {
+            field: "field".into(),
+        })
+        .plug(Plug::SafePoints {
+            points: PointSet::Named(vec!["round_end".into()]),
+            every: 10,
+        })
+        .plug(Plug::Ignorable {
+            method: "sweep".into(),
+        })
+        .plug(Plug::Ignorable {
+            method: "sweep2".into(),
+        });
+    let dir = std::env::temp_dir().join("ppar_quickstart_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = ppar_suite::adapt::launch(
+        &ppar_suite::adapt::Deploy::Dist(SpmdConfig::instant(4)),
+        ckpt_plan,
+        Some(&dir),
+        None,
+        |ctx| (ppar_suite::adapt::AppStatus::Completed, smooth(ctx, n, rounds)),
+    )
+    .expect("launch");
+    println!(
+        "4-process + ckpt  : {:.6}  ({} snapshots, {} bytes)",
+        outcome.results[0].1,
+        outcome.stats.as_ref().map(|s| s.snapshots_taken).unwrap_or(0),
+        outcome.stats.as_ref().map(|s| s.bytes_written).unwrap_or(0),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(seq, smp);
+    assert_eq!(seq, dist[0]);
+    assert_eq!(seq, outcome.results[0].1);
+    println!("all deployments agree bit-for-bit ✓");
+}
