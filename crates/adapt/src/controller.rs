@@ -169,9 +169,8 @@ mod tests {
 
     #[test]
     fn external_request_overrides_timeline() {
-        let ctrl = AdaptationController::with_timeline(
-            ResourceTimeline::new().at(1, ExecMode::smp(2)),
-        );
+        let ctrl =
+            AdaptationController::with_timeline(ResourceTimeline::new().at(1, ExecMode::smp(2)));
         let ctx = dummy_ctx();
         ctrl.request(ExecMode::smp(16));
         assert_eq!(ctrl.pending(&ctx, "p"), Some(ExecMode::smp(16)));

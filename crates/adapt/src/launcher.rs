@@ -139,9 +139,7 @@ pub fn launch<R: Send>(
             let rank0 = modules.first().cloned().flatten();
             let modules_ref = &modules;
             let hooks = move |rank: usize| {
-                let ck = modules_ref[rank]
-                    .clone()
-                    .map(|m| m as Arc<dyn CkptHook>);
+                let ck = modules_ref[rank].clone().map(|m| m as Arc<dyn CkptHook>);
                 // Run-time adaptation of the aggregate shape goes through
                 // restart (Fig. 6); no controller is installed per rank.
                 (ck, None)

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppar_adapt::{launch, AppStatus, Deploy};
-use ppar_core::plan::{DistCkptStrategy};
+use ppar_core::plan::DistCkptStrategy;
 use ppar_dsm::SpmdConfig;
 use ppar_jgf::sor::pluggable::{plan_ckpt_with_strategy, plan_dist, sor_pluggable};
 use ppar_jgf::sor::SorParams;
@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
                     plan_dist().merge(plan_ckpt_with_strategy(4, strategy)),
                     Some(&dir),
                     None,
-                    |ctx| (AppStatus::Completed, sor_pluggable(ctx, &SorParams::new(128, 8))),
+                    |ctx| {
+                        (
+                            AppStatus::Completed,
+                            sor_pluggable(ctx, &SorParams::new(128, 8)),
+                        )
+                    },
                 )
                 .unwrap();
                 let _ = std::fs::remove_dir_all(&dir);

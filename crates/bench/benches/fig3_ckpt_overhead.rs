@@ -43,7 +43,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("smp4_pp_0ckpt", |b| {
         b.iter(|| {
             launch(
-                &Deploy::Smp { threads: 4, max_threads: 4 },
+                &Deploy::Smp {
+                    threads: 4,
+                    max_threads: 4,
+                },
                 plan_smp().merge(plan_ckpt(0)),
                 Some(&dir3),
                 None,

@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
                 plan_dist().merge(plan_ckpt(6)),
                 Some(&dir),
                 None,
-                |ctx| (AppStatus::Completed, sor_pluggable(ctx, &SorParams::new(128, 12))),
+                |ctx| {
+                    (
+                        AppStatus::Completed,
+                        sor_pluggable(ctx, &SorParams::new(128, 12)),
+                    )
+                },
             )
             .unwrap();
             let _ = std::fs::remove_dir_all(&dir);

@@ -18,10 +18,18 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
 
     g.bench_function("fixed_2", |b| {
-        b.iter(|| run_smp(Arc::new(plan_smp()), 2, None, None, |ctx| sor_pluggable(ctx, &params())))
+        b.iter(|| {
+            run_smp(Arc::new(plan_smp()), 2, None, None, |ctx| {
+                sor_pluggable(ctx, &params())
+            })
+        })
     });
     g.bench_function("fixed_8", |b| {
-        b.iter(|| run_smp(Arc::new(plan_smp()), 8, None, None, |ctx| sor_pluggable(ctx, &params())))
+        b.iter(|| {
+            run_smp(Arc::new(plan_smp()), 8, None, None, |ctx| {
+                sor_pluggable(ctx, &params())
+            })
+        })
     });
     g.bench_function("runtime_expand_2_to_8", |b| {
         b.iter(|| {
@@ -29,7 +37,10 @@ fn bench(c: &mut Criterion) {
                 ResourceTimeline::new().at(4, ExecMode::smp(8)),
             );
             launch(
-                &Deploy::Smp { threads: 2, max_threads: 8 },
+                &Deploy::Smp {
+                    threads: 2,
+                    max_threads: 8,
+                },
                 plan_smp().merge(plan_ckpt(0)),
                 None,
                 Some(controller),

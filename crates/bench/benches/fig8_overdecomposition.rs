@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = overdecomposed(8, of, NetModel::default());
                 launch(&Deploy::Dist(cfg), plan_dist(), None, None, |ctx| {
-                    (AppStatus::Completed, sor_pluggable(ctx, &SorParams::new(128, 8)))
+                    (
+                        AppStatus::Completed,
+                        sor_pluggable(ctx, &SorParams::new(128, 8)),
+                    )
                 })
                 .unwrap()
             })

@@ -2,10 +2,10 @@
 //! hand-written fixed versions — the "within 5%" claim.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ppar_core::run_sequential;
 use ppar_jgf::sor::baseline::sor_threads;
 use ppar_jgf::sor::pluggable::{plan_seq, plan_smp, sor_pluggable};
 use ppar_jgf::sor::{sor_seq, SorParams};
-use ppar_core::run_sequential;
 use ppar_smp::run_smp;
 use std::sync::Arc;
 
@@ -20,11 +20,19 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("hand_seq", |b| b.iter(|| sor_seq(&params())));
     g.bench_function("pluggable_seq", |b| {
-        b.iter(|| run_sequential(Arc::new(plan_seq()), None, None, |ctx| sor_pluggable(ctx, &params())))
+        b.iter(|| {
+            run_sequential(Arc::new(plan_seq()), None, None, |ctx| {
+                sor_pluggable(ctx, &params())
+            })
+        })
     });
     g.bench_function("hand_threads_4", |b| b.iter(|| sor_threads(&params(), 4)));
     g.bench_function("pluggable_smp_4", |b| {
-        b.iter(|| run_smp(Arc::new(plan_smp()), 4, None, None, |ctx| sor_pluggable(ctx, &params())))
+        b.iter(|| {
+            run_smp(Arc::new(plan_smp()), 4, None, None, |ctx| {
+                sor_pluggable(ctx, &params())
+            })
+        })
     });
     g.finish();
 }

@@ -191,7 +191,14 @@ fn run_invasive(env: Env, every: usize, params: &SorParams) -> f64 {
 pub fn fig3(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig 3 — checkpoint overhead (seconds)",
-        &["env", "original", "invasive_0ckpt", "invasive_1ckpt", "pp_0ckpt", "pp_1ckpt"],
+        &[
+            "env",
+            "original",
+            "invasive_0ckpt",
+            "invasive_1ckpt",
+            "pp_0ckpt",
+            "pp_1ckpt",
+        ],
     );
     let params = cfg.params();
     for env in envs(cfg) {
@@ -296,7 +303,10 @@ pub fn fig6(cfg: &ExpConfig) -> Table {
             })
             .expect("launch")
         });
-        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+        (
+            secs,
+            outcome.results.into_iter().next().unwrap().1.iter_times,
+        )
     };
 
     // Adaptive: 2 P, checkpoint+crash at `switch`, restart on 8 P.
@@ -315,7 +325,10 @@ pub fn fig6(cfg: &ExpConfig) -> Table {
             )
             .expect("launch")
         });
-        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+        (
+            secs,
+            outcome.results.into_iter().next().unwrap().1.iter_times,
+        )
     };
     let (run2_secs, run2_times) = {
         let params = base_params.clone();
@@ -329,7 +342,10 @@ pub fn fig6(cfg: &ExpConfig) -> Table {
             )
             .expect("launch")
         });
-        (secs, outcome.results.into_iter().next().unwrap().1.iter_times)
+        (
+            secs,
+            outcome.results.into_iter().next().unwrap().1.iter_times,
+        )
     };
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -352,7 +368,10 @@ pub fn fig6(cfg: &ExpConfig) -> Table {
     for i in 0..baseline_times.len().max(adaptive.len()) {
         t.row(vec![
             format!("{}", i + 1),
-            baseline_times.get(i).map(|&v| Table::f(v)).unwrap_or_default(),
+            baseline_times
+                .get(i)
+                .map(|&v| Table::f(v))
+                .unwrap_or_default(),
             adaptive.get(i).map(|&v| Table::f(v)).unwrap_or_default(),
         ]);
     }
@@ -369,10 +388,14 @@ pub fn fig7(cfg: &ExpConfig) -> Table {
     let target = 16usize;
     let switch = (cfg.iterations / 4).max(2);
     let mut t = Table::new(
-        &format!(
-            "Fig 7 — resource expansion to {target} LE at safe point {switch} (seconds)"
-        ),
-        &["start_LE", "fixed_start", "fixed_16", "runtime_adapt", "restart_adapt"],
+        &format!("Fig 7 — resource expansion to {target} LE at safe point {switch} (seconds)"),
+        &[
+            "start_LE",
+            "fixed_start",
+            "fixed_16",
+            "runtime_adapt",
+            "restart_adapt",
+        ],
     );
     let params = cfg.params();
     for &start in &[2usize, 4, 8] {

@@ -57,9 +57,17 @@ impl From<CodecError> for PparError {
 
 /// Serialize `value` to bytes.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, PparError> {
-    let mut ser = Serializer { out: Vec::new() };
-    value.serialize(&mut ser).map_err(PparError::from)?;
-    Ok(ser.out)
+    let mut out = Vec::with_capacity(128);
+    to_bytes_into(value, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize `value` appending into `out` (capacity-reusing form of
+/// [`to_bytes`]; lets snapshot writers serialize serde state straight into
+/// a persistent scratch buffer with no intermediate allocation).
+pub fn to_bytes_into<T: Serialize>(value: &T, out: &mut Vec<u8>) -> Result<(), PparError> {
+    let mut ser = Serializer { out };
+    value.serialize(&mut ser).map_err(PparError::from)
 }
 
 /// Deserialize a value from bytes produced by [`to_bytes`]. Fails on
@@ -80,11 +88,11 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, PparError> {
 // Serializer
 // ---------------------------------------------------------------------------
 
-struct Serializer {
-    out: Vec<u8>,
+struct Serializer<'b> {
+    out: &'b mut Vec<u8>,
 }
 
-impl Serializer {
+impl Serializer<'_> {
     fn put(&mut self, bytes: &[u8]) {
         self.out.extend_from_slice(bytes);
     }
@@ -94,16 +102,16 @@ impl Serializer {
     }
 }
 
-impl<'a> ser::Serializer for &'a mut Serializer {
+impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
     type Ok = ();
     type Error = CodecError;
-    type SerializeSeq = Compound<'a>;
-    type SerializeTuple = Compound<'a>;
-    type SerializeTupleStruct = Compound<'a>;
-    type SerializeTupleVariant = Compound<'a>;
-    type SerializeMap = Compound<'a>;
-    type SerializeStruct = Compound<'a>;
-    type SerializeStructVariant = Compound<'a>;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
 
     fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
         self.put(&[v as u8]);
@@ -165,12 +173,16 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        // One up-front reservation for prefix + payload instead of letting
+        // the two `put`s grow the buffer separately.
+        self.out.reserve(8 + v.len());
         self.put_len(v.len());
         self.put(v.as_bytes());
         Ok(())
     }
 
     fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.out.reserve(8 + v.len());
         self.put_len(v.len());
         self.put(v);
         Ok(())
@@ -222,15 +234,18 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         value.serialize(self)
     }
 
-    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
-        let len = len.ok_or_else(|| {
-            CodecError("sequences must have a known length".to_string())
-        })?;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a, 'b>, CodecError> {
+        let len =
+            len.ok_or_else(|| CodecError("sequences must have a known length".to_string()))?;
+        // Every element contributes at least one byte; reserving the prefix
+        // plus that floor avoids per-element re-allocation for the common
+        // numeric payloads (which reserve the rest on their first element).
+        self.out.reserve(8 + len);
         self.put_len(len);
         Ok(Compound { ser: self })
     }
 
-    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a, 'b>, CodecError> {
         Ok(Compound { ser: self })
     }
 
@@ -238,7 +253,7 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         self,
         _name: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
+    ) -> Result<Compound<'a, 'b>, CodecError> {
         Ok(Compound { ser: self })
     }
 
@@ -248,14 +263,15 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         variant_index: u32,
         _variant: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
+    ) -> Result<Compound<'a, 'b>, CodecError> {
         self.serialize_u32(variant_index)?;
         Ok(Compound { ser: self })
     }
 
-    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
-        let len =
-            len.ok_or_else(|| CodecError("maps must have a known length".to_string()))?;
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a, 'b>, CodecError> {
+        let len = len.ok_or_else(|| CodecError("maps must have a known length".to_string()))?;
+        // Key + value: at least two bytes per entry.
+        self.out.reserve(8 + len.saturating_mul(2));
         self.put_len(len);
         Ok(Compound { ser: self })
     }
@@ -264,7 +280,7 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         self,
         _name: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
+    ) -> Result<Compound<'a, 'b>, CodecError> {
         Ok(Compound { ser: self })
     }
 
@@ -274,7 +290,7 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         variant_index: u32,
         _variant: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
+    ) -> Result<Compound<'a, 'b>, CodecError> {
         self.serialize_u32(variant_index)?;
         Ok(Compound { ser: self })
     }
@@ -284,13 +300,13 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 }
 
-struct Compound<'a> {
-    ser: &'a mut Serializer,
+struct Compound<'a, 'b> {
+    ser: &'a mut Serializer<'b>,
 }
 
 macro_rules! impl_compound {
     ($trait:ident, $method:ident) => {
-        impl ser::$trait for Compound<'_> {
+        impl ser::$trait for Compound<'_, '_> {
             type Ok = ();
             type Error = CodecError;
 
@@ -310,7 +326,7 @@ impl_compound!(SerializeTuple, serialize_element);
 impl_compound!(SerializeTupleStruct, serialize_field);
 impl_compound!(SerializeTupleVariant, serialize_field);
 
-impl ser::SerializeMap for Compound<'_> {
+impl ser::SerializeMap for Compound<'_, '_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -327,7 +343,7 @@ impl ser::SerializeMap for Compound<'_> {
     }
 }
 
-impl ser::SerializeStruct for Compound<'_> {
+impl ser::SerializeStruct for Compound<'_, '_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -344,7 +360,7 @@ impl ser::SerializeStruct for Compound<'_> {
     }
 }
 
-impl ser::SerializeStructVariant for Compound<'_> {
+impl ser::SerializeStructVariant for Compound<'_, '_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -405,8 +421,7 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError(
-            "ppar checkpoint codec is not self-describing; deserialize_any unsupported"
-                .to_string(),
+            "ppar checkpoint codec is not self-describing; deserialize_any unsupported".to_string(),
         ))
     }
 
@@ -536,17 +551,11 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         visitor.visit_enum(EnumAccess { de: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError("identifiers are not encoded".to_string()))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError(
             "cannot skip values in a non-self-describing format".to_string(),
         ))
@@ -695,7 +704,7 @@ mod tests {
         roundtrip(&u64::MAX);
         roundtrip(&i64::MIN);
         roundtrip(&3.5f32);
-        roundtrip(&-2.718281828459045f64);
+        roundtrip(&-std::f64::consts::E);
         roundtrip(&'λ');
         roundtrip(&"hello grid".to_string());
         roundtrip(&());

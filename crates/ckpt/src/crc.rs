@@ -3,21 +3,38 @@
 //! Checkpoints live on remote Grid storage elements (§I); a truncated or
 //! bit-rotted snapshot must be detected *before* it is poured into live
 //! application state. Every persisted artefact carries a trailing CRC-32
-//! computed with this table-driven implementation (polynomial 0xEDB88320,
-//! reflected, init/final XOR 0xFFFFFFFF — the zlib/PNG convention).
+//! (polynomial 0xEDB88320, reflected, init/final XOR 0xFFFFFFFF — the
+//! zlib/PNG convention).
+//!
+//! The implementation is slice-by-8: eight derived 256-entry tables let the
+//! inner loop fold eight input bytes per step instead of one, which matters
+//! now that the snapshot writer computes the checksum *while streaming* the
+//! payload (the CRC is on the critical path of every checkpoint, Fig. 4).
 
-/// Lazily built 256-entry lookup table.
-fn table() -> &'static [u32; 256] {
+/// Lazily built slice-by-8 table set. `TABLES[0]` is the classic byte-wise
+/// table; `TABLES[k][b] == crc_of(b << (8 * k))`, so eight lookups combine
+/// into one 64-bit step.
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
     })
@@ -41,12 +58,26 @@ impl Crc32 {
         Crc32 { state: 0xFFFF_FFFF }
     }
 
-    /// Absorb bytes.
+    /// Absorb bytes (slice-by-8 main loop, byte-wise tail).
     pub fn update(&mut self, bytes: &[u8]) {
-        let t = table();
-        for &b in bytes {
-            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        let t = tables();
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][chunk[4] as usize]
+                ^ t[2][chunk[5] as usize]
+                ^ t[1][chunk[6] as usize]
+                ^ t[0][chunk[7] as usize];
         }
+        for &b in chunks.remainder() {
+            crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
     }
 
     /// Final digest.
@@ -66,12 +97,25 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// Reference byte-at-a-time implementation (the pre-slice-by-8 loop).
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let t = tables();
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn known_vectors() {
         // Standard test vectors for CRC-32/IEEE.
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -82,6 +126,24 @@ mod tests {
             c.update(chunk);
         }
         assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_at_all_lengths() {
+        // Cover every tail length (0..8 remainder) and unaligned splits.
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 + 7) as u8).collect();
+        for len in 0..64 {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "len {len}"
+            );
+        }
+        assert_eq!(crc32(&data), crc32_bytewise(&data));
+        let mut c = Crc32::new();
+        c.update(&data[..13]);
+        c.update(&data[13..]);
+        assert_eq!(c.finish(), crc32_bytewise(&data));
     }
 
     #[test]

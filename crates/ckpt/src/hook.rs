@@ -30,8 +30,9 @@ use ppar_core::ctx::{CkptHook, Ctx, PointDirective};
 use ppar_core::error::{PparError, Result};
 use ppar_core::partition::block_owned;
 use ppar_core::plan::{DistCkptStrategy, Plan};
+use ppar_core::state::StateCell;
 
-use crate::store::{CheckpointStore, Snapshot};
+use crate::store::{CheckpointStore, FieldSource, Snapshot, SnapshotMeta};
 
 static NEXT_MODULE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -72,6 +73,13 @@ pub struct CheckpointModule {
     target: AtomicU64,
     stats: Mutex<CkptStats>,
     created: Instant,
+    /// Scratch for snapshot fields whose encoded length is unknown up front
+    /// (serde-backed cells). Reused across snapshots so steady-state
+    /// checkpointing does not allocate.
+    scratch: Mutex<Vec<u8>>,
+    /// Per-field extraction buffers for shard snapshots (partitioned fields
+    /// contribute only the owned block). Reused across snapshots.
+    field_bufs: Mutex<Vec<Vec<u8>>>,
 }
 
 impl CheckpointModule {
@@ -121,6 +129,8 @@ impl CheckpointModule {
                     target: AtomicU64::new(target),
                     stats: Mutex::new(CkptStats::default()),
                     created: Instant::now(),
+                    scratch: Mutex::new(Vec::new()),
+                    field_bufs: Mutex::new(Vec::new()),
                 })
             })
             .collect())
@@ -170,34 +180,65 @@ impl CheckpointModule {
         CLOCKS.with(|c| c.borrow().get(&self.id).copied().unwrap_or(0))
     }
 
-    /// Build the field payload list for a master snapshot (complete data at
-    /// the caller — engines must have collected partitioned fields first).
-    fn master_fields(&self, ctx: &Ctx) -> Result<Vec<(String, Vec<u8>)>> {
-        let mut fields = Vec::new();
+    /// Stream a master snapshot (complete data at the caller — engines must
+    /// have collected partitioned fields first): every field streams
+    /// straight from its registered cell; no payload is materialized.
+    fn stream_master_snapshot(&self, ctx: &Ctx, meta: &SnapshotMeta) -> Result<u64> {
+        let mut cells: Vec<(&String, Arc<dyn StateCell>)> = Vec::new();
         for name in ctx.plan().safe_data() {
-            let cell = ctx.registry().state(name)?;
-            fields.push((name.clone(), cell.save_bytes()));
+            cells.push((name, ctx.registry().state(name)?));
         }
-        Ok(fields)
+        let fields: Vec<(&str, FieldSource<'_>)> = cells
+            .iter()
+            .map(|(name, cell)| (name.as_str(), FieldSource::Cell(&**cell)))
+            .collect();
+        let mut scratch = self.scratch.lock();
+        self.store.stream_master(meta, &fields, &mut scratch)
     }
 
-    /// Build the field payload list for a local shard: partitioned fields
-    /// contribute only this element's block; everything else is saved whole.
-    fn shard_fields(&self, ctx: &Ctx) -> Result<Vec<(String, Vec<u8>)>> {
+    /// Stream a local shard: partitioned fields contribute only this
+    /// element's block (extracted into per-module buffers reused across
+    /// snapshots); everything else streams whole from its cell.
+    fn stream_shard_snapshot(&self, ctx: &Ctx, meta: &SnapshotMeta) -> Result<u64> {
         let rank = ctx.rank();
         let nranks = ctx.num_ranks();
-        let mut fields = Vec::new();
+
+        enum Slot {
+            Block(usize),
+            Whole(Arc<dyn StateCell>),
+        }
+
+        let mut bufs = self.field_bufs.lock();
+        let mut slots: Vec<(&String, Slot)> = Vec::new();
+        let mut used = 0;
         for name in ctx.plan().safe_data() {
             if ctx.plan().field_partition(name).is_some() {
                 let cell = ctx.registry().dist(name)?;
+                if bufs.len() == used {
+                    bufs.push(Vec::new());
+                }
+                let buf = &mut bufs[used];
+                buf.clear();
                 let owned = block_owned(cell.logical_len(), nranks, rank);
-                fields.push((name.clone(), cell.extract(owned)));
+                cell.extract_into(owned, buf);
+                slots.push((name, Slot::Block(used)));
+                used += 1;
             } else {
-                let cell = ctx.registry().state(name)?;
-                fields.push((name.clone(), cell.save_bytes()));
+                slots.push((name, Slot::Whole(ctx.registry().state(name)?)));
             }
         }
-        Ok(fields)
+        let fields: Vec<(&str, FieldSource<'_>)> = slots
+            .iter()
+            .map(|(name, slot)| {
+                let source = match slot {
+                    Slot::Block(i) => FieldSource::Bytes(&bufs[*i]),
+                    Slot::Whole(cell) => FieldSource::Cell(&**cell),
+                };
+                (name.as_str(), source)
+            })
+            .collect();
+        let mut scratch = self.scratch.lock();
+        self.store.stream_shard(meta, &fields, &mut scratch)
     }
 
     fn install_master_fields(&self, ctx: &Ctx, snap: &Snapshot) -> Result<()> {
@@ -216,8 +257,11 @@ impl CheckpointModule {
         if snap.nranks as usize != nranks {
             return Err(PparError::FormatMismatch {
                 expected: format!("{nranks} ranks"),
-                found: format!("{} ranks (local snapshots restart only in the same \
-                                aggregate size)", snap.nranks),
+                found: format!(
+                    "{} ranks (local snapshots restart only in the same \
+                                aggregate size)",
+                    snap.nranks
+                ),
             });
         }
         for name in ctx.plan().safe_data() {
@@ -245,7 +289,7 @@ impl CkptHook for CheckpointModule {
             }
             return PointDirective::Continue;
         }
-        if self.every > 0 && c % self.every == 0 {
+        if self.every > 0 && c.is_multiple_of(self.every) {
             return PointDirective::Snapshot;
         }
         PointDirective::Continue
@@ -267,23 +311,21 @@ impl CkptHook for CheckpointModule {
         let strategy = ctx.plan().dist_ckpt_strategy();
 
         let written = if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
-            let snap = Snapshot {
+            let meta = SnapshotMeta {
                 mode_tag,
                 count,
                 rank: Some(ctx.rank() as u32),
                 nranks,
-                fields: self.shard_fields(ctx)?,
             };
-            self.store.write_shard(&snap)?
+            self.stream_shard_snapshot(ctx, &meta)?
         } else {
-            let snap = Snapshot {
+            let meta = SnapshotMeta {
                 mode_tag,
                 count,
                 rank: None,
                 nranks,
-                fields: self.master_fields(ctx)?,
             };
-            self.store.write_master(&snap)?
+            self.stream_master_snapshot(ctx, &meta)?
         };
 
         let dt = t0.elapsed();
@@ -302,23 +344,18 @@ impl CkptHook for CheckpointModule {
 
         if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
             // Every element loads its own shard.
-            let snap = self
-                .store
-                .read_shard(ctx.rank() as u32)?
-                .ok_or_else(|| {
-                    PparError::CorruptCheckpoint(format!(
-                        "missing shard for rank {}",
-                        ctx.rank()
-                    ))
-                })?;
+            let snap = self.store.read_shard(ctx.rank() as u32)?.ok_or_else(|| {
+                PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
+            })?;
             self.install_shard_fields(ctx, &snap)?;
         } else if ctx.rank() == 0 {
             // Master-collect: the root installs the full snapshot; the engine
             // subsequently scatters partitioned fields and broadcasts the
             // rest (no file access on other elements).
-            let snap = self.store.read_master()?.ok_or_else(|| {
-                PparError::CorruptCheckpoint("missing master snapshot".into())
-            })?;
+            let snap = self
+                .store
+                .read_master()?
+                .ok_or_else(|| PparError::CorruptCheckpoint("missing master snapshot".into()))?;
             self.install_master_fields(ctx, &snap)?;
         }
 

@@ -88,7 +88,9 @@ mod tests {
 
     fn plan(every: usize) -> Plan {
         Plan::new()
-            .plug(Plug::SafeData { field: "acc".into() })
+            .plug(Plug::SafeData {
+                field: "acc".into(),
+            })
             .plug(Plug::SafePoints {
                 points: PointSet::All,
                 every,

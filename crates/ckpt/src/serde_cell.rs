@@ -73,6 +73,24 @@ where
     fn byte_len(&self) -> usize {
         self.save_bytes().len()
     }
+
+    fn write_state(&self, w: &mut dyn std::io::Write) -> Result<u64> {
+        let bytes = codec::to_bytes(&*self.value.read())?;
+        w.write_all(&bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    fn save_into(&self, out: &mut Vec<u8>) {
+        codec::to_bytes_into(&*self.value.read(), out).expect("serde state must serialize")
+    }
+
+    fn known_byte_len(&self) -> Option<usize> {
+        // A serde payload only learns its length by serializing. Returning
+        // `None` makes the snapshot writer buffer this field once through
+        // its reusable scratch instead of serializing twice (`byte_len` +
+        // `write_state`).
+        None
+    }
 }
 
 /// Allocate a [`SerdeCell`] and register it under `name` (the serde

@@ -27,14 +27,41 @@
 //! fields   nfields × { name: len-prefixed UTF-8, payload: len-prefixed bytes }
 //! crc      u32   CRC-32 of every preceding byte
 //! ```
+//!
+//! Length prefixes are `u64` for strings and payloads.
+//!
+//! ## Streaming write path
+//!
+//! Snapshots are persisted by [`SnapshotWriter`]: header, fields and
+//! trailing CRC are streamed through a [`std::io::BufWriter`] with a
+//! *running* slice-by-8 CRC-32 — at no point does a whole-snapshot buffer
+//! exist. Field payloads come from a [`FieldSource`]:
+//!
+//! * [`FieldSource::Cell`] streams a live [`StateCell`] through
+//!   [`StateCell::write_state`]; containers with contiguous little-endian
+//!   layouts (e.g. `SharedVec<f64>`) hand their backing bytes straight to
+//!   the sink without per-element serialization;
+//! * [`FieldSource::Bytes`] wraps pre-extracted bytes (partition shards,
+//!   gathered aggregates).
+//!
+//! Cells that cannot report their encoded length up front
+//! ([`StateCell::known_byte_len`] `== None`, e.g. serde-backed state) are
+//! buffered through a caller-provided scratch `Vec` that is reused across
+//! snapshots, keeping steady-state checkpointing allocation-free.
+//!
+//! The streamed output is byte-identical to the legacy materialized encoder
+//! ([`Snapshot::encode`], kept as the golden reference), so snapshots
+//! written by either path load through the same reader and old snapshot
+//! files stay valid.
 
 use std::fs;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use ppar_core::error::{PparError, Result};
+use ppar_core::state::StateCell;
 
-use crate::crc::crc32;
+use crate::crc::{crc32, Crc32};
 
 const MAGIC: &[u8; 8] = b"PPARCKP1";
 const MASTER_RANK: u32 = 0xFFFF_FFFF;
@@ -69,7 +96,22 @@ impl Snapshot {
         self.fields.iter().map(|(_, b)| b.len()).sum()
     }
 
-    fn encode(&self) -> Vec<u8> {
+    /// Header-only view of this snapshot (for the streaming writer).
+    pub fn meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            mode_tag: self.mode_tag.clone(),
+            count: self.count,
+            rank: self.rank,
+            nranks: self.nranks,
+        }
+    }
+
+    /// The legacy materialized encoder: builds the whole snapshot in one
+    /// buffer, then checksums it. Kept as the golden byte-for-byte reference
+    /// the streaming [`SnapshotWriter`] is tested against (and as the
+    /// baseline for the fig4 save-cost comparison benches); the persistence
+    /// paths all stream instead.
+    pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.payload_bytes());
         out.extend_from_slice(MAGIC);
         put_str(&mut out, &self.mode_tag);
@@ -139,6 +181,180 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+// ---------------------------------------------------------------------------
+// streaming writer
+// ---------------------------------------------------------------------------
+
+/// Snapshot header for the streaming write path (everything in
+/// [`Snapshot`] except the field payloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Execution-mode tag at snapshot time.
+    pub mode_tag: String,
+    /// Safe points executed when the snapshot was taken.
+    pub count: u64,
+    /// Owning element for shard snapshots; `None` for master snapshots.
+    pub rank: Option<u32>,
+    /// Aggregate size at snapshot time.
+    pub nranks: u32,
+}
+
+/// Where a streamed field's payload bytes come from.
+pub enum FieldSource<'a> {
+    /// Stream a live cell through [`StateCell::write_state`] (zero-copy for
+    /// contiguous little-endian containers).
+    Cell(&'a dyn StateCell),
+    /// Pre-extracted bytes (partition shards, gathered aggregate data).
+    Bytes(&'a [u8]),
+}
+
+/// Adapter that forwards writes to the sink while folding every byte into
+/// the running CRC. Handed to [`StateCell::write_state`] so even cell-driven
+/// writes stay on the single-pass path.
+struct CrcTee<'a, W: Write> {
+    sink: &'a mut W,
+    crc: &'a mut Crc32,
+    written: &'a mut u64,
+}
+
+impl<W: Write> Write for CrcTee<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.sink.write(buf)?;
+        self.crc.update(&buf[..n]);
+        *self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+/// Single-pass snapshot encoder: header, fields and the trailing CRC-32 are
+/// streamed straight into the sink (typically a [`BufWriter`] over the temp
+/// file) while the checksum runs alongside. Produces bytes identical to
+/// [`Snapshot::encode`] for the same content.
+pub struct SnapshotWriter<W: Write> {
+    sink: W,
+    crc: Crc32,
+    written: u64,
+    fields_remaining: u32,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Start a snapshot: writes the header for `meta` announcing `nfields`
+    /// upcoming fields.
+    pub fn new(sink: W, meta: &SnapshotMeta, nfields: u32) -> Result<SnapshotWriter<W>> {
+        let mut w = SnapshotWriter {
+            sink,
+            crc: Crc32::new(),
+            written: 0,
+            fields_remaining: nfields,
+        };
+        w.put(MAGIC)?;
+        w.put_str(&meta.mode_tag)?;
+        w.put(&meta.count.to_le_bytes())?;
+        w.put(&meta.rank.unwrap_or(MASTER_RANK).to_le_bytes())?;
+        w.put(&meta.nranks.to_le_bytes())?;
+        w.put(&nfields.to_le_bytes())?;
+        Ok(w)
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.crc.update(bytes);
+        self.sink.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn put_str(&mut self, s: &str) -> Result<()> {
+        self.put(&(s.len() as u64).to_le_bytes())?;
+        self.put(s.as_bytes())
+    }
+
+    fn begin_field(&mut self, name: &str, payload_len: u64) -> Result<()> {
+        if self.fields_remaining == 0 {
+            return Err(PparError::InvalidPlan(
+                "SnapshotWriter: more fields written than announced".into(),
+            ));
+        }
+        self.fields_remaining -= 1;
+        self.put_str(name)?;
+        self.put(&payload_len.to_le_bytes())
+    }
+
+    /// Write one field from pre-extracted bytes.
+    pub fn field_bytes(&mut self, name: &str, payload: &[u8]) -> Result<()> {
+        self.begin_field(name, payload.len() as u64)?;
+        self.put(payload)
+    }
+
+    /// Write one field by streaming `cell`. Cells that know their encoded
+    /// length stream directly (zero-copy for LE containers); others are
+    /// buffered once through `scratch`, whose capacity is reused across
+    /// snapshots.
+    pub fn field_cell(
+        &mut self,
+        name: &str,
+        cell: &dyn StateCell,
+        scratch: &mut Vec<u8>,
+    ) -> Result<()> {
+        match cell.known_byte_len() {
+            Some(len) => {
+                self.begin_field(name, len as u64)?;
+                let streamed = {
+                    let mut tee = CrcTee {
+                        sink: &mut self.sink,
+                        crc: &mut self.crc,
+                        written: &mut self.written,
+                    };
+                    cell.write_state(&mut tee)?
+                };
+                if streamed != len as u64 {
+                    return Err(PparError::CorruptCheckpoint(format!(
+                        "field {name:?}: cell announced {len} bytes but streamed {streamed}"
+                    )));
+                }
+                Ok(())
+            }
+            None => {
+                scratch.clear();
+                cell.save_into(scratch);
+                self.field_bytes(name, scratch)
+            }
+        }
+    }
+
+    /// Write one field from a [`FieldSource`].
+    pub fn field(
+        &mut self,
+        name: &str,
+        source: &FieldSource<'_>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<()> {
+        match source {
+            FieldSource::Cell(cell) => self.field_cell(name, *cell, scratch),
+            FieldSource::Bytes(bytes) => self.field_bytes(name, bytes),
+        }
+    }
+
+    /// Seal the snapshot: append the running CRC, flush the sink and return
+    /// `(total bytes written, sink)`.
+    pub fn finish(mut self) -> Result<(u64, W)> {
+        if self.fields_remaining != 0 {
+            return Err(PparError::InvalidPlan(format!(
+                "SnapshotWriter: {} announced fields never written",
+                self.fields_remaining
+            )));
+        }
+        let crc = self.crc.finish();
+        self.sink.write_all(&crc.to_le_bytes())?;
+        self.written += 4;
+        self.sink.flush()?;
+        Ok((self.written, self.sink))
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -205,33 +421,80 @@ impl CheckpointStore {
         self.dir.join("RUNNING")
     }
 
-    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+    /// Stream one snapshot atomically: temp file → [`SnapshotWriter`] over a
+    /// [`BufWriter`] → flush → rename. No whole-snapshot buffer exists at
+    /// any point.
+    fn stream_atomic(
+        &self,
+        path: &Path,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.flush()?;
+        let file = fs::File::create(&tmp)?;
+        let mut w = SnapshotWriter::new(BufWriter::new(file), meta, fields.len() as u32)?;
+        for (name, source) in fields {
+            w.field(name, source, scratch)?;
         }
+        let (written, sink) = w.finish()?;
+        drop(sink);
         fs::rename(&tmp, path)?;
-        Ok(())
+        Ok(written)
     }
 
-    /// Persist a master snapshot; returns bytes written.
-    pub fn write_master(&self, snap: &Snapshot) -> Result<u64> {
-        debug_assert!(snap.rank.is_none(), "master snapshot must have rank None");
-        let bytes = snap.encode();
-        self.write_atomic(&self.master_path(), &bytes)?;
-        Ok(bytes.len() as u64)
+    /// Stream a master snapshot from live field sources; returns bytes
+    /// written. `scratch` buffers length-unknown cells and is reused across
+    /// calls (pass the module's persistent buffer).
+    pub fn stream_master(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        debug_assert!(meta.rank.is_none(), "master snapshot must have rank None");
+        self.stream_atomic(&self.master_path(), meta, fields, scratch)
     }
 
-    /// Persist one element's shard; returns bytes written.
-    pub fn write_shard(&self, snap: &Snapshot) -> Result<u64> {
-        let rank = snap
+    /// Stream one element's shard from live field sources; returns bytes
+    /// written.
+    pub fn stream_shard(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let rank = meta
             .rank
             .ok_or_else(|| PparError::InvalidPlan("shard snapshot needs a rank".into()))?;
-        let bytes = snap.encode();
-        self.write_atomic(&self.shard_path(rank), &bytes)?;
-        Ok(bytes.len() as u64)
+        self.stream_atomic(&self.shard_path(rank), meta, fields, scratch)
+    }
+
+    /// Persist a materialized master snapshot; returns bytes written.
+    /// (Streams `snap`'s payloads — convenience wrapper over
+    /// [`CheckpointStore::stream_master`] for callers that already hold a
+    /// [`Snapshot`].)
+    pub fn write_master(&self, snap: &Snapshot) -> Result<u64> {
+        debug_assert!(snap.rank.is_none(), "master snapshot must have rank None");
+        let fields: Vec<(&str, FieldSource<'_>)> = snap
+            .fields
+            .iter()
+            .map(|(name, bytes)| (name.as_str(), FieldSource::Bytes(bytes)))
+            .collect();
+        self.stream_master(&snap.meta(), &fields, &mut Vec::new())
+    }
+
+    /// Persist a materialized shard snapshot; returns bytes written.
+    pub fn write_shard(&self, snap: &Snapshot) -> Result<u64> {
+        if snap.rank.is_none() {
+            return Err(PparError::InvalidPlan("shard snapshot needs a rank".into()));
+        }
+        let fields: Vec<(&str, FieldSource<'_>)> = snap
+            .fields
+            .iter()
+            .map(|(name, bytes)| (name.as_str(), FieldSource::Bytes(bytes)))
+            .collect();
+        self.stream_shard(&snap.meta(), &fields, &mut Vec::new())
     }
 
     fn read(&self, path: &Path) -> Result<Option<Snapshot>> {
@@ -305,10 +568,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "ppar_store_test_{tag}_{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("ppar_store_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -442,6 +702,259 @@ mod tests {
         assert!(store.read_master().unwrap().is_none());
         assert!(store.read_shard(1).unwrap().is_none());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // ---- streaming writer ----
+
+    use ppar_core::shared::SharedVec;
+    use ppar_core::state::StateCell;
+
+    fn bytes_fields(snap: &Snapshot) -> Vec<(&str, FieldSource<'_>)> {
+        snap.fields
+            .iter()
+            .map(|(n, b)| (n.as_str(), FieldSource::Bytes(b)))
+            .collect()
+    }
+
+    /// The golden-bytes guarantee: for identical content, the streaming
+    /// writer's file is byte-for-byte the legacy materialized encoding.
+    #[test]
+    fn golden_bytes_streaming_equals_legacy_encode() {
+        let dir = tmpdir("golden");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let cases = vec![
+            sample(None),
+            sample(Some(3)),
+            // Edge: snapshot with no fields at all.
+            Snapshot {
+                mode_tag: "seq".into(),
+                count: 0,
+                rank: None,
+                nranks: 1,
+                fields: vec![],
+            },
+            // Edge: empty payload and empty name.
+            Snapshot {
+                mode_tag: String::new(),
+                count: u64::MAX,
+                rank: Some(0),
+                nranks: 1,
+                fields: vec![("empty".into(), vec![]), (String::new(), vec![7])],
+            },
+        ];
+        for snap in cases {
+            let golden = snap.encode();
+            let written = if snap.rank.is_none() {
+                store
+                    .stream_master(&snap.meta(), &bytes_fields(&snap), &mut Vec::new())
+                    .unwrap()
+            } else {
+                store
+                    .stream_shard(&snap.meta(), &bytes_fields(&snap), &mut Vec::new())
+                    .unwrap()
+            };
+            let path = match snap.rank {
+                None => store.master_path(),
+                Some(r) => store.shard_path(r),
+            };
+            let streamed = fs::read(&path).unwrap();
+            assert_eq!(streamed, golden, "streamed bytes differ for {snap:?}");
+            assert_eq!(written, golden.len() as u64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `FieldSource::Cell` (the zero-copy path) must produce the same bytes
+    /// as materializing the cell through `save_bytes`.
+    #[test]
+    fn golden_bytes_cell_source_matches_materialized() {
+        let dir = tmpdir("golden_cell");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let grid: Vec<f64> = (0..512).map(|i| i as f64 * 0.5 - 17.0).collect();
+        let vec_cell = SharedVec::from_vec(grid);
+        let empty_cell = SharedVec::new(0, 0.0f64);
+
+        let materialized = Snapshot {
+            mode_tag: "smp4".into(),
+            count: 9,
+            rank: None,
+            nranks: 1,
+            fields: vec![
+                ("G".into(), vec_cell.save_bytes()),
+                ("Z".into(), empty_cell.save_bytes()),
+            ],
+        };
+        let golden = materialized.encode();
+
+        let fields: Vec<(&str, FieldSource<'_>)> = vec![
+            ("G", FieldSource::Cell(&vec_cell)),
+            ("Z", FieldSource::Cell(&empty_cell)),
+        ];
+        let mut scratch = Vec::new();
+        store
+            .stream_master(&materialized.meta(), &fields, &mut scratch)
+            .unwrap();
+        let streamed = fs::read(store.master_path()).unwrap();
+        assert_eq!(streamed, golden);
+        assert!(
+            scratch.is_empty(),
+            "known-length cells must not touch the scratch buffer"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Files written by the legacy encoder load through the reader, and
+    /// files written by the streaming writer decode to the same snapshot:
+    /// both directions of the format-compatibility acceptance criterion.
+    #[test]
+    fn legacy_and_streamed_files_are_interchangeable() {
+        let dir = tmpdir("interop");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let snap = sample(None);
+
+        // Legacy writer -> new reader.
+        fs::write(store.master_path(), snap.encode()).unwrap();
+        assert_eq!(store.read_master().unwrap().unwrap(), snap);
+
+        // Streaming writer -> reader.
+        store
+            .stream_master(&snap.meta(), &bytes_fields(&snap), &mut Vec::new())
+            .unwrap();
+        assert_eq!(store.read_master().unwrap().unwrap(), snap);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_file_corruption_and_truncation_detected() {
+        let dir = tmpdir("stream_corrupt");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let snap = sample(None);
+        store
+            .stream_master(&snap.meta(), &bytes_fields(&snap), &mut Vec::new())
+            .unwrap();
+        let good = fs::read(store.master_path()).unwrap();
+
+        // Bit flip anywhere must fail the CRC.
+        for pos in [0, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            fs::write(store.master_path(), &bad).unwrap();
+            assert!(
+                matches!(
+                    store.read_master(),
+                    Err(PparError::CorruptCheckpoint(_)) | Err(PparError::FormatMismatch { .. })
+                ),
+                "bit flip at {pos} undetected"
+            );
+        }
+
+        // Truncation at any boundary must fail.
+        for cut in [1, 4, good.len() / 2, good.len() - 1] {
+            fs::write(store.master_path(), &good[..cut]).unwrap();
+            assert!(
+                store.read_master().is_err(),
+                "truncation to {cut} undetected"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Full save -> load round trip of a `SharedVec<f64>` through the
+    /// `write_state` fast path (no per-element serialization on save).
+    #[test]
+    fn shared_vec_f64_roundtrips_through_streaming_path() {
+        let dir = tmpdir("vec_roundtrip");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64).sin() * 1e9 + f64::EPSILON * i as f64)
+            .collect();
+        let cell = SharedVec::from_vec(values.clone());
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 42,
+            rank: None,
+            nranks: 1,
+        };
+        let fields: Vec<(&str, FieldSource<'_>)> = vec![("G", FieldSource::Cell(&cell))];
+        store
+            .stream_master(&meta, &fields, &mut Vec::new())
+            .unwrap();
+
+        let back = store.read_master().unwrap().unwrap();
+        assert_eq!(back.count, 42);
+        let restored = SharedVec::new(1000, 0.0f64);
+        restored.load_bytes(back.field("G").unwrap()).unwrap();
+        assert_eq!(restored.to_vec(), values);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Length-unknown cells (serde-backed) stream through the reusable
+    /// scratch buffer and still hit the golden encoding.
+    #[test]
+    fn unknown_length_cells_buffer_through_scratch() {
+        struct OpaqueCell(Vec<u8>);
+        impl StateCell for OpaqueCell {
+            fn save_bytes(&self) -> Vec<u8> {
+                self.0.clone()
+            }
+            fn load_bytes(&self, _bytes: &[u8]) -> ppar_core::error::Result<()> {
+                Ok(())
+            }
+            fn byte_len(&self) -> usize {
+                self.0.len()
+            }
+            fn known_byte_len(&self) -> Option<usize> {
+                None
+            }
+        }
+        let dir = tmpdir("scratch");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let cell = OpaqueCell(vec![1, 2, 3, 4, 5]);
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 1,
+            rank: None,
+            nranks: 1,
+        };
+        let fields: Vec<(&str, FieldSource<'_>)> = vec![("pop", FieldSource::Cell(&cell))];
+        let mut scratch = Vec::new();
+        store.stream_master(&meta, &fields, &mut scratch).unwrap();
+        assert_eq!(scratch, vec![1, 2, 3, 4, 5], "field buffered via scratch");
+
+        let golden = Snapshot {
+            mode_tag: "seq".into(),
+            count: 1,
+            rank: None,
+            nranks: 1,
+            fields: vec![("pop".into(), vec![1, 2, 3, 4, 5])],
+        }
+        .encode();
+        assert_eq!(fs::read(store.master_path()).unwrap(), golden);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_writer_enforces_announced_field_count() {
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 0,
+            rank: None,
+            nranks: 1,
+        };
+        // Fewer fields than announced: finish() must refuse.
+        let w = SnapshotWriter::new(Vec::new(), &meta, 2).unwrap();
+        assert!(w.finish().is_err());
+        // More fields than announced: the extra field must refuse.
+        let mut w = SnapshotWriter::new(Vec::new(), &meta, 1).unwrap();
+        w.field_bytes("a", &[1]).unwrap();
+        assert!(w.field_bytes("b", &[2]).is_err());
+        // Exact count round-trips.
+        let mut w = SnapshotWriter::new(Vec::new(), &meta, 1).unwrap();
+        w.field_bytes("a", &[1, 2, 3]).unwrap();
+        let (written, bytes) = w.finish().unwrap();
+        assert_eq!(written as usize, bytes.len());
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded.field("a"), Some(&[1u8, 2, 3][..]));
     }
 
     #[test]

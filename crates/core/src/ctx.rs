@@ -137,7 +137,13 @@ pub trait Engine: Send + Sync {
     fn region(&self, ctx: &Ctx, name: &str, body: &(dyn Fn(&Ctx) + Sync));
 
     /// Work-shared loop join point over `range`.
-    fn for_each(&self, ctx: &Ctx, name: &str, range: Range<usize>, body: &(dyn Fn(&Ctx, usize) + Sync));
+    fn for_each(
+        &self,
+        ctx: &Ctx,
+        name: &str,
+        range: Range<usize>,
+        body: &(dyn Fn(&Ctx, usize) + Sync),
+    );
 
     /// Execution-point join point (safe points, data-update points).
     fn point(&self, ctx: &Ctx, name: &str);

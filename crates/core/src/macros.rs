@@ -254,12 +254,12 @@ mod tests {
         };
         assert_eq!(
             p.updates_at("iter_start"),
-            &[(
-                "G".to_string(),
-                UpdateAction::HaloExchange { halo: 1 }
-            )]
+            &[("G".to_string(), UpdateAction::HaloExchange { halo: 1 })]
         );
-        assert_eq!(p.updates_at("end"), &[("G".to_string(), UpdateAction::Gather)]);
+        assert_eq!(
+            p.updates_at("end"),
+            &[("G".to_string(), UpdateAction::Gather)]
+        );
         assert_eq!(p.field_dist("omega"), FieldDist::Replicated);
         assert_eq!(p.field_dist("scratch"), FieldDist::Local);
         assert!(p.is_safe_point("anything"));

@@ -132,7 +132,10 @@ impl ExecMode {
             return Some(ExecMode::Sequential);
         }
         if let Some(rest) = tag.strip_prefix("smp") {
-            return rest.parse().ok().map(|t| ExecMode::SharedMemory { threads: t });
+            return rest
+                .parse()
+                .ok()
+                .map(|t| ExecMode::SharedMemory { threads: t });
         }
         if let Some(rest) = tag.strip_prefix("dist") {
             return rest

@@ -12,9 +12,10 @@ use std::ops::Range;
 
 /// How a one-dimensional index space (array rows, loop iterations, genes,
 /// particles, ...) is split across aggregate elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Partition {
     /// Contiguous near-equal blocks in element order.
+    #[default]
     Block,
     /// Element `e` owns indices `e, e+P, e+2P, ...`.
     Cyclic,
@@ -23,12 +24,6 @@ pub enum Partition {
         /// Block length; must be ≥ 1.
         block: usize,
     },
-}
-
-impl Default for Partition {
-    fn default() -> Self {
-        Partition::Block
-    }
 }
 
 /// Which of an object's fields participates in aggregate state, and how.
@@ -175,7 +170,9 @@ mod tests {
     #[test]
     fn block_owner_with_remainder() {
         // len=10, elements=3 -> blocks [0..4), [4..7), [7..10)
-        let owners: Vec<usize> = (0..10).map(|i| owner_of(Partition::Block, 10, 3, i)).collect();
+        let owners: Vec<usize> = (0..10)
+            .map(|i| owner_of(Partition::Block, 10, 3, i))
+            .collect();
         assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
     }
 

@@ -338,7 +338,10 @@ impl Plan {
             Plug::ParallelMethod { method } => {
                 self.parallel_methods.insert(method.clone());
             }
-            Plug::For { loop_name, schedule } => {
+            Plug::For {
+                loop_name,
+                schedule,
+            } => {
                 self.for_loops.insert(loop_name.clone(), *schedule);
             }
             Plug::Synchronized { method } => {
@@ -355,7 +358,10 @@ impl Plan {
                 before,
                 after,
             } => {
-                let e = self.barriers.entry(method.clone()).or_insert((false, false));
+                let e = self
+                    .barriers
+                    .entry(method.clone())
+                    .or_insert((false, false));
                 e.0 |= *before;
                 e.1 |= *after;
             }
@@ -528,7 +534,8 @@ impl Plan {
         let mut v: Vec<String> = self
             .fields
             .iter()
-            .filter_map(|(f, d)| matches!(d, FieldDist::Replicated).then(|| f.clone()))
+            .filter(|(_, d)| matches!(d, FieldDist::Replicated))
+            .map(|(f, _)| f.clone())
             .collect();
         v.sort();
         v
@@ -536,7 +543,9 @@ impl Plan {
 
     /// Fields to scatter before entering `method`.
     pub fn scatters_before(&self, method: &str) -> &[String] {
-        self.scatter_before.get(method).map_or(&[], |v| v.as_slice())
+        self.scatter_before
+            .get(method)
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Fields to gather after leaving `method`.
@@ -682,7 +691,9 @@ mod tests {
 
     fn sample_plan() -> Plan {
         Plan::new()
-            .plug(Plug::ParallelMethod { method: "Do".into() })
+            .plug(Plug::ParallelMethod {
+                method: "Do".into(),
+            })
             .plug(Plug::For {
                 loop_name: "rows".into(),
                 schedule: Schedule::Block,
@@ -740,7 +751,9 @@ mod tests {
 
     #[test]
     fn merge_composes_modules() {
-        let par = Plan::new().plug(Plug::ParallelMethod { method: "Do".into() });
+        let par = Plan::new().plug(Plug::ParallelMethod {
+            method: "Do".into(),
+        });
         let ckpt = Plan::new()
             .plug(Plug::SafeData { field: "G".into() })
             .plug(Plug::SafePoints {
@@ -850,7 +863,10 @@ mod tests {
                 field: "c".into(),
                 dist: FieldDist::Local,
             });
-        assert_eq!(p.partitioned_fields(), vec![("a".to_string(), Partition::Block)]);
+        assert_eq!(
+            p.partitioned_fields(),
+            vec![("a".to_string(), Partition::Block)]
+        );
         assert_eq!(p.replicated_fields(), vec!["b".to_string()]);
     }
 }

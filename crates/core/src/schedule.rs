@@ -9,9 +9,10 @@
 use std::ops::Range;
 
 /// How iterations of a work-shared loop are divided among team workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Schedule {
     /// Contiguous near-equal blocks, one per worker (OpenMP `static`).
+    #[default]
     Block,
     /// Round-robin assignment of single iterations (OpenMP `static,1`).
     Cyclic,
@@ -34,12 +35,6 @@ pub enum Schedule {
     },
 }
 
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Block
-    }
-}
-
 impl Schedule {
     /// True when the assignment of iterations to workers is a pure function
     /// of `(n, workers, worker)` — i.e. no shared counter is needed.
@@ -59,7 +54,10 @@ impl Schedule {
 /// ranges disjoint.
 pub fn block_range(n: usize, workers: usize, worker: usize) -> Range<usize> {
     assert!(workers > 0, "workers must be >= 1");
-    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    assert!(
+        worker < workers,
+        "worker {worker} out of range 0..{workers}"
+    );
     let base = n / workers;
     let extra = n % workers;
     let start = worker * base + worker.min(extra);
@@ -71,7 +69,10 @@ pub fn block_range(n: usize, workers: usize, worker: usize) -> Range<usize> {
 /// schedule of stride-`workers` starting at `worker`.
 pub fn cyclic_indices(n: usize, workers: usize, worker: usize) -> impl Iterator<Item = usize> {
     assert!(workers > 0, "workers must be >= 1");
-    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    assert!(
+        worker < workers,
+        "worker {worker} out of range 0..{workers}"
+    );
     (worker..n).step_by(workers)
 }
 
@@ -84,7 +85,10 @@ pub fn block_cyclic_ranges(
     chunk: usize,
 ) -> impl Iterator<Item = Range<usize>> {
     assert!(workers > 0, "workers must be >= 1");
-    assert!(worker < workers, "worker {worker} out of range 0..{workers}");
+    assert!(
+        worker < workers,
+        "worker {worker} out of range 0..{workers}"
+    );
     let chunk = chunk.max(1);
     (0..)
         .map(move |k| (k * workers + worker) * chunk)

@@ -31,6 +31,11 @@ use parking_lot::Mutex;
 use crate::error::{PparError, Result};
 use crate::state::{DistCell, Scalar, StateCell};
 
+// Snapshot fast-path note: for every `Scalar` provided here, `write_le`
+// emits the value's little-endian memory representation, so on LE hosts the
+// containers below satisfy `save_bytes() == raw backing bytes` and stream
+// snapshots without touching individual elements.
+
 // ---------------------------------------------------------------------------
 // worker identity + write tracking
 // ---------------------------------------------------------------------------
@@ -119,7 +124,10 @@ pub mod tracking {
     pub(super) fn maybe_init_from_env() {
         static ONCE: std::sync::Once = std::sync::Once::new();
         ONCE.call_once(|| {
-            if std::env::var("PPAR_CHECK_DISJOINT").map(|v| v == "1").unwrap_or(false) {
+            if std::env::var("PPAR_CHECK_DISJOINT")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+            {
                 enable();
             }
         });
@@ -209,6 +217,31 @@ impl<T: Scalar> SharedVec<T> {
         self.as_slice().to_vec()
     }
 
+    /// True when the in-memory layout *is* the portable encoding: a
+    /// little-endian host and an element whose encoded width equals its
+    /// in-memory size. [`Scalar::write_le`] of every provided element type
+    /// emits the value's little-endian byte representation, so under this
+    /// condition snapshot/extract paths can memcpy instead of looping
+    /// element by element.
+    #[inline]
+    fn le_layout() -> bool {
+        cfg!(target_endian = "little") && T::LE_MEMCPY_SAFE && T::WIDTH == std::mem::size_of::<T>()
+    }
+
+    /// Raw byte view of elements `range` (callers must have checked
+    /// [`SharedVec::le_layout`]; same no-concurrent-writers caveat as
+    /// [`SharedVec::as_slice`]).
+    #[inline]
+    fn raw_bytes(&self, range: std::ops::Range<usize>) -> &[u8] {
+        let slice = &self.as_slice()[range];
+        // Safety: T is a plain Copy scalar with size_of::<T>() == T::WIDTH
+        // (checked by le_layout), so the element bytes are exactly the
+        // little-endian encoding on this host.
+        unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice))
+        }
+    }
+
     /// Overwrite `dst_start..dst_start+src.len()` from a slice.
     pub fn copy_in(&self, dst_start: usize, src: &[T]) {
         assert!(dst_start + src.len() <= self.len(), "copy_in out of bounds");
@@ -248,6 +281,10 @@ impl<T: Scalar> SharedVec<T> {
 
 impl<T: Scalar> StateCell for SharedVec<T> {
     fn save_bytes(&self) -> Vec<u8> {
+        if Self::le_layout() {
+            return self.raw_bytes(0..self.len()).to_vec();
+        }
+        // Fallback: per-element encode (big-endian hosts / exotic scalars).
         let mut out = vec![0u8; self.len() * T::WIDTH];
         for (i, chunk) in out.chunks_exact_mut(T::WIDTH).enumerate() {
             self.get(i).write_le(chunk);
@@ -263,6 +300,19 @@ impl<T: Scalar> StateCell for SharedVec<T> {
                 bytes.len()
             )));
         }
+        if Self::le_layout() && !tracking::enabled() {
+            // Restore fast path: one memcpy into the backing storage. Loads
+            // only run in quiesced phases (restart, broadcast install), the
+            // same contract as `as_slice`.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    bytes.as_ptr(),
+                    self.data.as_ptr() as *mut u8,
+                    bytes.len(),
+                );
+            }
+            return Ok(());
+        }
         for (i, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
             self.set(i, T::read_le(chunk));
         }
@@ -271,6 +321,19 @@ impl<T: Scalar> StateCell for SharedVec<T> {
 
     fn byte_len(&self) -> usize {
         self.len() * T::WIDTH
+    }
+
+    fn write_state(&self, w: &mut dyn std::io::Write) -> Result<u64> {
+        if Self::le_layout() {
+            // Zero-copy: hand the backing bytes straight to the sink — no
+            // per-element loop, no intermediate Vec.
+            let bytes = self.raw_bytes(0..self.len());
+            w.write_all(bytes)?;
+            return Ok(bytes.len() as u64);
+        }
+        let bytes = self.save_bytes();
+        w.write_all(&bytes)?;
+        Ok(bytes.len() as u64)
     }
 }
 
@@ -284,11 +347,26 @@ impl<T: Scalar> DistCell for SharedVec<T> {
     }
 
     fn extract(&self, range: std::ops::Range<usize>) -> Vec<u8> {
+        if Self::le_layout() {
+            return self.raw_bytes(range).to_vec();
+        }
         let mut out = vec![0u8; range.len() * T::WIDTH];
         for (k, chunk) in out.chunks_exact_mut(T::WIDTH).enumerate() {
             self.get(range.start + k).write_le(chunk);
         }
         out
+    }
+
+    fn extract_into(&self, range: std::ops::Range<usize>, out: &mut Vec<u8>) {
+        if Self::le_layout() {
+            out.extend_from_slice(self.raw_bytes(range));
+            return;
+        }
+        let start = out.len();
+        out.resize(start + range.len() * T::WIDTH, 0);
+        for (k, chunk) in out[start..].chunks_exact_mut(T::WIDTH).enumerate() {
+            self.get(range.start + k).write_le(chunk);
+        }
     }
 
     fn install(&self, range: std::ops::Range<usize>, bytes: &[u8]) -> Result<()> {
@@ -298,6 +376,14 @@ impl<T: Scalar> DistCell for SharedVec<T> {
                 range.len() * T::WIDTH,
                 bytes.len()
             )));
+        }
+        if Self::le_layout() && !tracking::enabled() {
+            let dst = &self.data[range];
+            // Safety: same quiesced-phase contract as `load_bytes`.
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_ptr() as *mut u8, bytes.len());
+            }
+            return Ok(());
         }
         for (k, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
             self.set(range.start + k, T::read_le(chunk));
@@ -403,6 +489,10 @@ impl<T: Scalar> StateCell for SharedGrid<T> {
     fn byte_len(&self) -> usize {
         self.data.byte_len()
     }
+
+    fn write_state(&self, w: &mut dyn std::io::Write) -> Result<u64> {
+        self.data.write_state(w)
+    }
 }
 
 impl<T: Scalar> DistCell for SharedGrid<T> {
@@ -417,6 +507,11 @@ impl<T: Scalar> DistCell for SharedGrid<T> {
     fn extract(&self, range: std::ops::Range<usize>) -> Vec<u8> {
         self.data
             .extract(range.start * self.cols..range.end * self.cols)
+    }
+
+    fn extract_into(&self, range: std::ops::Range<usize>, out: &mut Vec<u8>) {
+        self.data
+            .extract_into(range.start * self.cols..range.end * self.cols, out);
     }
 
     fn install(&self, range: std::ops::Range<usize>, bytes: &[u8]) -> Result<()> {
@@ -580,6 +675,52 @@ mod tests {
     }
 
     #[test]
+    fn write_state_streams_save_bytes_exactly() {
+        // f64 exercises the little-endian memcpy fast path.
+        let v = SharedVec::from_vec(vec![1.5f64, -2.25, 3.75]);
+        let mut out = Vec::new();
+        assert_eq!(v.write_state(&mut out).unwrap(), 24);
+        assert_eq!(out, v.save_bytes());
+
+        let g = SharedGrid::from_vec(2, 2, vec![1u32, 2, 3, 4]);
+        let mut out = Vec::new();
+        assert_eq!(g.write_state(&mut out).unwrap(), 16);
+        assert_eq!(out, g.save_bytes());
+
+        // Zero-length vector: no bytes, no error.
+        let empty = SharedVec::new(0, 0.0f64);
+        let mut out = Vec::new();
+        assert_eq!(empty.write_state(&mut out).unwrap(), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn save_bytes_matches_per_element_encoding() {
+        // The fast path must produce exactly what the per-element encoder
+        // (the portable format definition) produces.
+        let values = [f64::MIN, -0.0, 0.0, f64::MAX, f64::INFINITY, 1.25e-300];
+        let v = SharedVec::from_vec(values.to_vec());
+        let bytes = v.save_bytes();
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            assert_eq!(chunk, values[i].to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn extract_into_appends_and_matches_extract() {
+        let v = SharedVec::from_vec(vec![1i64, 2, 3, 4, 5]);
+        let mut buf = vec![0xAAu8];
+        v.extract_into(1..4, &mut buf);
+        assert_eq!(buf[0], 0xAA, "extract_into must append, not overwrite");
+        assert_eq!(&buf[1..], v.extract(1..4).as_slice());
+
+        let g = SharedGrid::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut buf = Vec::new();
+        g.extract_into(1..2, &mut buf);
+        assert_eq!(buf, g.extract(1..2));
+    }
+
+    #[test]
     fn shared_vec_extract_install() {
         let v = SharedVec::from_vec(vec![1i64, 2, 3, 4, 5]);
         let bytes = v.extract(1..4);
@@ -672,7 +813,7 @@ mod tests {
     fn worker_identity_is_thread_local() {
         set_current_worker(3);
         assert_eq!(current_worker(), 3);
-        let handle = std::thread::spawn(|| current_worker());
+        let handle = std::thread::spawn(current_worker);
         assert_eq!(handle.join().unwrap(), 0);
         set_current_worker(0);
     }

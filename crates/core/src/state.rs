@@ -33,6 +33,14 @@ pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
     const WIDTH: usize;
     /// Distinguishes element types in persisted headers.
     const TYPE_TAG: u8;
+    /// True only when `write_le` emits exactly the value's little-endian
+    /// in-memory byte representation (and `read_le` is its inverse), which
+    /// lets containers snapshot/extract by memcpy on little-endian hosts.
+    /// Defaults to `false`; the built-in primitive impls opt in. Leave it
+    /// `false` for any encoding that transforms the bytes (normalization,
+    /// byte-swapping, ...), or fast-path saves would diverge from the
+    /// per-element path.
+    const LE_MEMCPY_SAFE: bool = false;
     /// Write `self` as little-endian bytes into `out` (`out.len() == WIDTH`).
     fn write_le(&self, out: &mut [u8]);
     /// Read a value from little-endian bytes (`b.len() == WIDTH`).
@@ -44,6 +52,7 @@ macro_rules! impl_scalar {
         impl Scalar for $t {
             const WIDTH: usize = std::mem::size_of::<$t>();
             const TYPE_TAG: u8 = $tag;
+            const LE_MEMCPY_SAFE: bool = true;
             #[inline]
             fn write_le(&self, out: &mut [u8]) {
                 out.copy_from_slice(&self.to_le_bytes());
@@ -73,6 +82,35 @@ pub trait StateCell: Send + Sync {
     /// Length `save_bytes` would produce (used to pre-size buffers and to
     /// validate checkpoints).
     fn byte_len(&self) -> usize;
+
+    /// Stream exactly the bytes `save_bytes` would produce into `w`,
+    /// returning the byte count. The default materializes through
+    /// `save_bytes`; containers whose in-memory layout already *is* the
+    /// portable encoding (little-endian hosts) override this with a
+    /// zero-copy fast path, which is what makes checkpoint cost scale with
+    /// bandwidth instead of element count.
+    fn write_state(&self, w: &mut dyn std::io::Write) -> Result<u64> {
+        let bytes = self.save_bytes();
+        w.write_all(&bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// The exact `write_state` length when it is known *without* running a
+    /// serialization pass (lets snapshot writers emit the length prefix and
+    /// then stream the payload directly). Cells whose length is only known
+    /// after serializing (e.g. serde-backed state) return `None`; writers
+    /// then buffer that one field through a reusable scratch buffer.
+    fn known_byte_len(&self) -> Option<usize> {
+        Some(self.byte_len())
+    }
+
+    /// Append the `save_bytes` encoding to `out` (capacity-reusing form).
+    /// Cells that serialize through an internal encoder override this to
+    /// emit straight into `out`, so buffering writers pay one serialization
+    /// pass and zero intermediate allocations.
+    fn save_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.save_bytes());
+    }
 }
 
 /// State with a logical one-dimensional index space (array elements, matrix
@@ -84,6 +122,12 @@ pub trait DistCell: StateCell {
     fn index_bytes(&self) -> usize;
     /// Extract logical indices `range` as bytes.
     fn extract(&self, range: std::ops::Range<usize>) -> Vec<u8>;
+    /// Append logical indices `range` to `out` (capacity-reusing form of
+    /// `extract`; override together with the `write_state` fast path so
+    /// shard checkpoints and gathers stay allocation-free in steady state).
+    fn extract_into(&self, range: std::ops::Range<usize>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.extract(range));
+    }
     /// Install bytes (from `extract` of the same range shape) into `range`.
     fn install(&self, range: std::ops::Range<usize>, bytes: &[u8]) -> Result<()>;
 }
@@ -216,10 +260,12 @@ impl Registry {
             kind: "field",
             name: name.to_string(),
         })?;
-        alloc.dist.ok_or_else(|| PparError::InvalidPlan(format!(
-            "field {name:?} is registered but has no logical index space \
+        alloc.dist.ok_or_else(|| {
+            PparError::InvalidPlan(format!(
+                "field {name:?} is registered but has no logical index space \
              (cannot be partitioned/scattered)"
-        )))
+            ))
+        })
     }
 
     /// Names currently registered, sorted.
@@ -252,7 +298,7 @@ mod tests {
         roundtrip(-1234567890123i64);
         roundtrip(0xFEED_FACE_CAFE_BEEFu64);
         roundtrip(3.25f32);
-        roundtrip(-2.718281828459045f64);
+        roundtrip(-std::f64::consts::E);
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn tracker_detects_cross_worker_overlap_and_allows_epochs() {
             let v = v.clone();
             std::thread::spawn(move || {
                 set_current_worker(w);
-                for i in (w as usize..16).step_by(4) {
+                for i in (w..16).step_by(4) {
                     v.set(i, w as u64);
                 }
             })

@@ -104,17 +104,29 @@ impl Endpoint {
     /// Broadcast `bytes` from `root`; non-roots pass `None` and receive the
     /// root's bytes.
     pub fn bcast(&self, root: usize, bytes: Option<Vec<u8>>) -> Vec<u8> {
+        match self.bcast_slice(root, bytes.as_deref()) {
+            // Root: bcast_slice returned None; it already holds the payload.
+            None => bytes.expect("root must provide broadcast payload"),
+            Some(received) => received,
+        }
+    }
+
+    /// Broadcast from `root` without requiring an owned payload at the root
+    /// (pairs with `StateCell::write_state` into a reusable scratch buffer).
+    /// Non-roots pass `None` and receive `Some(payload)`; the root passes
+    /// `Some(bytes)` and gets `None` back — it already holds the data.
+    pub fn bcast_slice(&self, root: usize, bytes: Option<&[u8]>) -> Option<Vec<u8>> {
         let tag = self.next_tag(CollOp::Bcast);
         if self.rank == root {
             let bytes = bytes.expect("root must provide broadcast payload");
             for dst in 0..self.nranks() {
                 if dst != root {
-                    self.net.send(root, dst, tag, bytes.clone());
+                    self.net.send(root, dst, tag, bytes.to_vec());
                 }
             }
-            bytes
+            None
         } else {
-            self.net.recv(self.rank, root, tag)
+            Some(self.net.recv(self.rank, root, tag))
         }
     }
 
@@ -125,9 +137,9 @@ impl Endpoint {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.nranks()];
             out[root] = bytes;
-            for src in 0..self.nranks() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.net.recv(root, src, tag);
+                    *slot = self.net.recv(root, src, tag);
                 }
             }
             Some(out)
@@ -174,7 +186,8 @@ impl Endpoint {
             }
             acc
         } else {
-            self.net.send(self.rank, 0, tag, value.to_le_bytes().to_vec());
+            self.net
+                .send(self.rank, 0, tag, value.to_le_bytes().to_vec());
             let bytes = self.net.recv(self.rank, 0, tag);
             f64::from_le_bytes(bytes.try_into().expect("8-byte f64"))
         }
@@ -269,8 +282,8 @@ mod tests {
     #[test]
     fn scatter_distributes_per_rank() {
         let results = spmd(4, |ep| {
-            let payloads = (ep.rank() == 0)
-                .then(|| (0..4).map(|r| vec![r as u8 * 10]).collect::<Vec<_>>());
+            let payloads =
+                (ep.rank() == 0).then(|| (0..4).map(|r| vec![r as u8 * 10]).collect::<Vec<_>>());
             ep.scatter(0, payloads)
         });
         for (rank, r) in results.iter().enumerate() {
@@ -280,7 +293,9 @@ mod tests {
 
     #[test]
     fn allreduce_combines_across_ranks() {
-        let results = spmd(8, |ep| ep.allreduce_f64(ReduceOp::Sum, (ep.rank() + 1) as f64));
+        let results = spmd(8, |ep| {
+            ep.allreduce_f64(ReduceOp::Sum, (ep.rank() + 1) as f64)
+        });
         for r in results {
             assert_eq!(r, 36.0);
         }

@@ -38,12 +38,20 @@ use crate::collective::Endpoint;
 /// Per-element engine for distributed execution.
 pub struct DsmEngine {
     ep: Endpoint,
+    /// Reused serialization buffer for whole-field broadcasts (the
+    /// master-collect restore path re-broadcasts every replicated field;
+    /// streaming cells into one persistent buffer keeps that loop
+    /// allocation-free at the root).
+    scratch: parking_lot::Mutex<Vec<u8>>,
 }
 
 impl DsmEngine {
     /// Engine for one aggregate element.
     pub fn new(ep: Endpoint) -> Arc<DsmEngine> {
-        Arc::new(DsmEngine { ep })
+        Arc::new(DsmEngine {
+            ep,
+            scratch: parking_lot::Mutex::new(Vec::new()),
+        })
     }
 
     /// The element's endpoint.
@@ -66,7 +74,7 @@ impl DsmEngine {
     ) -> Vec<u8> {
         let mut out = Vec::new();
         for r in owned_ranges(partition, cell.logical_len(), nranks, rank) {
-            out.extend_from_slice(&cell.extract(r));
+            cell.extract_into(r, &mut out);
         }
         out
     }
@@ -93,7 +101,10 @@ impl DsmEngine {
     fn scatter_field(&self, ctx: &Ctx, field: &str) {
         let plan = ctx.plan();
         let partition = self.partition_of(plan, field);
-        let cell = ctx.registry().dist(field).expect("scatter field registered");
+        let cell = ctx
+            .registry()
+            .dist(field)
+            .expect("scatter field registered");
         let n = self.ep.nranks();
         let payloads = (self.ep.rank() == 0).then(|| {
             (0..n)
@@ -143,9 +154,18 @@ impl DsmEngine {
             .registry()
             .state(field)
             .expect("broadcast field registered");
-        let payload = (self.ep.rank() == 0).then(|| cell.save_bytes());
-        let bytes = self.ep.bcast(0, payload);
-        if self.ep.rank() != 0 {
+        if self.ep.rank() == 0 {
+            // Serialize the cell into the reused scratch buffer instead of
+            // materializing a fresh Vec per broadcast.
+            let mut scratch = self.scratch.lock();
+            scratch.clear();
+            cell.save_into(&mut scratch);
+            self.ep.bcast_slice(0, Some(&scratch));
+        } else {
+            let bytes = self
+                .ep
+                .bcast_slice(0, None)
+                .expect("non-root receives broadcast payload");
             cell.load_bytes(&bytes).expect("broadcast install failed");
         }
     }
@@ -158,7 +178,7 @@ impl DsmEngine {
             .expect("allreduce field registered");
         let mine = cell.save_bytes();
         assert!(
-            mine.len() % 8 == 0,
+            mine.len().is_multiple_of(8),
             "AllReduce update actions require f64 cells"
         );
         let all = self.ep.gather(0, mine);
@@ -172,7 +192,11 @@ impl DsmEngine {
                     *a = op.apply_f64(*a, f64::from_le_bytes(c.try_into().unwrap()));
                 }
             }
-            Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>())
+            Some(
+                acc.iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect::<Vec<u8>>(),
+            )
         } else {
             None
         };
@@ -315,7 +339,10 @@ impl Engine for DsmEngine {
         match plan.dist_for_field(name) {
             Some(field) => {
                 let partition = self.partition_of(plan, field);
-                let cell = ctx.registry().dist(field).expect("DistFor field registered");
+                let cell = ctx
+                    .registry()
+                    .dist(field)
+                    .expect("DistFor field registered");
                 for owned in owned_ranges(
                     partition,
                     cell.logical_len(),
@@ -340,10 +367,7 @@ impl Engine for DsmEngine {
 
     fn point(&self, ctx: &Ctx, name: &str) {
         let plan = ctx.plan();
-        let replaying = ctx
-            .ckpt_hook()
-            .map(|ck| ck.replaying())
-            .unwrap_or(false);
+        let replaying = ctx.ckpt_hook().map(|ck| ck.replaying()).unwrap_or(false);
         if !replaying {
             // Plan-driven data updates fire at every announcement of the
             // point; during restart replay they are skipped (all elements

@@ -134,21 +134,27 @@ impl SimNet {
         match link {
             LinkClass::Intra => {
                 self.intra_msgs.fetch_add(1, Ordering::Relaxed);
-                self.intra_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.intra_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
             }
             LinkClass::Inter => {
                 self.inter_msgs.fetch_add(1, Ordering::Relaxed);
-                self.inter_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.inter_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
             }
         }
         let arrives_at = Instant::now() + self.model.cost(link, bytes.len());
         let mbox = &self.mailboxes[dst];
         let mut inner = mbox.inner.lock();
-        inner.queues.entry((src, tag)).or_default().push_back(Message {
-            bytes,
-            arrives_at,
-            link,
-        });
+        inner
+            .queues
+            .entry((src, tag))
+            .or_default()
+            .push_back(Message {
+                bytes,
+                arrives_at,
+                link,
+            });
         mbox.cv.notify_all();
     }
 

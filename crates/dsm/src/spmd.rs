@@ -47,8 +47,8 @@ impl SpmdConfig {
 /// Per-rank hook factory: builds the checkpoint/adaptation modules for each
 /// element (each element owns its own module instance, like a real process
 /// would).
-pub type HookFactory<'a> = &'a (dyn Fn(usize) -> (Option<Arc<dyn CkptHook>>, Option<Arc<dyn AdaptHook>>)
-         + Sync);
+pub type HookFactory<'a> =
+    &'a (dyn Fn(usize) -> (Option<Arc<dyn CkptHook>>, Option<Arc<dyn AdaptHook>>) + Sync);
 
 /// Run `app` as an SPMD job: `cfg.nranks` threads, each with its own
 /// registry, engine and hooks, connected by a simulated network. Returns
@@ -77,13 +77,8 @@ pub fn run_spmd<R: Send>(
                     let ep = Endpoint::new(net, rank);
                     let engine = DsmEngine::new(ep);
                     let (ckpt, adapt) = hooks(rank);
-                    let shared = RunShared::new(
-                        plan,
-                        Arc::new(Registry::new()),
-                        engine,
-                        ckpt,
-                        adapt,
-                    );
+                    let shared =
+                        RunShared::new(plan, Arc::new(Registry::new()), engine, ckpt, adapt);
                     let ctx = Ctx::new_root(shared);
                     let result = app(&ctx);
                     if auto_finish {

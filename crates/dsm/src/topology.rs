@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn over_subscribed_ranks_wrap() {
         let t = Topology::paper_cluster(); // 48 cores
-        // 256 ranks: 128 per machine.
+                                           // 256 ranks: 128 per machine.
         assert_eq!(t.machine_of(0, 256), 0);
         assert_eq!(t.machine_of(127, 256), 0);
         assert_eq!(t.machine_of(128, 256), 1);

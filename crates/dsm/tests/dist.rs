@@ -69,7 +69,9 @@ fn seq_plan() -> Plan {
 /// align loops with the partition, collect at the end.
 fn dist_plan() -> Plan {
     Plan::new()
-        .plug(Plug::Replicate { class: "Relax".into() })
+        .plug(Plug::Replicate {
+            class: "Relax".into(),
+        })
         .plug(Plug::Field {
             field: "G".into(),
             dist: FieldDist::Partitioned(Partition::Block),
@@ -155,7 +157,11 @@ fn dist_loops_partition_work() {
         });
     });
     for (i, c) in counters.iter().enumerate() {
-        assert_eq!(c.load(Ordering::SeqCst), 1, "index {i} ran on multiple ranks");
+        assert_eq!(
+            c.load(Ordering::SeqCst),
+            1,
+            "index {i} ran on multiple ranks"
+        );
     }
 }
 
@@ -277,14 +283,14 @@ fn delegated_and_master_methods() {
 // Distributed checkpointing
 // ---------------------------------------------------------------------------
 
-fn hook_factory(
-    dir: std::path::PathBuf,
-    plan: Arc<Plan>,
-) -> impl Fn(usize) -> (Option<Arc<dyn ppar_core::ctx::CkptHook>>, Option<Arc<dyn ppar_core::ctx::AdaptHook>>)
-       + Sync {
+type HookPair = (
+    Option<Arc<dyn ppar_core::ctx::CkptHook>>,
+    Option<Arc<dyn ppar_core::ctx::AdaptHook>>,
+);
+
+fn hook_factory(dir: std::path::PathBuf, plan: Arc<Plan>) -> impl Fn(usize) -> HookPair + Sync {
     move |_rank| {
-        let module = ppar_ckpt::CheckpointModule::create(&dir, &plan)
-            .expect("module creation");
+        let module = ppar_ckpt::CheckpointModule::create(&dir, &plan).expect("module creation");
         (Some(module as Arc<dyn ppar_core::ctx::CkptHook>), None)
     }
 }
@@ -297,14 +303,22 @@ fn master_collect_crash_restart_same_ranks() {
 
     // Run 1 on 3 ranks: snapshots at iterations 4 and 8, crash at 9.
     let cfg = SpmdConfig::instant(3);
-    run_spmd(&cfg, plan.clone(), &hook_factory(dir.clone(), plan.clone()), false, |ctx| {
-        relax(ctx, Some(9))
-    });
+    run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        false,
+        |ctx| relax(ctx, Some(9)),
+    );
 
     // Run 2 on 3 ranks: replay to 8, finish.
-    let results = run_spmd(&cfg, plan.clone(), &hook_factory(dir.clone(), plan.clone()), true, |ctx| {
-        relax(ctx, None)
-    });
+    let results = run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        true,
+        |ctx| relax(ctx, None),
+    );
     assert_eq!(results[0], expected);
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -371,12 +385,20 @@ fn local_snapshot_crash_restart_same_ranks() {
     let plan = Arc::new(ckpt_plugs(dist_plan(), 4, DistCkptStrategy::LocalSnapshot));
 
     let cfg = SpmdConfig::instant(4);
-    run_spmd(&cfg, plan.clone(), &hook_factory(dir.clone(), plan.clone()), false, |ctx| {
-        relax(ctx, Some(10))
-    });
-    let results = run_spmd(&cfg, plan.clone(), &hook_factory(dir.clone(), plan.clone()), true, |ctx| {
-        relax(ctx, None)
-    });
+    run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        false,
+        |ctx| relax(ctx, Some(10)),
+    );
+    let results = run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        true,
+        |ctx| relax(ctx, None),
+    );
     assert_eq!(results[0], expected);
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -406,6 +428,9 @@ fn traffic_flows_and_root_gather_is_heavier() {
         }
     });
     let t = net.traffic();
-    assert!(t.msgs() >= 9, "6 halo + 3 gather messages at least, got {t:?}");
+    assert!(
+        t.msgs() >= 9,
+        "6 halo + 3 gather messages at least, got {t:?}"
+    );
     assert!(t.bytes() >= 3 * 1024, "gather dominates bytes, got {t:?}");
 }

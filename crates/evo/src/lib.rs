@@ -312,10 +312,10 @@ pub fn plan_ckpt(every: usize) -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_dsm::{run_spmd_plain, SpmdConfig};
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     fn cfg() -> GaConfig {
         GaConfig::new(64, 8, 12)

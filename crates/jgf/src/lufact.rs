@@ -166,9 +166,9 @@ pub fn plan_smp() -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     #[test]
     fn lu_reconstructs_matrix() {

@@ -124,10 +124,10 @@ pub fn plan_dist() -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_dsm::{run_spmd_plain, SpmdConfig};
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     fn p() -> McParams {
         McParams::new(400)

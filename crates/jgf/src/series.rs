@@ -112,7 +112,9 @@ pub fn plan_seq() -> Plan {
 /// work-shared dynamically (coefficient costs are uneven: i=0 is cheap).
 pub fn plan_smp() -> Plan {
     Plan::new()
-        .plug(Plug::ParallelMethod { method: "Do".into() })
+        .plug(Plug::ParallelMethod {
+            method: "Do".into(),
+        })
         .plug(Plug::For {
             loop_name: "coeff_loop".into(),
             schedule: Schedule::Dynamic { chunk: 8 },
@@ -155,16 +157,18 @@ pub fn plan_ckpt() -> Plan {
             points: PointSet::Named(vec!["after_do".into()]),
             every: 1,
         })
-        .plug(Plug::Ignorable { method: "Do".into() })
+        .plug(Plug::Ignorable {
+            method: "Do".into(),
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_dsm::{run_spmd_plain, SpmdConfig};
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     fn close(a: &[(f64, f64)], b: &[(f64, f64)]) {
         assert_eq!(a.len(), b.len());
@@ -180,7 +184,10 @@ mod tests {
         // coefficients of (x+1)^x on [0,2] sit in known ballparks
         // (a0/2 ≈ 2.88, b1 < 0 with |b1| ≈ 1.9).
         let coarse = series_seq(&SeriesParams { n: 3, steps: 2_000 });
-        let fine = series_seq(&SeriesParams { n: 3, steps: 40_000 });
+        let fine = series_seq(&SeriesParams {
+            n: 3,
+            steps: 40_000,
+        });
         for (c, f) in coarse.iter().zip(fine.iter()) {
             assert!((c.0 - f.0).abs() < 1e-4, "a diverges: {} vs {}", c.0, f.0);
             assert!((c.1 - f.1).abs() < 1e-4, "b diverges: {} vs {}", c.1, f.1);

@@ -107,18 +107,13 @@ pub fn sor_seq_invasive(p: &SorParams, every: usize, dir: &std::path::Path) -> S
     for it in start_iter..p.iterations {
         for color in 0..2usize {
             for i in 1..n - 1 {
-                relax_row(
-                    n,
-                    i,
-                    color,
-                    p.omega,
-                    &|r, c| g.get(r, c),
-                    &|r, c, v| g.set(r, c, v),
-                );
+                relax_row(n, i, color, p.omega, &|r, c| g.get(r, c), &|r, c, v| {
+                    g.set(r, c, v)
+                });
             }
         }
         done = it + 1;
-        if every > 0 && done % every == 0 {
+        if every > 0 && done.is_multiple_of(every) {
             write_invasive_snapshot(&store, &g, done as u64);
         }
         if Some(done) == p.fail_after {
@@ -232,8 +227,7 @@ pub fn sor_dist(p: &SorParams, cfg: &SpmdConfig) -> SorResult {
                     for color in 0..2usize {
                         // halo exchange with neighbours
                         let to_prev = (rank > 0).then(|| g.extract(own.start..own.start + 1));
-                        let to_next =
-                            (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
+                        let to_next = (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
                         let (from_prev, from_next) = ep.halo_exchange(to_prev, to_next);
                         if let Some(bytes) = from_prev {
                             g.install(own.start - 1..own.start, &bytes).unwrap();
@@ -244,14 +238,9 @@ pub fn sor_dist(p: &SorParams, cfg: &SpmdConfig) -> SorResult {
                         let lo = own.start.max(1);
                         let hi = own.end.min(n - 1);
                         for i in lo..hi {
-                            relax_row(
-                                n,
-                                i,
-                                color,
-                                p.omega,
-                                &|r, c| g.get(r, c),
-                                &|r, c, v| g.set(r, c, v),
-                            );
+                            relax_row(n, i, color, p.omega, &|r, c| g.get(r, c), &|r, c, v| {
+                                g.set(r, c, v)
+                            });
                         }
                     }
                 }
@@ -330,8 +319,7 @@ pub fn sor_dist_invasive(
                 for it in start_iter..p.iterations {
                     for color in 0..2usize {
                         let to_prev = (rank > 0).then(|| g.extract(own.start..own.start + 1));
-                        let to_next =
-                            (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
+                        let to_next = (rank + 1 < nranks).then(|| g.extract(own.end - 1..own.end));
                         let (from_prev, from_next) = ep.halo_exchange(to_prev, to_next);
                         if let Some(bytes) = from_prev {
                             g.install(own.start - 1..own.start, &bytes).unwrap();
@@ -342,14 +330,9 @@ pub fn sor_dist_invasive(
                         let lo = own.start.max(1);
                         let hi = own.end.min(n - 1);
                         for i in lo..hi {
-                            relax_row(
-                                n,
-                                i,
-                                color,
-                                p.omega,
-                                &|r, c| g.get(r, c),
-                                &|r, c, v| g.set(r, c, v),
-                            );
+                            relax_row(n, i, color, p.omega, &|r, c| g.get(r, c), &|r, c, v| {
+                                g.set(r, c, v)
+                            });
                         }
                     }
                     done = it + 1;

@@ -127,8 +127,10 @@ pub fn sor_seq(p: &SorParams) -> SorResult {
                 let jstart = 1 + ((i + color + 1) % 2);
                 let mut j = jstart;
                 while j < n - 1 {
-                    let stencil =
-                        g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1];
+                    let stencil = g[(i - 1) * n + j]
+                        + g[(i + 1) * n + j]
+                        + g[i * n + j - 1]
+                        + g[i * n + j + 1];
                     g[i * n + j] = p.omega * 0.25 * stencil + (1.0 - p.omega) * g[i * n + j];
                     j += 2;
                 }

@@ -55,14 +55,9 @@ pub fn sor_pluggable(ctx: &Ctx, p: &SorParams) -> SorResult {
                     let g = g.clone();
                     ctx.call("sweep", move |ctx| {
                         ctx.each("rows", 1..n - 1, |_, i| {
-                            relax_row(
-                                n,
-                                i,
-                                color,
-                                omega,
-                                &|r, c| g.get(r, c),
-                                &|r, c, v| g.set(r, c, v),
-                            );
+                            relax_row(n, i, color, omega, &|r, c| g.get(r, c), &|r, c, v| {
+                                g.set(r, c, v)
+                            });
                         });
                     });
                 }
@@ -209,9 +204,10 @@ mod tests {
     fn pluggable_dist_matches_reference() {
         let reference = sor_seq(&params());
         for ranks in [1, 2, 3, 5] {
-            let results = run_spmd_plain(&SpmdConfig::instant(ranks), Arc::new(plan_dist()), |ctx| {
-                sor_pluggable(ctx, &params())
-            });
+            let results =
+                run_spmd_plain(&SpmdConfig::instant(ranks), Arc::new(plan_dist()), |ctx| {
+                    sor_pluggable(ctx, &params())
+                });
             assert_eq!(
                 results[0].checksum, reference.checksum,
                 "ranks={ranks}: distributed SOR must match after gather"

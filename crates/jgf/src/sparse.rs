@@ -86,13 +86,13 @@ pub fn sparse_seq(p: &SparseParams) -> f64 {
     let (m, x) = build_problem(p);
     let mut y = vec![0.0f64; p.n];
     for _it in 0..p.iterations {
-        for row in 0..p.n {
-            let mut acc = y[row];
+        for (row, y_row) in y.iter_mut().enumerate() {
+            let mut acc = *y_row;
             let base = row * m.nz_per_row;
             for k in 0..m.nz_per_row {
                 acc += m.vals[base + k] * x[m.cols[base + k]];
             }
-            y[row] = acc;
+            *y_row = acc;
         }
     }
     y.iter().sum()
@@ -160,10 +160,10 @@ pub fn plan_dist() -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_dsm::{run_spmd_plain, SpmdConfig};
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     fn p() -> SparseParams {
         SparseParams::new(200, 5)

@@ -89,13 +89,7 @@ fn minimum_image(mut d: f64, side: f64) -> f64 {
 /// Compute the LJ force on particle `i` from all others, and its potential
 /// contribution. Reads every position; writes nothing.
 #[allow(clippy::too_many_arguments)]
-fn force_on(
-    i: usize,
-    n: usize,
-    pos: &SharedGrid<f64>,
-    side: f64,
-    cutoff2: f64,
-) -> ([f64; 3], f64) {
+fn force_on(i: usize, n: usize, pos: &SharedGrid<f64>, side: f64, cutoff2: f64) -> ([f64; 3], f64) {
     let (xi, yi, zi) = (pos.get(i, 0), pos.get(i, 1), pos.get(i, 2));
     let mut f = [0.0f64; 3];
     let mut pot = 0.0;
@@ -221,7 +215,11 @@ pub fn md_pluggable(ctx: &Ctx, cfg: &MdConfig) -> MdResult {
     }
 
     let kinetic: f64 = (0..n)
-        .map(|i| (0..3).map(|k| 0.5 * vel.get(i, k) * vel.get(i, k)).sum::<f64>())
+        .map(|i| {
+            (0..3)
+                .map(|k| 0.5 * vel.get(i, k) * vel.get(i, k))
+                .sum::<f64>()
+        })
         .sum();
     let potential: f64 = pot.as_slice().iter().sum();
     MdResult {
@@ -331,9 +329,9 @@ pub fn plan_ckpt(every: usize) -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ppar_core::run_sequential;
     use ppar_smp::run_smp;
+    use std::sync::Arc;
 
     fn cfg() -> MdConfig {
         MdConfig::new(64, 10)

@@ -62,7 +62,12 @@ impl LoopState {
     }
 
     /// Claim a guided chunk: proportional to the remaining iterations.
-    pub fn claim_guided(&self, n: usize, workers: usize, min_chunk: usize) -> std::ops::Range<usize> {
+    pub fn claim_guided(
+        &self,
+        n: usize,
+        workers: usize,
+        min_chunk: usize,
+    ) -> std::ops::Range<usize> {
         loop {
             let start = self.cursor.load(Ordering::Relaxed);
             if start >= n {
@@ -156,7 +161,10 @@ impl ConstructSpace {
         make: impl FnOnce() -> ConstructState,
     ) -> Arc<ConstructState> {
         let mut entries = self.entries.lock();
-        entries.entry(seq).or_insert_with(|| Arc::new(make())).clone()
+        entries
+            .entry(seq)
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
     }
 
     /// Drop construct `seq`'s state (leader duty, after its barrier).

@@ -353,8 +353,9 @@ impl Engine for TeamEngine {
         let points = Arc::new(AtomicU64::new(0));
         let panics = Arc::new(Mutex::new(Vec::new()));
         // Safety: the latch join below keeps `body` alive for every worker.
-        let body_static: &'static (dyn Fn(&Ctx) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(&Ctx) + Sync), &'static (dyn Fn(&Ctx) + Sync)>(body) };
+        let body_static: &'static (dyn Fn(&Ctx) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(&Ctx) + Sync), &'static (dyn Fn(&Ctx) + Sync)>(body)
+        };
         *self.region.lock() = Some(RegionState {
             body: BodyPtr(body_static as *const _),
             latch: latch.clone(),

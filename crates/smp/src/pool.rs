@@ -128,7 +128,15 @@ impl Drop for TeamPool {
         for tx in self.senders.lock().iter() {
             let _ = tx.send(Job::Shutdown);
         }
+        let me = std::thread::current().id();
         for handle in self.handles.lock().drain(..) {
+            // The last engine handle can be dropped from inside a pool
+            // worker (a crashed run's context unwinding on the worker that
+            // observed the failure). A thread cannot join itself; that
+            // worker is detached instead and exits on the Shutdown job.
+            if handle.thread().id() == me {
+                continue;
+            }
             let _ = handle.join();
         }
     }
@@ -169,7 +177,10 @@ mod tests {
         latch.add(1); // now expects 2
         latch.count_down();
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!waiter.is_finished(), "must still wait for the added worker");
+        assert!(
+            !waiter.is_finished(),
+            "must still wait for the added worker"
+        );
         latch.count_down();
         waiter.join().unwrap();
     }
@@ -182,7 +193,8 @@ mod tests {
         for slot in 0..4 {
             let (l, ids) = (latch.clone(), ids.clone());
             pool.dispatch(slot, move || {
-                ids.lock().push(std::thread::current().name().map(String::from));
+                ids.lock()
+                    .push(std::thread::current().name().map(String::from));
                 l.count_down();
             });
         }

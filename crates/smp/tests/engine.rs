@@ -136,7 +136,9 @@ fn single_runs_exactly_once_per_encounter() {
     let plan = Arc::new(
         Plan::new()
             .plug(Plug::ParallelMethod { method: "r".into() })
-            .plug(Plug::Single { method: "init".into() }),
+            .plug(Plug::Single {
+                method: "init".into(),
+            }),
     );
     let count = Arc::new(AtomicUsize::new(0));
     let c = count.clone();
@@ -157,7 +159,9 @@ fn master_only_runs_on_worker_zero() {
     let plan = Arc::new(
         Plan::new()
             .plug(Plug::ParallelMethod { method: "r".into() })
-            .plug(Plug::Master { method: "report".into() }),
+            .plug(Plug::Master {
+                method: "report".into(),
+            }),
     );
     let who = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let w2 = who.clone();
@@ -177,7 +181,9 @@ fn synchronized_method_is_mutually_exclusive() {
     let plan = Arc::new(
         Plan::new()
             .plug(Plug::ParallelMethod { method: "r".into() })
-            .plug(Plug::Synchronized { method: "bump".into() }),
+            .plug(Plug::Synchronized {
+                method: "bump".into(),
+            }),
     );
     // A non-atomic counter: correct only under mutual exclusion.
     let counter = Arc::new(parking_lot::Mutex::new(0u64));
@@ -275,17 +281,23 @@ fn thread_local_fields_are_private_and_foldable() {
 
 fn ckpt_plan(every: usize) -> Plan {
     Plan::new()
-        .plug(Plug::ParallelMethod { method: "work".into() })
+        .plug(Plug::ParallelMethod {
+            method: "work".into(),
+        })
         .plug(Plug::For {
             loop_name: "l".into(),
             schedule: Schedule::Block,
         })
-        .plug(Plug::SafeData { field: "acc".into() })
+        .plug(Plug::SafeData {
+            field: "acc".into(),
+        })
         .plug(Plug::SafePoints {
             points: PointSet::Named(vec!["it".into()]),
             every,
         })
-        .plug(Plug::Ignorable { method: "compute".into() })
+        .plug(Plug::Ignorable {
+            method: "compute".into(),
+        })
 }
 
 /// A work-shared accumulation app: acc[i] += i*iter for 20 iterations.
@@ -324,9 +336,7 @@ fn smp_checkpoint_crash_restart_matches_sequential_result() {
     let dir = tmpdir("ckpt");
     let expected = {
         // Uncrashed sequential reference.
-        ppar_core::run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
-            ckpt_app(ctx, None)
-        })
+        ppar_core::run_sequential(Arc::new(Plan::new()), None, None, |ctx| ckpt_app(ctx, None))
     };
 
     // Run 1 on 4 threads: snapshots every 5 points, crash after iteration 12.
@@ -398,9 +408,8 @@ fn smp_snapshot_is_loadable_across_modes() {
         })
         .unwrap();
         assert!(report.replayed);
-        let expected = ppar_core::run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
-            ckpt_app(ctx, None)
-        });
+        let expected =
+            ppar_core::run_sequential(Arc::new(Plan::new()), None, None, |ctx| ckpt_app(ctx, None));
         assert_eq!(report.result, expected);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -468,7 +477,9 @@ fn adapt_app(ctx: &Ctx, sizes: Arc<parking_lot::Mutex<Vec<usize>>>) -> f64 {
 
 fn adapt_plan() -> Plan {
     Plan::new()
-        .plug(Plug::ParallelMethod { method: "work".into() })
+        .plug(Plug::ParallelMethod {
+            method: "work".into(),
+        })
         .plug(Plug::For {
             loop_name: "l".into(),
             schedule: Schedule::Block,
@@ -477,7 +488,9 @@ fn adapt_plan() -> Plan {
             points: PointSet::Named(vec!["it".into()]),
             every: 0,
         })
-        .plug(Plug::Ignorable { method: "compute".into() })
+        .plug(Plug::Ignorable {
+            method: "compute".into(),
+        })
 }
 
 fn expected_adapt_result() -> f64 {

@@ -31,12 +31,17 @@ fn main() {
     let smp = run_smp(Arc::new(plan_smp()), 8, None, None, move |ctx| {
         ga_pluggable(ctx, &c2)
     });
-    println!("8-thread team   : best {:.4}, mean {:.4}", smp.best, smp.mean);
+    println!(
+        "8-thread team   : best {:.4}, mean {:.4}",
+        smp.best, smp.mean
+    );
 
     let c3 = cfg.clone();
-    let islands = run_spmd_plain(&SpmdConfig::instant(4), Arc::new(plan_islands()), move |ctx| {
-        ga_pluggable(ctx, &c3)
-    });
+    let islands = run_spmd_plain(
+        &SpmdConfig::instant(4),
+        Arc::new(plan_islands()),
+        move |ctx| ga_pluggable(ctx, &c3),
+    );
     println!(
         "4-island model  : best {:.4}, mean {:.4}",
         islands[0].best, islands[0].mean
@@ -52,18 +57,27 @@ fn main() {
     let mut crashing = cfg.clone();
     crashing.fail_after = Some(35);
     ppar_suite::ckpt::launch_seq(&dir, plan.clone(), |ctx| {
-        (ppar_suite::ckpt::AppStatus::Crashed, ga_pluggable(ctx, &crashing))
+        (
+            ppar_suite::ckpt::AppStatus::Crashed,
+            ga_pluggable(ctx, &crashing),
+        )
     })
     .expect("crash run");
     let report = ppar_suite::ckpt::launch_seq(&dir, plan, |ctx| {
-        (ppar_suite::ckpt::AppStatus::Completed, ga_pluggable(ctx, &cfg))
+        (
+            ppar_suite::ckpt::AppStatus::Completed,
+            ga_pluggable(ctx, &cfg),
+        )
     })
     .expect("restart run");
     println!(
         "after crash+restart: best {:.4} (replayed {} safe points)",
         report.result.best, report.stats.replayed_points
     );
-    assert_eq!(report.result.best, seq.best, "restart must not change evolution");
+    assert_eq!(
+        report.result.best, seq.best,
+        "restart must not change evolution"
+    );
     let _ = std::fs::remove_dir_all(&dir);
     println!("all deployments evolve identically ✓");
 }

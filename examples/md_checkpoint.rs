@@ -58,7 +58,11 @@ fn main() {
     let result = &outcome.results[0].1;
     println!(
         "phase 2 (seq)    : replayed {} safe points, finished at step {}",
-        outcome.stats.as_ref().map(|s| s.replayed_points).unwrap_or(0),
+        outcome
+            .stats
+            .as_ref()
+            .map(|s| s.replayed_points)
+            .unwrap_or(0),
         result.steps_done
     );
     assert!(outcome.replayed);

@@ -64,7 +64,9 @@ fn main() {
 
     // 2. Shared memory: two plugs.
     let smp_plan = Plan::new()
-        .plug(Plug::ParallelMethod { method: "run".into() })
+        .plug(Plug::ParallelMethod {
+            method: "run".into(),
+        })
         .plug(Plug::For {
             loop_name: "cells".into(),
             schedule: Schedule::Block,
@@ -102,9 +104,11 @@ fn main() {
             field: "field".into(),
             action: UpdateAction::Gather,
         });
-    let dist = run_spmd_plain(&SpmdConfig::instant(4), Arc::new(dist_plan.clone()), |ctx| {
-        smooth(ctx, n, rounds)
-    });
+    let dist = run_spmd_plain(
+        &SpmdConfig::instant(4),
+        Arc::new(dist_plan.clone()),
+        |ctx| smooth(ctx, n, rounds),
+    );
     println!("4-process SPMD    : {:.6}", dist[0]);
 
     // 4. Distributed + checkpointing: three more declarations.
@@ -129,13 +133,22 @@ fn main() {
         ckpt_plan,
         Some(&dir),
         None,
-        |ctx| (ppar_suite::adapt::AppStatus::Completed, smooth(ctx, n, rounds)),
+        |ctx| {
+            (
+                ppar_suite::adapt::AppStatus::Completed,
+                smooth(ctx, n, rounds),
+            )
+        },
     )
     .expect("launch");
     println!(
         "4-process + ckpt  : {:.6}  ({} snapshots, {} bytes)",
         outcome.results[0].1,
-        outcome.stats.as_ref().map(|s| s.snapshots_taken).unwrap_or(0),
+        outcome
+            .stats
+            .as_ref()
+            .map(|s| s.snapshots_taken)
+            .unwrap_or(0),
         outcome.stats.as_ref().map(|s| s.bytes_written).unwrap_or(0),
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -33,11 +33,8 @@ fn main() {
     });
 
     println!("first Fourier coefficient pairs of (x+1)^x on [0,2]:");
-    for i in 0..4 {
-        println!(
-            "  n={i}: a={:+.6}  b={:+.6}",
-            reference[i].0, reference[i].1
-        );
+    for (i, (a, b)) in reference.iter().take(4).enumerate() {
+        println!("  n={i}: a={a:+.6}  b={b:+.6}");
     }
     assert_eq!(seq, reference);
     assert_eq!(smp, reference);

@@ -8,9 +8,7 @@
 //! cargo run --release --example sor_adaptive
 //! ```
 
-use ppar_suite::adapt::{
-    launch, AdaptationController, AppStatus, Deploy, ResourceTimeline,
-};
+use ppar_suite::adapt::{launch, AdaptationController, AppStatus, Deploy, ResourceTimeline};
 use ppar_suite::core::ExecMode;
 use ppar_suite::dsm::SpmdConfig;
 use ppar_suite::jgf::sor::pluggable::{plan_ckpt, plan_dist, plan_smp, sor_pluggable};
@@ -21,9 +19,8 @@ fn main() {
     let reference = sor_seq(&params);
 
     // --- Run-time adaptation: 2 threads -> 12 threads at safe point 10.
-    let controller = AdaptationController::with_timeline(
-        ResourceTimeline::new().at(10, ExecMode::smp(12)),
-    );
+    let controller =
+        AdaptationController::with_timeline(ResourceTimeline::new().at(10, ExecMode::smp(12)));
     let p = params.clone();
     let t0 = std::time::Instant::now();
     let outcome = launch(
@@ -39,7 +36,10 @@ fn main() {
     .expect("launch");
     let runtime_secs = t0.elapsed().as_secs_f64();
     let result = &outcome.results[0].1;
-    assert_eq!(result.checksum, reference.checksum, "adaptation must not corrupt");
+    assert_eq!(
+        result.checksum, reference.checksum,
+        "adaptation must not corrupt"
+    );
     println!(
         "run-time adaptation : 2 LE -> 12 LE at safe point 10, {:.3}s, history {:?}",
         runtime_secs,
@@ -78,7 +78,11 @@ fn main() {
         "restart adaptation  : 2 P -> 8 P at iteration 20, {:.3}s total \
          (replayed {} safe points, load {:.4}s)",
         restart_secs,
-        outcome.stats.as_ref().map(|s| s.replayed_points).unwrap_or(0),
+        outcome
+            .stats
+            .as_ref()
+            .map(|s| s.replayed_points)
+            .unwrap_or(0),
         outcome
             .stats
             .as_ref()

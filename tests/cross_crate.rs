@@ -50,7 +50,8 @@ fn finish_run(deploy: &Deploy, plan: Plan, dir: &std::path::Path) -> (f64, bool)
 fn every_mode_pair_supports_cross_mode_restart() {
     // Snapshot in mode A (master-collect), restart in mode B — all 9 pairs.
     let expected = reference();
-    let modes: Vec<(&str, Deploy, fn() -> Plan)> = vec![
+    type Mode = (&'static str, Deploy, fn() -> Plan);
+    let modes: Vec<Mode> = vec![
         ("seq", Deploy::Seq, plan_seq as fn() -> Plan),
         (
             "smp",
@@ -173,9 +174,8 @@ fn adaptation_and_checkpointing_compose() {
     let expected = reference();
     let dir = tmpdir("compose");
     {
-        let controller = AdaptationController::with_timeline(
-            ResourceTimeline::new().at(3, ExecMode::smp(5)),
-        );
+        let controller =
+            AdaptationController::with_timeline(ResourceTimeline::new().at(3, ExecMode::smp(5)));
         let mut p = params();
         p.fail_after = Some(9);
         launch(

@@ -1,0 +1,336 @@
+//! Offline shim of the `proptest` surface this workspace uses: the
+//! `proptest!` macro over range / `any::<T>()` / collection / tuple / string
+//! strategies, with `prop_assert!`-style assertions.
+//!
+//! Each property runs [`NUM_CASES`] cases from a deterministic per-test RNG
+//! (seeded from the test name), so failures reproduce without a persistence
+//! file. Regex string strategies degrade to unconstrained ASCII strings —
+//! fine for the `".*"` patterns used here.
+
+/// Cases generated per property.
+pub const NUM_CASES: usize = 64;
+
+/// Deterministic RNG (SplitMix64) used to generate cases.
+pub mod test_runner {
+    /// Deterministic pseudo-random generator for property cases.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (stable across runs).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, bound)` (`bound > 0`).
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of one type from random bits.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+        /// Generate one case.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.next_below(span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String "regex" strategy: the shim ignores the pattern and produces
+    /// unconstrained ASCII strings (sufficient for `".*"`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.next_below(16) as usize;
+            (0..len)
+                .map(|_| (b' ' + rng.next_below(95) as u8) as char)
+                .collect()
+        }
+    }
+
+    /// Full-range strategy for a primitive (see [`crate::prelude::any`]).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Raw bit patterns: exercises negative zero, subnormals, infinities and
+    // NaN payloads — exactly what a byte-roundtrip codec should survive.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident $idx:tt),+),)*) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy! {
+        (A 0, B 1),
+        (A 0, B 1, C 2),
+        (A 0, B 1, C 2, D 3),
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with a size range.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// A map of `key`/`value` pairs, with a target entry count from `size`
+    /// (duplicate generated keys may make the map smaller).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.generate(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target.saturating_mul(2) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The common imports property tests reach for.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The canonical full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Run each contained `#[test] fn name(binding in strategy, ...) { body }`
+/// over [`NUM_CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __ppar_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __ppar_case in 0..$crate::NUM_CASES {
+                    let _ = __ppar_case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __ppar_rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..17,
+            b in -5i64..5,
+            x in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in collection::vec(any::<u32>(), 2..6),
+            m in collection::btree_map(".*", any::<i64>(), 0..4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn tuples_generate(pair in (any::<u32>(), collection::vec(any::<f32>(), 0..3))) {
+            let (_n, v) = pair;
+            prop_assert!(v.len() < 3);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

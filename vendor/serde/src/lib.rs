@@ -1,0 +1,18 @@
+//! Offline shim of the serde data model: the trait surface and std impls
+//! used by this workspace's checkpoint codec and derived state types.
+//!
+//! API-compatible with the real `serde` for the subset exercised here
+//! (fixed-width primitives, strings, bytes, options, sequences, tuples,
+//! arrays, maps, structs and enums); `i128`/`u128`, borrowed zero-copy
+//! deserialization of user types, and the `serde(...)` attribute family are
+//! intentionally out of scope.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros (same names as the traits; macro and trait namespaces are
+// distinct, so `use serde::{Serialize, Deserialize}` imports both).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,566 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde
+//! shim, implemented directly over `proc_macro` token trees (no syn/quote).
+//!
+//! Scope: non-generic structs (named, tuple, unit) and enums whose variants
+//! are unit, newtype, tuple or struct-like — the shapes this workspace
+//! derives. `#[serde(...)]` attributes are not supported and generic type
+//! parameters produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// input model + parser
+// ---------------------------------------------------------------------------
+
+enum Body {
+    /// Named fields: (name, type) pairs.
+    Named(Vec<(String, String)>),
+    /// Tuple fields: types only.
+    Tuple(Vec<String>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn tokens_to_string(trees: &[TokenTree]) -> String {
+    let ts: TokenStream = trees.iter().cloned().collect();
+    ts.to_string()
+}
+
+/// Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next significant index.
+fn skip_attrs_and_vis(trees: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = trees.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split `trees` on commas that sit outside any `<...>` nesting (token-tree
+/// groups already nest, but angle brackets are plain puncts).
+fn split_top_level_commas(trees: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tree in trees {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tree.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Result<Vec<(String, String)>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(group) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        if i >= chunk.len() {
+            continue;
+        }
+        let name = match &chunk[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        match chunk.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        let ty = tokens_to_string(&chunk[i + 2..]);
+        if ty.is_empty() {
+            return Err(format!("missing type for field `{name}`"));
+        }
+        fields.push((name, ty));
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut types = Vec::new();
+    for chunk in split_top_level_commas(group) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        if i >= chunk.len() {
+            continue;
+        }
+        types.push(tokens_to_string(&chunk[i..]));
+    }
+    Ok(types)
+}
+
+fn parse_variants(group: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(group) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        if i >= chunk.len() {
+            continue;
+        }
+        let name = match &chunk[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let body = match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Tuple(parse_tuple_fields(&inner)?)
+            }
+            None => Body::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => Body::Unit,
+            Some(other) => return Err(format!("unexpected token after variant: `{other}`")),
+        };
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&trees, 0);
+    let kind = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde_derive shim does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match trees.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Named(parse_named_fields(&inner)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Tuple(parse_tuple_fields(&inner)?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => return Err(format!("unsupported struct body: `{other:?}`")),
+            };
+            Ok(Input::Struct { name, body })
+        }
+        "enum" => {
+            let variants = match trees.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)?
+                }
+                other => return Err(format!("expected enum body, found `{other:?}`")),
+            };
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, body } => {
+            let body_code = match body {
+                Body::Named(fields) => {
+                    let mut code = String::from("use ::serde::ser::SerializeStruct as _;\n");
+                    code.push_str(&format!(
+                        "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                         __serializer, \"{name}\", {}usize)?;\n",
+                        fields.len()
+                    ));
+                    for (f, _) in fields {
+                        code.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;\n"));
+                    }
+                    code.push_str("__st.end()\n");
+                    code
+                }
+                Body::Tuple(types) if types.len() == 1 => format!(
+                    "::serde::ser::Serializer::serialize_newtype_struct(\
+                     __serializer, \"{name}\", &self.0)\n"
+                ),
+                Body::Tuple(types) => {
+                    let mut code = String::from("use ::serde::ser::SerializeTupleStruct as _;\n");
+                    code.push_str(&format!(
+                        "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(\
+                         __serializer, \"{name}\", {}usize)?;\n",
+                        types.len()
+                    ));
+                    for idx in 0..types.len() {
+                        code.push_str(&format!("__st.serialize_field(&self.{idx})?;\n"));
+                    }
+                    code.push_str("__st.end()\n");
+                    code
+                }
+                Body::Unit => format!(
+                    "::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+                ),
+            };
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body_code}}}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Body::Tuple(types) if types.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                         ::serde::ser::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Body::Tuple(types) => {
+                        let binders: Vec<String> =
+                            (0..types.len()).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             use ::serde::ser::SerializeTupleVariant as _;\n\
+                             let mut __tv = \
+                             ::serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binders.join(", "),
+                            types.len()
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!("__tv.serialize_field({b})?;\n"));
+                        }
+                        arm.push_str("__tv.end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    Body::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             use ::serde::ser::SerializeStructVariant as _;\n\
+                             let mut __sv = \
+                             ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for f in &binders {
+                            arm.push_str(&format!("__sv.serialize_field(\"{f}\", {f})?;\n"));
+                        }
+                        arm.push_str("__sv.end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// `visit_seq` body reading `(binder, type)` pairs in order, finishing with
+/// `construct` (an expression over the binders).
+fn gen_visit_seq(value_ty: &str, fields: &[(String, String)], construct: &str) -> String {
+    let mut code = format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+         -> ::core::result::Result<{value_ty}, __A::Error> {{\n"
+    );
+    for (binder, ty) in fields {
+        code.push_str(&format!(
+            "let {binder}: {ty} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             ::serde::de::Error::custom(\"missing field `{binder}`\")),\n}};\n"
+        ));
+    }
+    code.push_str(&format!("::core::result::Result::Ok({construct})\n}}\n"));
+    code
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, body } => {
+            let (visitor_impl, driver) = match body {
+                Body::Named(fields) => {
+                    let construct = format!(
+                        "{name} {{ {} }}",
+                        fields
+                            .iter()
+                            .map(|(f, _)| f.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    let field_list = fields
+                        .iter()
+                        .map(|(f, _)| format!("\"{f}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    (
+                        gen_visit_seq(name, fields, &construct),
+                        format!(
+                            "::serde::de::Deserializer::deserialize_struct(\
+                             __deserializer, \"{name}\", &[{field_list}], __Visitor)"
+                        ),
+                    )
+                }
+                Body::Tuple(types) if types.len() == 1 => {
+                    let ty = &types[0];
+                    (
+                        format!(
+                            "fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(\
+                             self, __d: __D2) -> ::core::result::Result<{name}, __D2::Error> {{\n\
+                             <{ty} as ::serde::de::Deserialize>::deserialize(__d).map({name})\n}}\n"
+                        ),
+                        format!(
+                            "::serde::de::Deserializer::deserialize_newtype_struct(\
+                             __deserializer, \"{name}\", __Visitor)"
+                        ),
+                    )
+                }
+                Body::Tuple(types) => {
+                    let fields: Vec<(String, String)> = types
+                        .iter()
+                        .enumerate()
+                        .map(|(k, t)| (format!("__f{k}"), t.clone()))
+                        .collect();
+                    let construct = format!(
+                        "{name}({})",
+                        fields
+                            .iter()
+                            .map(|(b, _)| b.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    (
+                        gen_visit_seq(name, &fields, &construct),
+                        format!(
+                            "::serde::de::Deserializer::deserialize_tuple_struct(\
+                             __deserializer, \"{name}\", {}usize, __Visitor)",
+                            types.len()
+                        ),
+                    )
+                }
+                Body::Unit => (
+                    format!(
+                        "fn visit_unit<__E: ::serde::de::Error>(self)\n\
+                         -> ::core::result::Result<{name}, __E> {{\n\
+                         ::core::result::Result::Ok({name})\n}}\n"
+                    ),
+                    format!(
+                        "::serde::de::Deserializer::deserialize_unit_struct(\
+                         __deserializer, \"{name}\", __Visitor)"
+                    ),
+                ),
+            };
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                 -> ::core::fmt::Result {{ __f.write_str(\"struct {name}\") }}\n\
+                 {visitor_impl}\
+                 }}\n\
+                 {driver}\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let variant_list = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n}}\n"
+                    )),
+                    Body::Tuple(types) if types.len() == 1 => {
+                        let ty = &types[0];
+                        arms.push_str(&format!(
+                            "{idx}u32 => \
+                             ::serde::de::VariantAccess::newtype_variant::<{ty}>(__variant)\
+                             .map({name}::{vname}),\n"
+                        ));
+                    }
+                    Body::Tuple(types) => {
+                        let fields: Vec<(String, String)> = types
+                            .iter()
+                            .enumerate()
+                            .map(|(k, t)| (format!("__f{k}"), t.clone()))
+                            .collect();
+                        let construct = format!(
+                            "{name}::{vname}({})",
+                            fields
+                                .iter()
+                                .map(|(b, _)| b.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let seq = gen_visit_seq(name, &fields, &construct);
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                             -> ::core::fmt::Result {{\
+                             __f.write_str(\"variant {vname}\") }}\n\
+                             {seq}\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {}usize, __V{idx})\n}}\n",
+                            types.len()
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let construct = format!(
+                            "{name}::{vname} {{ {} }}",
+                            fields
+                                .iter()
+                                .map(|(f, _)| f.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let field_list = fields
+                            .iter()
+                            .map(|(f, _)| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let seq = gen_visit_seq(name, fields, &construct);
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                             -> ::core::fmt::Result {{\
+                             __f.write_str(\"variant {vname}\") }}\n\
+                             {seq}\
+                             }}\n\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{field_list}], __V{idx})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                 -> ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __variant): (u32, _) = \
+                 ::serde::de::EnumAccess::variant(__data)?;\n\
+                 match __idx {{\n{arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 ::core::format_args!(\"invalid {name} variant index {{__other}}\"))),\n\
+                 }}\n}}\n}}\n\
+                 ::serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", &[{variant_list}], __Visitor)\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
