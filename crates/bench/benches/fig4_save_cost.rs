@@ -1,15 +1,22 @@
 //! Fig. 4 spot benches: snapshot save cost (serialise + persist) for
 //! sequential and master-collect distributed checkpoints.
 //!
-//! Two variants per grid size:
+//! Variants per grid size:
 //!
 //! * `materialized_n*` — the pre-streaming pipeline, reproduced faithfully:
 //!   every element encoded into a fresh field `Vec` (per-element
 //!   `write_le`), all fields copied into a whole-snapshot buffer, a
 //!   byte-at-a-time CRC-32 over that buffer, then one blocking write;
-//! * `streaming_n*` — the current pipeline: `CheckpointStore::stream_master`
-//!   streams the grid's backing bytes through a `BufWriter` with a running
-//!   slice-by-8 CRC; no per-element serialization, no whole-snapshot buffer.
+//! * `streaming_n*` — the current full-snapshot pipeline:
+//!   `CheckpointStore::stream_master` streams the grid's backing bytes
+//!   through a `BufWriter` with a running slice-by-8 CRC; no per-element
+//!   serialization, no whole-snapshot buffer;
+//! * `incremental_n*_d<pct>` — the dirty-chunk delta pipeline at a `pct`%
+//!   dirty fraction: per iteration the bench touches that share of the
+//!   grid's 8 KiB chunks and streams only those through
+//!   `CheckpointStore::stream_master_delta`. Save cost should scale with
+//!   the dirty fraction (the d100 arm ≈ the streaming full snapshot plus
+//!   the chunk map).
 //!
 //! `snapshot_write_n*` is the historical series name, kept so numbers stay
 //! comparable across PRs (it now measures the default save path: fast
@@ -22,8 +29,9 @@
 //! within any one run every variant shares the same storage.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ppar_ckpt::store::{CheckpointStore, FieldSource, Snapshot, SnapshotMeta};
-use ppar_core::shared::SharedGrid;
+use ppar_ckpt::delta::DeltaMeta;
+use ppar_ckpt::store::{CheckpointStore, DeltaSource, FieldSource, Snapshot, SnapshotMeta};
+use ppar_core::shared::{SharedGrid, DIRTY_CHUNK_BYTES};
 use ppar_core::state::{Scalar, StateCell};
 
 /// The pre-streaming field serializer, reproduced as the comparison
@@ -155,6 +163,45 @@ fn bench(c: &mut Criterion) {
                 store.write_master(&snap).unwrap()
             })
         });
+
+        // Incremental arm: delta save cost at fixed dirty fractions. One
+        // element written per dirty chunk (the tracking granularity), chunks
+        // spread evenly across the grid.
+        let total_chunks = (n * n * 8).div_ceil(DIRTY_CHUNK_BYTES);
+        let chunk_elems = DIRTY_CHUNK_BYTES / 8;
+        for pct in [1usize, 10, 50, 100] {
+            let touched = ((total_chunks * pct) / 100).max(1);
+            let dmeta = DeltaMeta {
+                mode_tag: "seq".into(),
+                count: 2,
+                base_count: 1,
+                seq: 1,
+                rank: None,
+                nranks: 1,
+            };
+            g.bench_function(format!("incremental_n{n}_d{pct}"), |b| {
+                let flat = grid.flat();
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    flat.clear_dirty();
+                    for k in 0..touched {
+                        let chunk = k * total_chunks / touched;
+                        flat.set((chunk * chunk_elems).min(flat.len() - 1), 2.5);
+                    }
+                    let ranges = flat.dirty_byte_ranges();
+                    let fields: [(&str, DeltaSource<'_>); 1] = [(
+                        "G",
+                        DeltaSource::DirtyCell {
+                            cell: &grid,
+                            ranges: &ranges,
+                        },
+                    )];
+                    store
+                        .stream_master_delta(&dmeta, &fields, &mut scratch)
+                        .unwrap()
+                })
+            });
+        }
 
         let _ = std::fs::remove_dir_all(&dir);
     }

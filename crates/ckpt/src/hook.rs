@@ -32,7 +32,8 @@ use ppar_core::partition::block_owned;
 use ppar_core::plan::{DistCkptStrategy, Plan};
 use ppar_core::state::StateCell;
 
-use crate::store::{CheckpointStore, FieldSource, Snapshot, SnapshotMeta};
+use crate::delta::DeltaMeta;
+use crate::store::{CheckpointStore, DeltaSource, FieldSource, Snapshot, SnapshotMeta};
 
 static NEXT_MODULE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -45,10 +46,20 @@ thread_local! {
 /// Observable cost/state counters, powering Fig. 3–5 measurements.
 #[derive(Debug, Clone, Default)]
 pub struct CkptStats {
-    /// Snapshots persisted by this module.
+    /// Snapshots persisted by this module (full + delta).
     pub snapshots_taken: u64,
-    /// Total bytes written across snapshots.
+    /// Full (base) snapshots among [`CkptStats::snapshots_taken`].
+    pub full_snapshots: u64,
+    /// Delta snapshots among [`CkptStats::snapshots_taken`] (incremental
+    /// mode only).
+    pub delta_snapshots: u64,
+    /// Total bytes written across snapshots (cumulative save bytes — the
+    /// incremental-vs-full savings signal, together with
+    /// [`CkptStats::last_save_bytes`]).
     pub bytes_written: u64,
+    /// Bytes written by the most recent snapshot (a delta's size collapses
+    /// towards the dirty fraction; a full snapshot pays the whole state).
+    pub last_save_bytes: u64,
     /// Cumulative wall time spent inside `take_snapshot`.
     pub save_time: Duration,
     /// Wall time of the most recent `take_snapshot`.
@@ -80,6 +91,25 @@ pub struct CheckpointModule {
     /// Per-field extraction buffers for shard snapshots (partitioned fields
     /// contribute only the owned block). Reused across snapshots.
     field_bufs: Mutex<Vec<Vec<u8>>>,
+    /// `Some(full_every)` when the plan enables dirty-chunk incremental
+    /// checkpointing: snapshots are persisted as deltas, promoted to a full
+    /// base every `full_every` deltas.
+    incremental: Option<u64>,
+    /// Delta-chain bookkeeping (incremental mode).
+    chain: Mutex<DeltaChain>,
+}
+
+/// Where this module stands in its delta chain.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaChain {
+    /// A base full snapshot has been written by *this run* (a restart or a
+    /// fresh run always starts with a promotion, so the chain on disk is
+    /// never extended across process generations).
+    have_base: bool,
+    /// Safe-point count of that base.
+    base_count: u64,
+    /// Sequence number the next delta will carry (1-based).
+    next_seq: u32,
 }
 
 impl CheckpointModule {
@@ -116,8 +146,19 @@ impl CheckpointModule {
             // Failure before the first snapshot (or no failure): fresh run.
             _ => (false, 0),
         };
+        if !replay {
+            // Fresh run in a possibly reused directory: a previous
+            // generation's delta chain could carry a `base_count` equal to a
+            // count this run will reach (runs of the same app repeat the
+            // same safe-point schedule), and a crash between this run's
+            // first base promotion and its GC would then merge
+            // mixed-generation bytes. Purge every chain up front; the old
+            // base stays (it is harmless and about to be replaced).
+            store.clear_all_deltas()?;
+        }
 
         store.set_marker()?;
+        let incremental = plan.incremental_ckpt().map(|k| k as u64);
         Ok((0..n.max(1))
             .map(|_| {
                 Arc::new(CheckpointModule {
@@ -131,6 +172,8 @@ impl CheckpointModule {
                     created: Instant::now(),
                     scratch: Mutex::new(Vec::new()),
                     field_bufs: Mutex::new(Vec::new()),
+                    incremental,
+                    chain: Mutex::new(DeltaChain::default()),
                 })
             })
             .collect())
@@ -241,6 +284,143 @@ impl CheckpointModule {
         self.store.stream_shard(meta, &fields, &mut scratch)
     }
 
+    /// Stream a master *delta*: every tracked field contributes only its
+    /// dirty byte ranges (streamed zero-copy through
+    /// [`StateCell::write_dirty_state`]); untracked cells are stored whole.
+    fn stream_master_delta_snapshot(&self, ctx: &Ctx, meta: &DeltaMeta) -> Result<u64> {
+        type Tracked = Option<Vec<std::ops::Range<usize>>>;
+        let mut cells: Vec<(&String, Arc<dyn StateCell>, Tracked)> = Vec::new();
+        for name in ctx.plan().safe_data() {
+            let cell = ctx.registry().state(name)?;
+            let ranges = cell.dirty_ranges();
+            cells.push((name, cell, ranges));
+        }
+        let fields: Vec<(&str, DeltaSource<'_>)> = cells
+            .iter()
+            .map(|(name, cell, ranges)| {
+                let source = match ranges {
+                    Some(ranges) => DeltaSource::DirtyCell {
+                        cell: &**cell,
+                        ranges,
+                    },
+                    None => DeltaSource::Full(FieldSource::Cell(&**cell)),
+                };
+                (name.as_str(), source)
+            })
+            .collect();
+        let mut scratch = self.scratch.lock();
+        self.store.stream_master_delta(meta, &fields, &mut scratch)
+    }
+
+    /// Stream a local shard *delta*: partitioned fields contribute the dirty
+    /// ranges intersected with this element's owned block (offsets relative
+    /// to the extracted shard payload, matching the merge step); untracked
+    /// or replicated fields follow the master rules.
+    fn stream_shard_delta_snapshot(&self, ctx: &Ctx, meta: &DeltaMeta) -> Result<u64> {
+        let rank = ctx.rank();
+        let nranks = ctx.num_ranks();
+
+        enum Slot {
+            /// Dirty ranges of an owned block: payload buffer index,
+            /// payload-relative ranges, owned-block byte length.
+            SparseBlock {
+                buf: usize,
+                rel: Vec<std::ops::Range<usize>>,
+                full_len: u64,
+            },
+            /// Whole owned block (untracked partitioned cell).
+            FullBlock(usize),
+            /// Whole-field cell with dirty tracking.
+            DirtyWhole(Arc<dyn StateCell>, Vec<std::ops::Range<usize>>),
+            /// Whole-field cell without tracking.
+            Whole(Arc<dyn StateCell>),
+        }
+
+        let mut bufs = self.field_bufs.lock();
+        let mut slots: Vec<(&String, Slot)> = Vec::new();
+        let mut used = 0;
+        for name in ctx.plan().safe_data() {
+            if ctx.plan().field_partition(name).is_some() {
+                let cell = ctx.registry().dist(name)?;
+                if bufs.len() == used {
+                    bufs.push(Vec::new());
+                }
+                let buf = &mut bufs[used];
+                buf.clear();
+                let owned = block_owned(cell.logical_len(), nranks, rank);
+                let owned_bytes = owned.start * cell.index_bytes()..owned.end * cell.index_bytes();
+                match cell.dirty_ranges() {
+                    Some(ranges) => {
+                        // Clamp the field-wide dirty ranges to the owned
+                        // block; this element persists only bytes it owns.
+                        let mut abs = Vec::new();
+                        let mut rel = Vec::new();
+                        for r in ranges {
+                            let start = r.start.max(owned_bytes.start);
+                            let end = r.end.min(owned_bytes.end);
+                            if start < end {
+                                abs.push(start..end);
+                                rel.push(start - owned_bytes.start..end - owned_bytes.start);
+                            }
+                        }
+                        cell.write_dirty_state(&abs, buf)?;
+                        slots.push((
+                            name,
+                            Slot::SparseBlock {
+                                buf: used,
+                                rel,
+                                full_len: owned_bytes.len() as u64,
+                            },
+                        ));
+                    }
+                    None => {
+                        cell.extract_into(owned, buf);
+                        slots.push((name, Slot::FullBlock(used)));
+                    }
+                }
+                used += 1;
+            } else {
+                let cell = ctx.registry().state(name)?;
+                match cell.dirty_ranges() {
+                    Some(ranges) => slots.push((name, Slot::DirtyWhole(cell, ranges))),
+                    None => slots.push((name, Slot::Whole(cell))),
+                }
+            }
+        }
+        let fields: Vec<(&str, DeltaSource<'_>)> = slots
+            .iter()
+            .map(|(name, slot)| {
+                let source = match slot {
+                    Slot::SparseBlock { buf, rel, full_len } => DeltaSource::DirtyBytes {
+                        full_len: *full_len,
+                        ranges: rel,
+                        payload: &bufs[*buf],
+                    },
+                    Slot::FullBlock(i) => DeltaSource::Full(FieldSource::Bytes(&bufs[*i])),
+                    Slot::DirtyWhole(cell, ranges) => DeltaSource::DirtyCell {
+                        cell: &**cell,
+                        ranges,
+                    },
+                    Slot::Whole(cell) => DeltaSource::Full(FieldSource::Cell(&**cell)),
+                };
+                (name.as_str(), source)
+            })
+            .collect();
+        let mut scratch = self.scratch.lock();
+        self.store.stream_shard_delta(meta, &fields, &mut scratch)
+    }
+
+    /// Reset write tracking on every safe-data cell: the snapshot that just
+    /// completed captured everything up to now (the checkpoint cycle's
+    /// `advance_epoch`). Engines quiesce the team/aggregate around
+    /// `take_snapshot`, so no write can race the reset.
+    fn clear_dirty_fields(&self, ctx: &Ctx) -> Result<()> {
+        for name in ctx.plan().safe_data() {
+            ctx.registry().state(name)?.clear_dirty();
+        }
+        Ok(())
+    }
+
     fn install_master_fields(&self, ctx: &Ctx, snap: &Snapshot) -> Result<()> {
         for name in ctx.plan().safe_data() {
             let bytes = snap.field(name).ok_or_else(|| {
@@ -309,29 +489,75 @@ impl CkptHook for CheckpointModule {
         let mode_tag = ctx.mode().tag();
         let nranks = ctx.num_ranks() as u32;
         let strategy = ctx.plan().dist_ckpt_strategy();
+        let sharded = nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot;
+        let rank = sharded.then(|| ctx.rank() as u32);
 
-        let written = if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
+        let stream_full = |meta_count: u64| -> Result<u64> {
             let meta = SnapshotMeta {
-                mode_tag,
-                count,
-                rank: Some(ctx.rank() as u32),
+                mode_tag: mode_tag.clone(),
+                count: meta_count,
+                rank,
                 nranks,
             };
-            self.stream_shard_snapshot(ctx, &meta)?
-        } else {
-            let meta = SnapshotMeta {
-                mode_tag,
-                count,
-                rank: None,
-                nranks,
-            };
-            self.stream_master_snapshot(ctx, &meta)?
+            if sharded {
+                self.stream_shard_snapshot(ctx, &meta)
+            } else {
+                self.stream_master_snapshot(ctx, &meta)
+            }
         };
+
+        let (written, was_delta) = match self.incremental {
+            None => (stream_full(count)?, false),
+            Some(full_every) => {
+                let mut chain = self.chain.lock();
+                if !chain.have_base || chain.next_seq as u64 > full_every {
+                    // Promote: write a new base, then garbage-collect the
+                    // superseded chain. A crash in between leaves stale
+                    // deltas that the merge step ignores (base_count
+                    // mismatch), never a broken restore.
+                    let written = stream_full(count)?;
+                    self.store.clear_deltas(rank)?;
+                    *chain = DeltaChain {
+                        have_base: true,
+                        base_count: count,
+                        next_seq: 1,
+                    };
+                    (written, false)
+                } else {
+                    let meta = DeltaMeta {
+                        mode_tag: mode_tag.clone(),
+                        count,
+                        base_count: chain.base_count,
+                        seq: chain.next_seq,
+                        rank,
+                        nranks,
+                    };
+                    let written = if sharded {
+                        self.stream_shard_delta_snapshot(ctx, &meta)?
+                    } else {
+                        self.stream_master_delta_snapshot(ctx, &meta)?
+                    };
+                    chain.next_seq += 1;
+                    (written, true)
+                }
+            }
+        };
+        if self.incremental.is_some() {
+            // The checkpoint cycle's epoch reset: whatever was dirty is now
+            // captured (by the delta, or subsumed by the promoted base).
+            self.clear_dirty_fields(ctx)?;
+        }
 
         let dt = t0.elapsed();
         let mut stats = self.stats.lock();
         stats.snapshots_taken += 1;
+        if was_delta {
+            stats.delta_snapshots += 1;
+        } else {
+            stats.full_snapshots += 1;
+        }
         stats.bytes_written += written;
+        stats.last_save_bytes = written;
         stats.save_time += dt;
         stats.last_save_time = dt;
         Ok(())
@@ -343,21 +569,30 @@ impl CkptHook for CheckpointModule {
         let nranks = ctx.num_ranks();
 
         if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
-            // Every element loads its own shard.
-            let snap = self.store.read_shard(ctx.rank() as u32)?.ok_or_else(|| {
-                PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
-            })?;
-            self.install_shard_fields(ctx, &snap)?;
-        } else if ctx.rank() == 0 {
-            // Master-collect: the root installs the full snapshot; the engine
-            // subsequently scatters partitioned fields and broadcasts the
-            // rest (no file access on other elements).
+            // Every element loads its own shard (base + delta chain folded
+            // into the complete owned block).
             let snap = self
                 .store
-                .read_master()?
+                .read_merged_shard(ctx.rank() as u32)?
+                .ok_or_else(|| {
+                    PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
+                })?;
+            self.install_shard_fields(ctx, &snap)?;
+        } else if ctx.rank() == 0 {
+            // Master-collect: the root installs the full snapshot (base +
+            // delta chain); the engine subsequently scatters partitioned
+            // fields and broadcasts the rest (no file access on other
+            // elements).
+            let snap = self
+                .store
+                .read_merged_master()?
                 .ok_or_else(|| PparError::CorruptCheckpoint("missing master snapshot".into()))?;
             self.install_master_fields(ctx, &snap)?;
         }
+        // A restore invalidates the in-memory chain position: the next
+        // snapshot starts a fresh base rather than extending a chain this
+        // process generation did not write.
+        *self.chain.lock() = DeltaChain::default();
 
         let was_replaying = self.replay.swap(false, Ordering::SeqCst);
         let mut stats = self.stats.lock();
@@ -541,6 +776,176 @@ mod tests {
         assert_eq!(module.count(), 50);
         assert_eq!(module.stats().snapshots_taken, 0);
         assert!(module.store().read_master().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn incremental_plan(every: usize, full_every: usize) -> Plan {
+        ckpt_plan(every).plug(Plug::IncrementalCkpt { full_every })
+    }
+
+    #[test]
+    fn incremental_mode_writes_deltas_and_promotes_every_k() {
+        let dir = tmpdir("inc_chain");
+        let plan = incremental_plan(1, 3); // snapshot every point, full every 3 deltas
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        let ctx = seq_ctx(incremental_plan(1, 3), module.clone());
+        // Large enough that one-chunk deltas are much smaller than the base.
+        let g = ctx.alloc_vec("G", 40_000, 0.0f64);
+
+        // Point 1: first snapshot is the base (full).
+        g.set(0, 1.0);
+        ctx.point("iter");
+        let s = module.stats();
+        assert_eq!((s.full_snapshots, s.delta_snapshots), (1, 0));
+        let full_bytes = s.last_save_bytes;
+
+        // Points 2..4: deltas 1..3.
+        for i in 2..=4u64 {
+            g.set(5, i as f64);
+            ctx.point("iter");
+        }
+        let s = module.stats();
+        assert_eq!((s.full_snapshots, s.delta_snapshots), (1, 3));
+        assert!(
+            s.last_save_bytes * 4 < full_bytes,
+            "one-chunk delta ({}B) must be far below the full snapshot ({full_bytes}B)",
+            s.last_save_bytes
+        );
+        assert!(module.store().read_master_delta(3).unwrap().is_some());
+
+        // Point 5: chain is full -> promotion + delta GC.
+        g.set(6, 5.0);
+        ctx.point("iter");
+        let s = module.stats();
+        assert_eq!((s.full_snapshots, s.delta_snapshots), (2, 3));
+        assert_eq!(s.snapshots_taken, 5);
+        assert!(module.store().read_master_delta(1).unwrap().is_none());
+        assert_eq!(
+            module.store().read_merged_master().unwrap().unwrap().count,
+            5
+        );
+
+        // Cumulative bytes are observable and consistent.
+        assert!(s.bytes_written > 2 * full_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_crash_replays_to_last_delta_and_restores_exactly() {
+        let dir = tmpdir("inc_replay");
+
+        // --- run 1: base at point 2, deltas at points 3 and 4, then crash.
+        {
+            let plan = incremental_plan(2, 10);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            let ctx = seq_ctx(incremental_plan(2, 10), module.clone());
+            let g = ctx.alloc_vec("G", 3000, 0.0f64);
+            for i in 1..=9u64 {
+                g.set((i as usize * 7) % 3000, i as f64);
+                ctx.point("iter");
+            }
+            // every=2 -> snapshots at 2 (full), 4, 6, 8 (deltas)
+            let s = module.stats();
+            assert_eq!((s.full_snapshots, s.delta_snapshots), (1, 3));
+        }
+
+        // --- run 2: replay target is the last delta's count, data matches.
+        {
+            let plan = incremental_plan(2, 10);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            assert!(module.detected_failure());
+            assert_eq!(module.replay_target(), 8);
+
+            let ctx = seq_ctx(incremental_plan(2, 10), module.clone());
+            let g = ctx.alloc_vec("G", 3000, 0.0f64);
+            // Rebuild the expected state by replaying the app deterministically.
+            let mut expected = vec![0.0f64; 3000];
+            for i in 1..=8u64 {
+                expected[(i as usize * 7) % 3000] = i as f64;
+            }
+            for _ in 0..8 {
+                ctx.point("iter");
+            }
+            assert!(!module.replaying());
+            assert_eq!(g.to_vec(), expected, "base+delta restore must be exact");
+
+            // Post-restore, the next snapshot starts a new chain (full).
+            ctx.point("iter"); // count 9
+            ctx.point("iter"); // count 10 -> snapshot (every=2)
+            let s = module.stats();
+            assert_eq!((s.full_snapshots, s.delta_snapshots), (1, 0));
+            ctx.finish();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_run_purges_previous_generations_delta_chain() {
+        let dir = tmpdir("inc_gen");
+
+        // --- generation 1: completes cleanly, leaving base + deltas behind
+        // (finish clears only the RUNNING marker).
+        {
+            let plan = incremental_plan(1, 5);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            let ctx = seq_ctx(incremental_plan(1, 5), module.clone());
+            let g = ctx.alloc_vec("G", 100, 0.0f64);
+            for i in 1..=3u64 {
+                g.set(0, i as f64);
+                ctx.point("iter");
+            }
+            assert!(module.store().read_master_delta(1).unwrap().is_some());
+            ctx.finish();
+        }
+
+        // --- generation 2: a fresh run repeats the same safe-point
+        // schedule, so generation 1's deltas (base_count 1) would collide
+        // with the new base's count if a crash hit between promotion and
+        // GC. Creation must purge them up front.
+        {
+            let plan = incremental_plan(1, 5);
+            let module = CheckpointModule::create(&dir, &plan).unwrap();
+            assert!(!module.will_replay(), "clean finish -> fresh run");
+            assert!(
+                module.store().read_master_delta(1).unwrap().is_none(),
+                "stale chain from the previous generation must be purged"
+            );
+            // The old base alone is what restart_count now sees.
+            assert_eq!(module.store().restart_count().unwrap(), Some(1));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_last_and_cumulative_save_bytes() {
+        let dir = tmpdir("stats_bytes");
+        let plan = incremental_plan(1, 8);
+        let module = CheckpointModule::create(&dir, &plan).unwrap();
+        let ctx = seq_ctx(incremental_plan(1, 8), module.clone());
+        let g = ctx.alloc_vec("G", 100_000, 0.0f64);
+
+        ctx.point("iter"); // full base
+        let after_full = module.stats();
+        assert_eq!(after_full.last_save_bytes, after_full.bytes_written);
+        assert!(
+            after_full.last_save_bytes > 100_000 * 8,
+            "base holds all data"
+        );
+
+        g.set(42, 1.0);
+        ctx.point("iter"); // one-chunk delta
+        let after_delta = module.stats();
+        assert_eq!(
+            after_delta.bytes_written,
+            after_full.bytes_written + after_delta.last_save_bytes,
+            "cumulative save bytes are the sum of per-snapshot sizes"
+        );
+        assert!(
+            after_delta.last_save_bytes < after_full.last_save_bytes / 10,
+            "delta {}B vs full {}B",
+            after_delta.last_save_bytes,
+            after_full.last_save_bytes
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

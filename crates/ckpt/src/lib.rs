@@ -8,6 +8,8 @@
 //!
 //! * a portable binary snapshot format ([`codec`], [`store`]) with CRC-32
 //!   integrity and atomic replacement;
+//! * dirty-chunk **incremental** snapshots ([`delta`]): delta records that
+//!   persist only the bytes written since the previous snapshot;
 //! * the safe-point clock and snapshot policy ([`hook::CheckpointModule`]);
 //! * failure detection at start-up (run marker + snapshot ⇒ replay);
 //! * replay-based restart: the application re-executes with ignorable
@@ -20,17 +22,54 @@
 //! Because master-collected checkpoint data is mode-independent, a snapshot
 //! taken in any execution mode can restart in any other — the basis for
 //! adaptation-by-restart (Fig. 6 of the paper).
+//!
+//! ## Incremental (dirty-chunk) checkpointing
+//!
+//! With `Plug::IncrementalCkpt { full_every }` installed, snapshot cost
+//! scales with the data *touched* between safe points instead of the data
+//! held: shared containers track writes in an 8 KiB-chunk bitmap
+//! ([`ppar_core::shared::DIRTY_CHUNK_BYTES`]), and each checkpoint streams
+//! only the dirty chunks as a *delta record* (`ckpt_master_delta_<seq>.bin`
+//! / `ckpt_rank_<r>_delta_<seq>.bin`).
+//!
+//! * **Record format** — deltas carry their own magic (`"PPARDLT1"`) and an
+//!   explicit format version ([`delta::DELTA_VERSION`]); readers reject
+//!   unknown versions instead of misparsing. Each field is either a whole
+//!   payload (containers without write tracking: `ValueCell`, serde cells)
+//!   or a sparse `(offset, len)` chunk map plus the chunk bytes, with the
+//!   same running CRC-32 and atomic temp-file/rename discipline as full
+//!   snapshots. See [`delta`] for the byte layout.
+//! * **Promotion policy** — the first snapshot of a run (and the first
+//!   after any restore) is a full *base*; the next `full_every` snapshots
+//!   are deltas `1..=full_every`; the snapshot after that is promoted to a
+//!   fresh base and the superseded chain is garbage-collected. Deltas are
+//!   tied to their base by the base's safe-point count, so a crash between
+//!   promotion and GC leaves only *stale* deltas that the loader skips.
+//! * **Restore** — `CheckpointStore::read_merged_master` /
+//!   `read_merged_shard` fold base + chain (last writer wins per byte) into
+//!   a state byte-identical to a full snapshot, and a restart replays to
+//!   the *last delta's* safe point. Merged data stays mode-independent:
+//!   incremental snapshots restart in any execution mode, in any aggregate
+//!   size (master-collect), exactly like full ones.
+//! * **Caveat** — in distributed *master-collect* mode the pre-snapshot
+//!   gather installs every remote partition into the root's containers,
+//!   which marks those chunks dirty; partitioned-field deltas are therefore
+//!   near-full there. Sequential, shared-memory and local-snapshot
+//!   distributed runs (each element tracks only its own writes) get the
+//!   full dirty-fraction savings.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
 pub mod crc;
+pub mod delta;
 pub mod hook;
 pub mod pcr;
 pub mod serde_cell;
 pub mod store;
 
+pub use delta::{DeltaMeta, DeltaPayload, DeltaSnapshot};
 pub use hook::{CheckpointModule, CkptStats};
 pub use pcr::{launch_seq, AppStatus, RunReport};
 pub use serde_cell::{alloc_serde, SerdeCell};

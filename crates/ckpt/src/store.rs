@@ -4,10 +4,16 @@
 //!
 //! ```text
 //! <dir>/
-//!   RUNNING              # exists while a run is in flight (the pcr module's
-//!                        # failure detector: marker + snapshot => replay)
-//!   ckpt_master.bin      # master-collected snapshot (restartable in ANY mode)
-//!   ckpt_rank_<r>.bin    # per-element shards (local-snapshot strategy)
+//!   RUNNING                     # exists while a run is in flight (the pcr
+//!                               # module's failure detector: marker +
+//!                               # snapshot => replay)
+//!   ckpt_master.bin             # master-collected snapshot (restartable in
+//!                               # ANY mode); the *base* in incremental mode
+//!   ckpt_master_delta_<s>.bin   # delta chain over the base (incremental
+//!                               # mode, s = 1, 2, ...; see crate::delta)
+//!   ckpt_rank_<r>.bin           # per-element shards (local-snapshot
+//!                               # strategy)
+//!   ckpt_rank_<r>_delta_<s>.bin # per-element delta chains
 //! ```
 //!
 //! Snapshot files are written atomically (temp file + rename) and carry a
@@ -64,7 +70,7 @@ use ppar_core::state::StateCell;
 use crate::crc::{crc32, Crc32};
 
 const MAGIC: &[u8; 8] = b"PPARCKP1";
-const MASTER_RANK: u32 = 0xFFFF_FFFF;
+pub(crate) const MASTER_RANK: u32 = 0xFFFF_FFFF;
 
 /// An in-memory snapshot: header plus named field payloads.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,6 +214,33 @@ pub enum FieldSource<'a> {
     Bytes(&'a [u8]),
 }
 
+/// Where one field of a *delta* snapshot comes from.
+pub enum DeltaSource<'a> {
+    /// The whole field, as in a full snapshot (cells without write
+    /// tracking).
+    Full(FieldSource<'a>),
+    /// Only the cell's dirty byte ranges, streamed straight from the cell
+    /// through [`StateCell::write_dirty_state`] (zero-copy for LE
+    /// containers). Offsets are relative to the cell's full encoding.
+    DirtyCell {
+        /// The live cell.
+        cell: &'a dyn StateCell,
+        /// Sorted, non-overlapping dirty byte ranges of the encoding.
+        ranges: &'a [std::ops::Range<usize>],
+    },
+    /// Pre-extracted dirty bytes (the shard path: offsets are relative to
+    /// the extracted owned-block payload, `payload` is the ranges'
+    /// concatenated bytes in order).
+    DirtyBytes {
+        /// Total length of the (merged) field payload.
+        full_len: u64,
+        /// Sorted, non-overlapping ranges into that payload.
+        ranges: &'a [std::ops::Range<usize>],
+        /// Concatenation of the ranges' bytes.
+        payload: &'a [u8],
+    },
+}
+
 /// Adapter that forwards writes to the sink while folding every byte into
 /// the running CRC. Handed to [`StateCell::write_state`] so even cell-driven
 /// writes stay on the single-pass path.
@@ -302,20 +335,7 @@ impl<W: Write> SnapshotWriter<W> {
         match cell.known_byte_len() {
             Some(len) => {
                 self.begin_field(name, len as u64)?;
-                let streamed = {
-                    let mut tee = CrcTee {
-                        sink: &mut self.sink,
-                        crc: &mut self.crc,
-                        written: &mut self.written,
-                    };
-                    cell.write_state(&mut tee)?
-                };
-                if streamed != len as u64 {
-                    return Err(PparError::CorruptCheckpoint(format!(
-                        "field {name:?}: cell announced {len} bytes but streamed {streamed}"
-                    )));
-                }
-                Ok(())
+                self.stream_cell_checked(name, cell, len as u64)
             }
             None => {
                 scratch.clear();
@@ -338,6 +358,177 @@ impl<W: Write> SnapshotWriter<W> {
         }
     }
 
+    // ---- delta records (see crate::delta for the format) ----
+
+    /// Start a delta record: writes the versioned delta header for `meta`
+    /// announcing `nfields` upcoming fields. Shares the running-CRC
+    /// machinery (and [`SnapshotWriter::finish`]) with full snapshots.
+    pub fn new_delta(
+        sink: W,
+        meta: &crate::delta::DeltaMeta,
+        nfields: u32,
+    ) -> Result<SnapshotWriter<W>> {
+        let mut w = SnapshotWriter {
+            sink,
+            crc: Crc32::new(),
+            written: 0,
+            fields_remaining: nfields,
+        };
+        w.put(crate::delta::DELTA_MAGIC)?;
+        w.put(&crate::delta::DELTA_VERSION.to_le_bytes())?;
+        w.put_str(&meta.mode_tag)?;
+        w.put(&meta.count.to_le_bytes())?;
+        w.put(&meta.base_count.to_le_bytes())?;
+        w.put(&meta.seq.to_le_bytes())?;
+        w.put(&meta.rank.unwrap_or(MASTER_RANK).to_le_bytes())?;
+        w.put(&meta.nranks.to_le_bytes())?;
+        w.put(&nfields.to_le_bytes())?;
+        Ok(w)
+    }
+
+    fn begin_delta_field(&mut self, name: &str, kind: u8) -> Result<()> {
+        if self.fields_remaining == 0 {
+            return Err(PparError::InvalidPlan(
+                "SnapshotWriter: more delta fields written than announced".into(),
+            ));
+        }
+        self.fields_remaining -= 1;
+        self.put_str(name)?;
+        self.put(&[kind])
+    }
+
+    fn stream_cell_checked(&mut self, name: &str, cell: &dyn StateCell, expect: u64) -> Result<()> {
+        let streamed = {
+            let mut tee = CrcTee {
+                sink: &mut self.sink,
+                crc: &mut self.crc,
+                written: &mut self.written,
+            };
+            cell.write_state(&mut tee)?
+        };
+        if streamed != expect {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "field {name:?}: cell announced {expect} bytes but streamed {streamed}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Write one whole-field delta entry (kind 0) from pre-extracted bytes.
+    pub fn delta_field_full_bytes(&mut self, name: &str, payload: &[u8]) -> Result<()> {
+        self.begin_delta_field(name, 0)?;
+        self.put(&(payload.len() as u64).to_le_bytes())?;
+        self.put(payload)
+    }
+
+    /// Write one whole-field delta entry (kind 0) by streaming `cell`
+    /// (same length/scratch discipline as [`SnapshotWriter::field_cell`]).
+    pub fn delta_field_full_cell(
+        &mut self,
+        name: &str,
+        cell: &dyn StateCell,
+        scratch: &mut Vec<u8>,
+    ) -> Result<()> {
+        match cell.known_byte_len() {
+            Some(len) => {
+                self.begin_delta_field(name, 0)?;
+                self.put(&(len as u64).to_le_bytes())?;
+                self.stream_cell_checked(name, cell, len as u64)
+            }
+            None => {
+                scratch.clear();
+                cell.save_into(scratch);
+                self.delta_field_full_bytes(name, scratch)
+            }
+        }
+    }
+
+    fn put_sparse_map(&mut self, full_len: u64, ranges: &[std::ops::Range<usize>]) -> Result<u64> {
+        self.put(&full_len.to_le_bytes())?;
+        self.put(&(ranges.len() as u32).to_le_bytes())?;
+        let mut total = 0u64;
+        for r in ranges {
+            let len = (r.end - r.start) as u64;
+            self.put(&(r.start as u64).to_le_bytes())?;
+            self.put(&len.to_le_bytes())?;
+            total += len;
+        }
+        Ok(total)
+    }
+
+    /// Write one sparse delta entry (kind 1) by streaming the cell's dirty
+    /// ranges through [`StateCell::write_dirty_state`] — the zero-copy path
+    /// for LE containers; only touched chunks leave the cell.
+    pub fn delta_field_sparse_cell(
+        &mut self,
+        name: &str,
+        cell: &dyn StateCell,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Result<()> {
+        self.begin_delta_field(name, 1)?;
+        let total = self.put_sparse_map(cell.byte_len() as u64, ranges)?;
+        let streamed = {
+            let mut tee = CrcTee {
+                sink: &mut self.sink,
+                crc: &mut self.crc,
+                written: &mut self.written,
+            };
+            cell.write_dirty_state(ranges, &mut tee)?
+        };
+        if streamed != total {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "field {name:?}: dirty map announced {total} bytes but cell \
+                 streamed {streamed}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Write one sparse delta entry (kind 1) from pre-extracted range bytes
+    /// (`payload` = concatenation of the ranges' bytes, in order).
+    pub fn delta_field_sparse_bytes(
+        &mut self,
+        name: &str,
+        full_len: u64,
+        ranges: &[std::ops::Range<usize>],
+        payload: &[u8],
+    ) -> Result<()> {
+        self.begin_delta_field(name, 1)?;
+        let total = self.put_sparse_map(full_len, ranges)?;
+        if total != payload.len() as u64 {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "field {name:?}: dirty map announces {total} bytes, payload has {}",
+                payload.len()
+            )));
+        }
+        self.put(payload)
+    }
+
+    /// Write one delta field from a [`DeltaSource`].
+    pub fn delta_field(
+        &mut self,
+        name: &str,
+        source: &DeltaSource<'_>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<()> {
+        match source {
+            DeltaSource::Full(FieldSource::Cell(cell)) => {
+                self.delta_field_full_cell(name, *cell, scratch)
+            }
+            DeltaSource::Full(FieldSource::Bytes(bytes)) => {
+                self.delta_field_full_bytes(name, bytes)
+            }
+            DeltaSource::DirtyCell { cell, ranges } => {
+                self.delta_field_sparse_cell(name, *cell, ranges)
+            }
+            DeltaSource::DirtyBytes {
+                full_len,
+                ranges,
+                payload,
+            } => self.delta_field_sparse_bytes(name, *full_len, ranges, payload),
+        }
+    }
+
     /// Seal the snapshot: append the running CRC, flush the sink and return
     /// `(total bytes written, sink)`.
     pub fn finish(mut self) -> Result<(u64, W)> {
@@ -355,13 +546,13 @@ impl<W: Write> SnapshotWriter<W> {
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(PparError::CorruptCheckpoint(format!(
                 "truncated: wanted {n} bytes at offset {}",
@@ -373,15 +564,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn take_u32(&mut self) -> Result<u32> {
+    pub(crate) fn take_u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn take_u64(&mut self) -> Result<u64> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn take_str(&mut self) -> Result<String> {
+    pub(crate) fn take_str(&mut self) -> Result<String> {
         let len = self.take_u64()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
@@ -419,6 +610,20 @@ impl CheckpointStore {
 
     fn marker_path(&self) -> PathBuf {
         self.dir.join("RUNNING")
+    }
+
+    fn delta_path(&self, rank: Option<u32>, seq: u32) -> PathBuf {
+        match rank {
+            None => self.dir.join(format!("ckpt_master_delta_{seq}.bin")),
+            Some(r) => self.dir.join(format!("ckpt_rank_{r}_delta_{seq}.bin")),
+        }
+    }
+
+    fn delta_prefix(rank: Option<u32>) -> String {
+        match rank {
+            None => "ckpt_master_delta_".to_string(),
+            Some(r) => format!("ckpt_rank_{r}_delta_"),
+        }
     }
 
     /// Stream one snapshot atomically: temp file → [`SnapshotWriter`] over a
@@ -497,12 +702,168 @@ impl CheckpointStore {
         self.stream_shard(&snap.meta(), &fields, &mut Vec::new())
     }
 
+    /// Stream one delta record atomically (same temp-file + rename
+    /// discipline as full snapshots: a crash mid-write never leaves a
+    /// half-written delta under the final name).
+    fn stream_delta_atomic(
+        &self,
+        path: &Path,
+        meta: &crate::delta::DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let tmp = path.with_extension("tmp");
+        let file = fs::File::create(&tmp)?;
+        let mut w = SnapshotWriter::new_delta(BufWriter::new(file), meta, fields.len() as u32)?;
+        for (name, source) in fields {
+            w.delta_field(name, source, scratch)?;
+        }
+        let (written, sink) = w.finish()?;
+        drop(sink);
+        fs::rename(&tmp, path)?;
+        Ok(written)
+    }
+
+    /// Stream a master delta record; returns bytes written.
+    pub fn stream_master_delta(
+        &self,
+        meta: &crate::delta::DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        debug_assert!(meta.rank.is_none(), "master delta must have rank None");
+        self.stream_delta_atomic(&self.delta_path(None, meta.seq), meta, fields, scratch)
+    }
+
+    /// Stream one element's shard delta record; returns bytes written.
+    pub fn stream_shard_delta(
+        &self,
+        meta: &crate::delta::DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let rank = meta
+            .rank
+            .ok_or_else(|| PparError::InvalidPlan("shard delta needs a rank".into()))?;
+        self.stream_delta_atomic(
+            &self.delta_path(Some(rank), meta.seq),
+            meta,
+            fields,
+            scratch,
+        )
+    }
+
     fn read(&self, path: &Path) -> Result<Option<Snapshot>> {
         match fs::read(path) {
             Ok(bytes) => Snapshot::decode(&bytes).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
+    }
+
+    fn read_delta(
+        &self,
+        rank: Option<u32>,
+        seq: u32,
+    ) -> Result<Option<crate::delta::DeltaSnapshot>> {
+        match fs::read(self.delta_path(rank, seq)) {
+            Ok(bytes) => crate::delta::DeltaSnapshot::decode(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Load delta `seq` of the master chain, if present.
+    pub fn read_master_delta(&self, seq: u32) -> Result<Option<crate::delta::DeltaSnapshot>> {
+        self.read_delta(None, seq)
+    }
+
+    /// Load delta `seq` of rank `rank`'s chain, if present.
+    pub fn read_shard_delta(
+        &self,
+        rank: u32,
+        seq: u32,
+    ) -> Result<Option<crate::delta::DeltaSnapshot>> {
+        self.read_delta(Some(rank), seq)
+    }
+
+    /// Fold the on-disk delta chain onto `snap` (the base full snapshot).
+    /// The chain is walked from seq 1 until the first missing file; a delta
+    /// whose `base_count` does not match the base is *stale* (left over from
+    /// a crash between base promotion and delta GC) and terminates the walk
+    /// harmlessly. Corrupt or out-of-order deltas are hard errors.
+    fn merge_chain(&self, mut snap: Snapshot) -> Result<Snapshot> {
+        let base_count = snap.count;
+        let mut seq = 1u32;
+        while let Some(delta) = self.read_delta(snap.rank, seq)? {
+            if !CheckpointStore::chain_step_is_live(&delta.meta, base_count, seq, snap.count)? {
+                break;
+            }
+            delta.apply_to(&mut snap)?;
+            seq += 1;
+        }
+        Ok(snap)
+    }
+
+    /// Load the master snapshot with its delta chain folded in: the result
+    /// is byte-identical (per field) to a full snapshot of the same state.
+    pub fn read_merged_master(&self) -> Result<Option<Snapshot>> {
+        match self.read_master()? {
+            None => Ok(None),
+            Some(snap) => self.merge_chain(snap).map(Some),
+        }
+    }
+
+    /// Load rank `rank`'s shard with its delta chain folded in.
+    pub fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+        match self.read_shard(rank)? {
+            None => Ok(None),
+            Some(snap) => self.merge_chain(snap).map(Some),
+        }
+    }
+
+    // Tolerate a concurrent remover (several modules of one group purging
+    // at start-up): losing the race to delete is success.
+    fn remove_if_present(path: PathBuf) -> Result<()> {
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Delete every delta of one chain (promotion GC: called after a new
+    /// base full snapshot has been persisted). Sweeps any extension, so an
+    /// orphaned `.tmp` from a crash mid-delta-write is collected too
+    /// instead of accumulating across restart cycles.
+    pub fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
+        let prefix = CheckpointStore::delta_prefix(rank);
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(&prefix) {
+                CheckpointStore::remove_if_present(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete every delta file of *every* chain (master and all ranks).
+    /// Fresh-run hygiene: a previous generation's leftover chain could
+    /// carry a `base_count` that collides with the counts this run will
+    /// produce, so the checkpoint module purges before its first snapshot
+    /// whenever it is not replaying.
+    pub fn clear_all_deltas(&self) -> Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("ckpt_") && name.contains("_delta_") {
+                CheckpointStore::remove_if_present(entry.path())?;
+            }
+        }
+        Ok(())
     }
 
     /// Load the master snapshot, if present.
@@ -515,15 +876,68 @@ impl CheckpointStore {
         self.read(&self.shard_path(rank))
     }
 
+    /// The single source of truth for delta-chain step validity, shared by
+    /// the header-only walk ([`CheckpointStore::chain_tip_count`]) and the
+    /// full merge ([`CheckpointStore::merge_chain`]) so the restart target
+    /// and the restored state can never disagree on chain rules. Returns
+    /// `Ok(false)` for a *stale* delta (previous base generation —
+    /// terminates the walk harmlessly); errors on ordering violations.
+    fn chain_step_is_live(
+        meta: &crate::delta::DeltaMeta,
+        base_count: u64,
+        expected_seq: u32,
+        prev_count: u64,
+    ) -> Result<bool> {
+        if meta.base_count != base_count {
+            return Ok(false);
+        }
+        if meta.seq != expected_seq {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "delta file {expected_seq} carries sequence number {}",
+                meta.seq
+            )));
+        }
+        if meta.count <= prev_count {
+            return Err(PparError::CorruptCheckpoint(format!(
+                "delta {expected_seq} count {} does not advance past {prev_count}",
+                meta.count
+            )));
+        }
+        Ok(true)
+    }
+
+    /// The safe-point count at the tip of a base's delta chain, walking
+    /// delta *headers* only (CRC-checked, but no payload is materialized —
+    /// the full merge happens once, at load time).
+    fn chain_tip_count(&self, base_count: u64, rank: Option<u32>) -> Result<u64> {
+        let mut count = base_count;
+        let mut seq = 1u32;
+        loop {
+            let bytes = match fs::read(self.delta_path(rank, seq)) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e.into()),
+            };
+            let meta = crate::delta::DeltaMeta::decode(&bytes)?;
+            if !CheckpointStore::chain_step_is_live(&meta, base_count, seq, count)? {
+                break;
+            }
+            count = meta.count;
+            seq += 1;
+        }
+        Ok(count)
+    }
+
     /// The safe-point count a restart should replay to: prefers the master
     /// snapshot, falls back to shard 0 (local-snapshot strategy). `None`
-    /// when no usable snapshot exists.
+    /// when no usable snapshot exists. Delta chains count: a restart
+    /// replays to the *last delta's* safe point, not the base's.
     pub fn restart_count(&self) -> Result<Option<u64>> {
         if let Some(s) = self.read_master()? {
-            return Ok(Some(s.count));
+            return Ok(Some(self.chain_tip_count(s.count, None)?));
         }
         if let Some(s) = self.read_shard(0)? {
-            return Ok(Some(s.count));
+            return Ok(Some(self.chain_tip_count(s.count, Some(0))?));
         }
         Ok(None)
     }
@@ -955,6 +1369,396 @@ mod tests {
         assert_eq!(written as usize, bytes.len());
         let decoded = Snapshot::decode(&bytes).unwrap();
         assert_eq!(decoded.field("a"), Some(&[1u8, 2, 3][..]));
+    }
+
+    // ---- delta records and merge-on-load ----
+
+    use crate::delta::DeltaMeta;
+
+    fn delta_meta(count: u64, base_count: u64, seq: u32, rank: Option<u32>) -> DeltaMeta {
+        DeltaMeta {
+            mode_tag: "seq".into(),
+            count,
+            base_count,
+            seq,
+            rank,
+            nranks: 1,
+        }
+    }
+
+    /// Persist `cell` as the base, then express subsequent writes as a
+    /// delta chain and check the merged restore equals a fresh full save.
+    #[test]
+    fn base_plus_delta_chain_restores_byte_identical() {
+        let dir = tmpdir("delta_chain");
+        let store = CheckpointStore::new(&dir).unwrap();
+        // 40k f64 = 40 dirty chunks, so touching a couple of chunks keeps
+        // deltas far below the base size.
+        let v = SharedVec::from_vec((0..40_000).map(|i| i as f64).collect());
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 10,
+            rank: None,
+            nranks: 1,
+        };
+        store
+            .stream_master(&meta, &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+            .unwrap();
+        v.clear_dirty();
+
+        // Delta 1 touches the front, delta 2 overlaps it (last writer wins).
+        v.set(0, -1.0);
+        v.set(1100, -2.0);
+        let ranges = v.dirty_byte_ranges();
+        let dm = delta_meta(20, 10, 1, None);
+        store
+            .stream_master_delta(
+                &dm,
+                &[(
+                    "G",
+                    DeltaSource::DirtyCell {
+                        cell: &v,
+                        ranges: &ranges,
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        v.clear_dirty();
+
+        v.set(0, 99.0); // overlaps delta 1's chunk
+        v.set(39_999, 5.5);
+        let ranges = v.dirty_byte_ranges();
+        let dm = delta_meta(30, 10, 2, None);
+        store
+            .stream_master_delta(
+                &dm,
+                &[(
+                    "G",
+                    DeltaSource::DirtyCell {
+                        cell: &v,
+                        ranges: &ranges,
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+
+        let merged = store.read_merged_master().unwrap().unwrap();
+        assert_eq!(merged.count, 30, "restart replays to the last delta");
+        assert_eq!(merged.field("G").unwrap(), v.save_bytes().as_slice());
+        assert_eq!(store.restart_count().unwrap(), Some(30));
+
+        // Delta files are much smaller than the base (the whole point).
+        let base_len = fs::metadata(store.master_path()).unwrap().len();
+        let d1_len = fs::metadata(store.delta_path(None, 1)).unwrap().len();
+        assert!(
+            d1_len * 2 < base_len,
+            "delta ({d1_len}B) should be far smaller than base ({base_len}B)"
+        );
+
+        // Promotion GC.
+        store.clear_deltas(None).unwrap();
+        assert!(store.read_master_delta(1).unwrap().is_none());
+        assert!(store.read_master_delta(2).unwrap().is_none());
+        assert_eq!(store.read_merged_master().unwrap().unwrap().count, 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_that_advances_the_count() {
+        let dir = tmpdir("delta_empty");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let v = SharedVec::from_vec(vec![1.0f64; 100]);
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 1,
+            rank: None,
+            nranks: 1,
+        };
+        store
+            .stream_master(&meta, &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+            .unwrap();
+        v.clear_dirty();
+
+        let dm = delta_meta(2, 1, 1, None);
+        store
+            .stream_master_delta(
+                &dm,
+                &[(
+                    "G",
+                    DeltaSource::DirtyCell {
+                        cell: &v,
+                        ranges: &[],
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        let merged = store.read_merged_master().unwrap().unwrap();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.field("G").unwrap(), v.save_bytes().as_slice());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_delta_is_detected() {
+        let dir = tmpdir("delta_corrupt");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let v = SharedVec::from_vec(vec![2.0f64; 1500]);
+        let meta = SnapshotMeta {
+            mode_tag: "seq".into(),
+            count: 1,
+            rank: None,
+            nranks: 1,
+        };
+        store
+            .stream_master(&meta, &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+            .unwrap();
+        v.clear_dirty();
+        v.set(7, 3.0);
+        let ranges = v.dirty_byte_ranges();
+        store
+            .stream_master_delta(
+                &delta_meta(2, 1, 1, None),
+                &[(
+                    "G",
+                    DeltaSource::DirtyCell {
+                        cell: &v,
+                        ranges: &ranges,
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        let path = store.delta_path(None, 1);
+        let good = fs::read(&path).unwrap();
+
+        // Bit flips anywhere fail the CRC (or the magic/version check).
+        for pos in [0, 8, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                store.read_merged_master().is_err(),
+                "bit flip at {pos} undetected"
+            );
+        }
+        // Truncations fail.
+        for cut in [3, 16, good.len() / 2, good.len() - 1] {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                store.read_merged_master().is_err(),
+                "truncation to {cut} undetected"
+            );
+        }
+        // An unsupported format version is rejected up front.
+        let mut v2 = good.clone();
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let n = v2.len();
+        let crc = crc32(&v2[..n - 4]);
+        v2[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &v2).unwrap();
+        match store.read_merged_master() {
+            Err(PparError::FormatMismatch { expected, .. }) => {
+                assert!(expected.contains("delta format"))
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_chain_from_old_base_is_ignored() {
+        let dir = tmpdir("delta_stale");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let v = SharedVec::from_vec(vec![0.0f64; 64]);
+        let snap = |count| SnapshotMeta {
+            mode_tag: "seq".into(),
+            count,
+            rank: None,
+            nranks: 1,
+        };
+        store
+            .stream_master(&snap(1), &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+            .unwrap();
+        v.clear_dirty();
+        v.set(0, 1.0);
+        let ranges = v.dirty_byte_ranges();
+        store
+            .stream_master_delta(
+                &delta_meta(2, 1, 1, None),
+                &[(
+                    "G",
+                    DeltaSource::DirtyCell {
+                        cell: &v,
+                        ranges: &ranges,
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+
+        // Promote a new base (count 3) but "crash" before delta GC: the
+        // leftover delta's base_count (1) no longer matches and must be
+        // skipped, not applied and not fatal.
+        v.set(0, 42.0);
+        store
+            .stream_master(&snap(3), &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+            .unwrap();
+        let merged = store.read_merged_master().unwrap().unwrap();
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.field("G").unwrap(), v.save_bytes().as_slice());
+
+        // An in-chain sequence-number mismatch, by contrast, is corruption.
+        store
+            .stream_master_delta(
+                &delta_meta(4, 3, 2, None),
+                &[("G", DeltaSource::Full(FieldSource::Cell(&v)))],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        fs::rename(store.delta_path(None, 2), store.delta_path(None, 1)).unwrap();
+        assert!(store.read_merged_master().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // ranges here are span data
+    fn shard_delta_chain_merges_relative_to_shard_payload() {
+        let dir = tmpdir("delta_shard");
+        let store = CheckpointStore::new(&dir).unwrap();
+        // Shard payloads are owned-block extractions; offsets in shard
+        // deltas are relative to that payload, not the full field.
+        let shard_bytes: Vec<u8> = (0..64u8).collect();
+        let meta = SnapshotMeta {
+            mode_tag: "dist4".into(),
+            count: 5,
+            rank: Some(2),
+            nranks: 4,
+        };
+        store
+            .stream_shard(
+                &meta,
+                &[("G", FieldSource::Bytes(&shard_bytes))],
+                &mut Vec::new(),
+            )
+            .unwrap();
+
+        let patch = [9u8; 8];
+        let mut dm = delta_meta(6, 5, 1, Some(2));
+        dm.nranks = 4;
+        store
+            .stream_shard_delta(
+                &dm,
+                &[(
+                    "G",
+                    DeltaSource::DirtyBytes {
+                        full_len: 64,
+                        ranges: &[16..24],
+                        payload: &patch,
+                    },
+                )],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        let merged = store.read_merged_shard(2).unwrap().unwrap();
+        assert_eq!(merged.count, 6);
+        let mut expect = shard_bytes.clone();
+        expect[16..24].copy_from_slice(&patch);
+        assert_eq!(merged.field("G").unwrap(), expect.as_slice());
+        // Master chain is untouched by shard deltas.
+        assert!(store.read_merged_master().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_roundtrips_through_decode() {
+        let dir = tmpdir("delta_decode");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let v = SharedVec::from_vec((0..2000).map(|i| (i as f64).sqrt()).collect());
+        v.clear_dirty();
+        v.set(1500, -8.0);
+        let ranges = v.dirty_byte_ranges();
+        let opaque = vec![1u8, 2, 3];
+        store
+            .stream_master_delta(
+                &delta_meta(7, 3, 2, None),
+                &[
+                    (
+                        "G",
+                        DeltaSource::DirtyCell {
+                            cell: &v,
+                            ranges: &ranges,
+                        },
+                    ),
+                    ("pop", DeltaSource::Full(FieldSource::Bytes(&opaque))),
+                ],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        let d = store.read_master_delta(2).unwrap().unwrap();
+        assert_eq!(d.meta, delta_meta(7, 3, 2, None));
+        assert_eq!(d.fields.len(), 2);
+        match &d.fields[0].1 {
+            crate::delta::DeltaPayload::Sparse {
+                full_len,
+                ranges: rs,
+            } => {
+                assert_eq!(*full_len, 2000 * 8);
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].0 as usize, ranges[0].start);
+                assert_eq!(rs[0].1.len(), ranges[0].len());
+            }
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+        assert_eq!(d.fields[1].1, crate::delta::DeltaPayload::Full(opaque));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest::proptest! {
+        /// The acceptance-criterion property: for arbitrary write sequences,
+        /// restoring base + delta chain is byte-identical to a full snapshot
+        /// of the same final state.
+        #[test]
+        fn prop_base_plus_deltas_equals_full_snapshot(
+            w1 in proptest::collection::vec((0usize..3000, proptest::prelude::any::<f64>()), 0..40),
+            w2 in proptest::collection::vec((0usize..3000, proptest::prelude::any::<f64>()), 0..40)
+        ) {
+            let dir = tmpdir("prop_delta");
+            let store = CheckpointStore::new(&dir).unwrap();
+            let v = SharedVec::from_vec((0..3000).map(|i| i as f64 * 0.25).collect());
+            let meta = SnapshotMeta {
+                mode_tag: "seq".into(),
+                count: 1,
+                rank: None,
+                nranks: 1,
+            };
+            store
+                .stream_master(&meta, &[("G", FieldSource::Cell(&v))], &mut Vec::new())
+                .unwrap();
+            v.clear_dirty();
+
+            for (seq, writes) in [(1u32, &w1), (2u32, &w2)] {
+                for &(i, val) in writes {
+                    v.set(i, val);
+                }
+                let ranges = v.dirty_byte_ranges();
+                store
+                    .stream_master_delta(
+                        &delta_meta(1 + seq as u64, 1, seq, None),
+                        &[("G", DeltaSource::DirtyCell { cell: &v, ranges: &ranges })],
+                        &mut Vec::new(),
+                    )
+                    .unwrap();
+                v.clear_dirty();
+            }
+
+            let merged = store.read_merged_master().unwrap().unwrap();
+            proptest::prop_assert_eq!(merged.field("G").unwrap(), v.save_bytes().as_slice());
+            proptest::prop_assert_eq!(merged.count, 3);
+            let _ = fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -289,6 +289,17 @@ pub enum Plug {
         /// Strategy for partitioned fields.
         strategy: DistCkptStrategy,
     },
+    /// Incremental (dirty-chunk) checkpointing: snapshots persist only the
+    /// chunks written since the previous snapshot as a *delta* record, with
+    /// a full snapshot taken every `full_every` deltas (chain promotion).
+    /// Restart folds the base full snapshot plus the delta chain back into
+    /// the complete state. Fields whose containers do not track writes are
+    /// stored whole inside each delta.
+    IncrementalCkpt {
+        /// Maximum delta-chain length before the next snapshot is promoted
+        /// to a full one (values below 1 are treated as 1).
+        full_every: usize,
+    },
 }
 
 /// An immutable, indexed set of plugs. Built once per deployment target and
@@ -317,6 +328,7 @@ pub struct Plan {
     safe_points: Option<(PointSet, usize)>,
     ignorable: HashSet<String>,
     dist_ckpt: DistCkptStrategy,
+    incremental_ckpt: Option<usize>,
 }
 
 impl Plan {
@@ -425,6 +437,9 @@ impl Plan {
             }
             Plug::DistCkpt { strategy } => {
                 self.dist_ckpt = *strategy;
+            }
+            Plug::IncrementalCkpt { full_every } => {
+                self.incremental_ckpt = Some((*full_every).max(1));
             }
         }
         self.plugs.push(plug);
@@ -630,6 +645,13 @@ impl Plan {
         self.dist_ckpt
     }
 
+    /// Incremental checkpointing policy: `Some(full_every)` when dirty-chunk
+    /// delta snapshots are enabled (a full snapshot is promoted every
+    /// `full_every` deltas), `None` for always-full snapshots.
+    pub fn incremental_ckpt(&self) -> Option<usize> {
+        self.incremental_ckpt
+    }
+
     /// Validate internal consistency; returns human-readable problems.
     /// (E.g. `ScatterBefore` on a field not declared Partitioned, `DistFor`
     /// aligned with a non-partitioned field, halo exchange on a cyclic
@@ -664,6 +686,13 @@ impl Plan {
                     ));
                 }
             }
+        }
+        if self.incremental_ckpt.is_some() && self.safe_points.is_none() {
+            problems.push(
+                "IncrementalCkpt installed without a SafePoints plug (no snapshot \
+                 will ever be taken)"
+                    .to_string(),
+            );
         }
         for (p, acts) in &self.updates_at {
             for (f, act) in acts {
@@ -846,6 +875,27 @@ mod tests {
             .plug(Plug::SafeData { field: "G".into() })
             .plug(Plug::SafeData { field: "G".into() });
         assert_eq!(p.safe_data().len(), 1);
+    }
+
+    #[test]
+    fn incremental_ckpt_plug_facts() {
+        assert_eq!(Plan::new().incremental_ckpt(), None);
+        let p = Plan::new()
+            .plug(Plug::SafePoints {
+                points: PointSet::All,
+                every: 5,
+            })
+            .plug(Plug::IncrementalCkpt { full_every: 8 });
+        assert_eq!(p.incremental_ckpt(), Some(8));
+        assert!(p.validate().is_empty());
+
+        // full_every below 1 is clamped.
+        let clamped = Plan::new().plug(Plug::IncrementalCkpt { full_every: 0 });
+        assert_eq!(clamped.incremental_ckpt(), Some(1));
+        // ... and incremental without safe points is flagged.
+        let problems = clamped.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("SafePoints"));
     }
 
     #[test]

@@ -142,6 +142,117 @@ fn next_container_id() -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// chunked dirty tracking (incremental checkpointing)
+// ---------------------------------------------------------------------------
+
+/// Granularity of the per-container write bitmap: one bit per
+/// `DIRTY_CHUNK_BYTES` of the portable encoding. 8 KiB balances bitmap size
+/// (a 2 MiB field needs 256 bits = 4 words) against delta payload
+/// amplification (one touched element drags in at most 8 KiB). The value is
+/// a multiple of every [`Scalar::WIDTH`], so elements never straddle chunks.
+pub const DIRTY_CHUNK_BYTES: usize = 8192;
+
+// Process-wide switch for per-write chunk marking. Off by default so runs
+// that never take incremental snapshots pay a single predictable branch per
+// write (mirroring `tracking::enabled`). `clear_dirty` turns it on — and
+// that is sufficient for correctness: until the first `clear_dirty`, every
+// container's bitmap still holds its initial all-dirty state, so writes
+// made while marking was off are covered; any `dirty_ranges` reader that
+// relies on precise tracking must by definition have cleared first. Never
+// turned off again (enabling is monotone; engines quiesce around the
+// snapshot that clears, so no write races the flip).
+static DIRTY_MARKING: AtomicBool = AtomicBool::new(false);
+
+#[inline]
+fn dirty_marking_enabled() -> bool {
+    DIRTY_MARKING.load(Ordering::Relaxed)
+}
+
+/// Lock-free bitmap with one bit per [`DIRTY_CHUNK_BYTES`] chunk of a
+/// container's byte encoding. Marking uses a relaxed check-then-set so the
+/// hot write path pays one cached load when the bit is already set;
+/// concurrent disjoint writers sharing a chunk race benignly on the atomic
+/// OR. Snapshots read the bitmap only after the engine has quiesced the
+/// team/aggregate (the same contract as `as_slice`).
+struct DirtyBitmap {
+    words: Box<[AtomicU64]>,
+    chunks: usize,
+}
+
+impl DirtyBitmap {
+    /// Bitmap covering `byte_len` encoded bytes, initially **all dirty**: a
+    /// never-snapshotted container is entirely "touched" relative to any
+    /// base.
+    fn new_all_dirty(byte_len: usize) -> DirtyBitmap {
+        let chunks = byte_len.div_ceil(DIRTY_CHUNK_BYTES);
+        let words = (0..chunks.div_ceil(64))
+            .map(|_| AtomicU64::new(u64::MAX))
+            .collect();
+        DirtyBitmap { words, chunks }
+    }
+
+    #[inline]
+    fn mark_byte(&self, byte: usize) {
+        if !dirty_marking_enabled() {
+            return;
+        }
+        let chunk = byte / DIRTY_CHUNK_BYTES;
+        let (word, bit) = (chunk / 64, 1u64 << (chunk % 64));
+        let w = &self.words[word];
+        if w.load(Ordering::Relaxed) & bit == 0 {
+            w.fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Mark every chunk overlapping the byte range `start..end`.
+    fn mark_byte_range(&self, start: usize, end: usize) {
+        if start >= end || !dirty_marking_enabled() {
+            return;
+        }
+        let first = start / DIRTY_CHUNK_BYTES;
+        let last = (end - 1) / DIRTY_CHUNK_BYTES;
+        for chunk in first..=last {
+            let (word, bit) = (chunk / 64, 1u64 << (chunk % 64));
+            let w = &self.words[word];
+            if w.load(Ordering::Relaxed) & bit == 0 {
+                w.fetch_or(bit, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn mark_all(&self) {
+        for w in &self.words {
+            w.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Dirty chunks coalesced into sorted, non-overlapping byte ranges,
+    /// clamped to `byte_len` (the container's encoded length).
+    fn ranges(&self, byte_len: usize) -> Vec<std::ops::Range<usize>> {
+        let mut out: Vec<std::ops::Range<usize>> = Vec::new();
+        for chunk in 0..self.chunks {
+            let set = self.words[chunk / 64].load(Ordering::Relaxed) & (1u64 << (chunk % 64)) != 0;
+            if !set {
+                continue;
+            }
+            let start = chunk * DIRTY_CHUNK_BYTES;
+            let end = ((chunk + 1) * DIRTY_CHUNK_BYTES).min(byte_len);
+            match out.last_mut() {
+                Some(prev) if prev.end == start => prev.end = end,
+                _ => out.push(start..end),
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SharedVec
 // ---------------------------------------------------------------------------
 
@@ -150,6 +261,7 @@ fn next_container_id() -> u64 {
 pub struct SharedVec<T: Scalar> {
     id: u64,
     data: Box<[UnsafeCell<T>]>,
+    dirty: DirtyBitmap,
 }
 
 // Safety: T is a plain Copy scalar; concurrent disjoint access is the
@@ -164,14 +276,17 @@ impl<T: Scalar> SharedVec<T> {
         SharedVec {
             id: next_container_id(),
             data: (0..len).map(|_| UnsafeCell::new(init)).collect(),
+            dirty: DirtyBitmap::new_all_dirty(len * T::WIDTH),
         }
     }
 
     /// Take ownership of an existing vector.
     pub fn from_vec(v: Vec<T>) -> Self {
+        let dirty = DirtyBitmap::new_all_dirty(v.len() * T::WIDTH);
         SharedVec {
             id: next_container_id(),
             data: v.into_iter().map(UnsafeCell::new).collect(),
+            dirty,
         }
     }
 
@@ -202,6 +317,7 @@ impl<T: Scalar> SharedVec<T> {
         unsafe {
             *self.data[i].get() = v;
         }
+        self.dirty.mark_byte(i * T::WIDTH);
     }
 
     /// View the whole vector as a slice. Only meaningful while no concurrent
@@ -256,6 +372,8 @@ impl<T: Scalar> SharedVec<T> {
                 *self.data[dst_start + k].get() = v;
             }
         }
+        self.dirty
+            .mark_byte_range(dst_start * T::WIDTH, (dst_start + src.len()) * T::WIDTH);
     }
 
     /// Set every element to `v`.
@@ -276,6 +394,15 @@ impl<T: Scalar> SharedVec<T> {
                 *self.data[i].get() = f(i);
             }
         }
+        self.dirty.mark_all();
+    }
+
+    /// Byte offsets of the encoding touched since the last
+    /// [`StateCell::clear_dirty`] (coalesced chunk granularity). Exposed on
+    /// the container too so engines and benches can reach it without a trait
+    /// object.
+    pub fn dirty_byte_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        self.dirty.ranges(self.len() * T::WIDTH)
     }
 }
 
@@ -311,6 +438,7 @@ impl<T: Scalar> StateCell for SharedVec<T> {
                     bytes.len(),
                 );
             }
+            self.dirty.mark_all();
             return Ok(());
         }
         for (i, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
@@ -334,6 +462,55 @@ impl<T: Scalar> StateCell for SharedVec<T> {
         let bytes = self.save_bytes();
         w.write_all(&bytes)?;
         Ok(bytes.len() as u64)
+    }
+
+    fn dirty_ranges(&self) -> Option<Vec<std::ops::Range<usize>>> {
+        Some(self.dirty_byte_ranges())
+    }
+
+    fn write_dirty_state(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        w: &mut dyn std::io::Write,
+    ) -> Result<u64> {
+        let byte_len = self.len() * T::WIDTH;
+        let mut written = 0u64;
+        for r in ranges {
+            if r.start > r.end
+                || r.end > byte_len
+                || !r.start.is_multiple_of(T::WIDTH)
+                || !r.end.is_multiple_of(T::WIDTH)
+            {
+                return Err(PparError::CorruptCheckpoint(format!(
+                    "dirty range {r:?} invalid for a {byte_len}-byte SharedVec \
+                     (element width {})",
+                    T::WIDTH
+                )));
+            }
+            let elems = r.start / T::WIDTH..r.end / T::WIDTH;
+            if Self::le_layout() {
+                // Same zero-copy slice handoff as `write_state`, restricted
+                // to the touched bytes.
+                let bytes = self.raw_bytes(elems);
+                w.write_all(bytes)?;
+                written += bytes.len() as u64;
+            } else {
+                let mut buf = vec![0u8; elems.len() * T::WIDTH];
+                for (k, chunk) in buf.chunks_exact_mut(T::WIDTH).enumerate() {
+                    self.get(elems.start + k).write_le(chunk);
+                }
+                w.write_all(&buf)?;
+                written += buf.len() as u64;
+            }
+        }
+        Ok(written)
+    }
+
+    fn clear_dirty(&self) {
+        // Clearing declares "track my writes precisely from here on" — turn
+        // per-write marking on process-wide (monotone, see DIRTY_MARKING).
+        DIRTY_MARKING.store(true, Ordering::SeqCst);
+        self.dirty.clear();
     }
 }
 
@@ -378,11 +555,13 @@ impl<T: Scalar> DistCell for SharedVec<T> {
             )));
         }
         if Self::le_layout() && !tracking::enabled() {
-            let dst = &self.data[range];
+            let dst = &self.data[range.clone()];
             // Safety: same quiesced-phase contract as `load_bytes`.
             unsafe {
                 std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_ptr() as *mut u8, bytes.len());
             }
+            self.dirty
+                .mark_byte_range(range.start * T::WIDTH, range.end * T::WIDTH);
             return Ok(());
         }
         for (k, chunk) in bytes.chunks_exact(T::WIDTH).enumerate() {
@@ -492,6 +671,22 @@ impl<T: Scalar> StateCell for SharedGrid<T> {
 
     fn write_state(&self, w: &mut dyn std::io::Write) -> Result<u64> {
         self.data.write_state(w)
+    }
+
+    fn dirty_ranges(&self) -> Option<Vec<std::ops::Range<usize>>> {
+        self.data.dirty_ranges()
+    }
+
+    fn write_dirty_state(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        w: &mut dyn std::io::Write,
+    ) -> Result<u64> {
+        self.data.write_dirty_state(ranges, w)
+    }
+
+    fn clear_dirty(&self) {
+        self.data.clear_dirty();
     }
 }
 
@@ -649,6 +844,9 @@ pub fn shared_grid<T: Scalar>(rows: usize, cols: usize, init: T) -> Arc<SharedGr
 }
 
 #[cfg(test)]
+// Single-element range collections below are genuine range *data* (dirty
+// byte spans), not mistyped value ranges.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -816,6 +1014,133 @@ mod tests {
         let handle = std::thread::spawn(current_worker);
         assert_eq!(handle.join().unwrap(), 0);
         set_current_worker(0);
+    }
+
+    // ---- chunked dirty tracking ----
+
+    use crate::state::StateCell;
+
+    /// Elements per dirty chunk for f64 (8 bytes each).
+    const CHUNK_ELEMS: usize = DIRTY_CHUNK_BYTES / 8;
+
+    #[test]
+    fn fresh_vec_is_fully_dirty_until_cleared() {
+        let v = SharedVec::new(3 * CHUNK_ELEMS, 0.0f64);
+        assert_eq!(v.dirty_byte_ranges(), vec![0..3 * DIRTY_CHUNK_BYTES]);
+        v.clear_dirty();
+        assert!(v.dirty_byte_ranges().is_empty());
+        assert_eq!(StateCell::dirty_ranges(&v), Some(vec![]));
+    }
+
+    #[test]
+    fn set_marks_only_the_touched_chunk() {
+        let v = SharedVec::new(4 * CHUNK_ELEMS, 0.0f64);
+        v.clear_dirty();
+        v.set(2 * CHUNK_ELEMS + 5, 1.0); // chunk 2
+        assert_eq!(
+            v.dirty_byte_ranges(),
+            vec![2 * DIRTY_CHUNK_BYTES..3 * DIRTY_CHUNK_BYTES]
+        );
+        // Adjacent chunks coalesce into one range.
+        v.set(3 * CHUNK_ELEMS, 1.0); // chunk 3
+        assert_eq!(
+            v.dirty_byte_ranges(),
+            vec![2 * DIRTY_CHUNK_BYTES..4 * DIRTY_CHUNK_BYTES]
+        );
+        // Disjoint chunks stay separate ranges.
+        v.set(0, 1.0);
+        assert_eq!(
+            v.dirty_byte_ranges(),
+            vec![
+                0..DIRTY_CHUNK_BYTES,
+                2 * DIRTY_CHUNK_BYTES..4 * DIRTY_CHUNK_BYTES
+            ]
+        );
+    }
+
+    #[test]
+    fn final_partial_chunk_clamps_to_byte_len() {
+        let v = SharedVec::new(CHUNK_ELEMS + 10, 0.0f64);
+        v.clear_dirty();
+        v.set(CHUNK_ELEMS + 3, 2.0);
+        assert_eq!(
+            v.dirty_byte_ranges(),
+            vec![DIRTY_CHUNK_BYTES..(CHUNK_ELEMS + 10) * 8]
+        );
+    }
+
+    #[test]
+    fn bulk_writes_and_loads_mark_dirty() {
+        let v = SharedVec::new(3 * CHUNK_ELEMS, 0.0f64);
+        v.clear_dirty();
+        v.copy_in(CHUNK_ELEMS - 1, &[1.0, 2.0]); // straddles chunks 0 and 1
+        assert_eq!(v.dirty_byte_ranges(), vec![0..2 * DIRTY_CHUNK_BYTES]);
+
+        v.clear_dirty();
+        v.fill(7.0);
+        assert_eq!(v.dirty_byte_ranges(), vec![0..3 * DIRTY_CHUNK_BYTES]);
+
+        // Restores count as writes: a delta after a restore must not lose
+        // the restored bytes.
+        v.clear_dirty();
+        let bytes = v.save_bytes();
+        v.load_bytes(&bytes).unwrap();
+        assert_eq!(v.dirty_byte_ranges(), vec![0..3 * DIRTY_CHUNK_BYTES]);
+
+        v.clear_dirty();
+        v.install(2 * CHUNK_ELEMS..2 * CHUNK_ELEMS + 4, &[0u8; 32])
+            .unwrap();
+        assert_eq!(
+            v.dirty_byte_ranges(),
+            vec![2 * DIRTY_CHUNK_BYTES..3 * DIRTY_CHUNK_BYTES]
+        );
+    }
+
+    #[test]
+    fn write_dirty_state_streams_exact_slices() {
+        let v = SharedVec::from_vec((0..2 * CHUNK_ELEMS).map(|i| i as f64).collect());
+        v.clear_dirty();
+        v.set(17, -1.0);
+        v.set(CHUNK_ELEMS + 1, -2.0);
+        let ranges = v.dirty_byte_ranges();
+        assert_eq!(ranges, vec![0..2 * DIRTY_CHUNK_BYTES]); // adjacent, coalesced
+
+        let mut out = Vec::new();
+        let n = v.write_dirty_state(&ranges, &mut out).unwrap();
+        assert_eq!(n as usize, out.len());
+        assert_eq!(out, v.save_bytes()[0..2 * DIRTY_CHUNK_BYTES].to_vec());
+
+        // Misaligned / out-of-bounds ranges are rejected.
+        assert!(v.write_dirty_state(&[1..9], &mut Vec::new()).is_err());
+        assert!(v
+            .write_dirty_state(&[0..2 * DIRTY_CHUNK_BYTES + 8], &mut Vec::new())
+            .is_err());
+    }
+
+    #[test]
+    fn grid_delegates_dirty_tracking_to_flat() {
+        let g = SharedGrid::new(CHUNK_ELEMS / 16, 16, 0.0f64); // one chunk total
+        g.clear_dirty();
+        assert_eq!(StateCell::dirty_ranges(&g), Some(vec![]));
+        g.set(3, 5, 1.0);
+        assert_eq!(
+            StateCell::dirty_ranges(&g),
+            Some(vec![0..DIRTY_CHUNK_BYTES])
+        );
+        g.clear_dirty();
+        g.set_row(2, &[9.0; 16]);
+        assert_eq!(
+            StateCell::dirty_ranges(&g),
+            Some(vec![0..DIRTY_CHUNK_BYTES])
+        );
+    }
+
+    #[test]
+    fn empty_vec_dirty_tracking_is_trivial() {
+        let v = SharedVec::new(0, 0.0f64);
+        assert!(v.dirty_byte_ranges().is_empty());
+        v.clear_dirty();
+        assert_eq!(v.write_dirty_state(&[], &mut Vec::new()).unwrap(), 0);
     }
 
     // Tracking tests run in a dedicated integration binary (tests/tracking.rs)

@@ -111,6 +111,53 @@ pub trait StateCell: Send + Sync {
     fn save_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.save_bytes());
     }
+
+    // ---- dirty-chunk seam (incremental checkpointing) ----
+
+    /// Byte ranges of the `save_bytes` encoding written since the last
+    /// [`StateCell::clear_dirty`], coalesced, sorted and non-overlapping.
+    /// `None` means this cell does not track writes (the checkpoint module
+    /// then saves it in full inside delta snapshots). Containers with
+    /// chunked write tracking ([`crate::shared::SharedVec`] and friends)
+    /// return `Some` — possibly empty when nothing was touched.
+    ///
+    /// A freshly constructed tracking cell reports *everything* dirty: it
+    /// has never been captured by a snapshot, so relative to any base its
+    /// whole content is "touched".
+    fn dirty_ranges(&self) -> Option<Vec<std::ops::Range<usize>>> {
+        None
+    }
+
+    /// Stream exactly the bytes `save_bytes()[r]` for each `r` in `ranges`
+    /// (in order, concatenated) into `w`, returning the byte count. The
+    /// default materializes the full encoding; tracking containers override
+    /// it with a slice fast path so delta snapshot cost scales with bytes
+    /// *touched*, not bytes held.
+    fn write_dirty_state(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        w: &mut dyn std::io::Write,
+    ) -> Result<u64> {
+        let bytes = self.save_bytes();
+        let mut written = 0u64;
+        for r in ranges {
+            let slice = bytes.get(r.clone()).ok_or_else(|| {
+                PparError::CorruptCheckpoint(format!(
+                    "dirty range {r:?} out of bounds for {}-byte cell",
+                    bytes.len()
+                ))
+            })?;
+            w.write_all(slice)?;
+            written += slice.len() as u64;
+        }
+        Ok(written)
+    }
+
+    /// Reset write tracking: subsequent [`StateCell::dirty_ranges`] reports
+    /// only writes after this call. The checkpoint module calls this once a
+    /// snapshot (full or delta) has captured the current state. No-op for
+    /// cells without tracking.
+    fn clear_dirty(&self) {}
 }
 
 /// State with a logical one-dimensional index space (array elements, matrix
@@ -339,6 +386,24 @@ mod tests {
     fn value_cell_rejects_wrong_length() {
         let c = ValueCell::new(1u32);
         assert!(c.load_bytes(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // ranges here are span data
+    fn default_dirty_seam_is_untracked() {
+        let c = ValueCell::new(7.0f64);
+        assert!(
+            c.dirty_ranges().is_none(),
+            "ValueCell does not track writes"
+        );
+        c.clear_dirty(); // no-op, must not panic
+
+        // The default write_dirty_state slices the materialized encoding.
+        let mut out = Vec::new();
+        let n = c.write_dirty_state(&[0..4, 4..8], &mut out).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(out, c.save_bytes());
+        assert!(c.write_dirty_state(&[4..12], &mut Vec::new()).is_err());
     }
 
     #[test]

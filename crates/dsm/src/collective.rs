@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use ppar_core::plan::ReduceOp;
 
-use crate::net::SimNet;
+use crate::net::{Payload, SimNet};
 
 /// Tag space layout: user messages get the high bit; collective messages
 /// encode (sequence << 4 | op).
@@ -69,13 +69,14 @@ impl Endpoint {
 
     // ---- point to point (user tag space) ----
 
-    /// Send `bytes` to `dst` under user tag `tag`.
-    pub fn send(&self, dst: usize, tag: u64, bytes: Vec<u8>) {
+    /// Send `bytes` to `dst` under user tag `tag` (zero-copy when handed an
+    /// existing [`Payload`]).
+    pub fn send(&self, dst: usize, tag: u64, bytes: impl Into<Payload>) {
         self.net.send(self.rank, dst, USER_TAG_BIT | tag, bytes);
     }
 
     /// Receive from `src` under user tag `tag`.
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+    pub fn recv(&self, src: usize, tag: u64) -> Payload {
         self.net.recv(self.rank, src, USER_TAG_BIT | tag)
     }
 
@@ -103,25 +104,44 @@ impl Endpoint {
 
     /// Broadcast `bytes` from `root`; non-roots pass `None` and receive the
     /// root's bytes.
-    pub fn bcast(&self, root: usize, bytes: Option<Vec<u8>>) -> Vec<u8> {
-        match self.bcast_slice(root, bytes.as_deref()) {
-            // Root: bcast_slice returned None; it already holds the payload.
-            None => bytes.expect("root must provide broadcast payload"),
-            Some(received) => received,
+    pub fn bcast(&self, root: usize, bytes: Option<Vec<u8>>) -> Payload {
+        match bytes {
+            Some(bytes) => {
+                let payload: Payload = bytes.into();
+                self.bcast_payload(root, Some(payload.clone()));
+                payload
+            }
+            None => self
+                .bcast_payload(root, None)
+                .expect("non-root receives broadcast payload"),
         }
     }
 
     /// Broadcast from `root` without requiring an owned payload at the root
     /// (pairs with `StateCell::write_state` into a reusable scratch buffer).
     /// Non-roots pass `None` and receive `Some(payload)`; the root passes
-    /// `Some(bytes)` and gets `None` back — it already holds the data.
-    pub fn bcast_slice(&self, root: usize, bytes: Option<&[u8]>) -> Option<Vec<u8>> {
+    /// `Some(bytes)` and gets `None` back — it already holds the data. The
+    /// root pays exactly one copy (slice → shared payload), after which the
+    /// fan-out to P−1 destinations moves references only.
+    pub fn bcast_slice(&self, root: usize, bytes: Option<&[u8]>) -> Option<Payload> {
+        if self.rank == root {
+            let payload: Payload =
+                Arc::new(bytes.expect("root must provide broadcast payload").to_vec());
+            self.bcast_payload(root, Some(payload))
+        } else {
+            self.bcast_payload(root, None)
+        }
+    }
+
+    /// Payload-level broadcast: the root's buffer is shared with every
+    /// destination mailbox, never duplicated.
+    pub fn bcast_payload(&self, root: usize, bytes: Option<Payload>) -> Option<Payload> {
         let tag = self.next_tag(CollOp::Bcast);
         if self.rank == root {
-            let bytes = bytes.expect("root must provide broadcast payload");
+            let payload = bytes.expect("root must provide broadcast payload");
             for dst in 0..self.nranks() {
                 if dst != root {
-                    self.net.send(root, dst, tag, bytes.to_vec());
+                    self.net.send(root, dst, tag, payload.clone());
                 }
             }
             None
@@ -132,11 +152,11 @@ impl Endpoint {
 
     /// Gather every rank's `bytes` at `root`; returns `Some(payloads)` (rank
     /// indexed) at the root, `None` elsewhere.
-    pub fn gather(&self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    pub fn gather(&self, root: usize, bytes: Vec<u8>) -> Option<Vec<Payload>> {
         let tag = self.next_tag(CollOp::Gather);
         if self.rank == root {
-            let mut out = vec![Vec::new(); self.nranks()];
-            out[root] = bytes;
+            let mut out: Vec<Payload> = (0..self.nranks()).map(|_| Arc::new(Vec::new())).collect();
+            out[root] = bytes.into();
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
                     *slot = self.net.recv(root, src, tag);
@@ -151,7 +171,7 @@ impl Endpoint {
 
     /// Scatter per-rank payloads from `root` (rank-indexed); every rank
     /// receives its own slice.
-    pub fn scatter(&self, root: usize, payloads: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+    pub fn scatter(&self, root: usize, payloads: Option<Vec<Vec<u8>>>) -> Payload {
         let tag = self.next_tag(CollOp::Scatter);
         if self.rank == root {
             let mut payloads = payloads.expect("root must provide scatter payloads");
@@ -161,7 +181,7 @@ impl Endpoint {
                     self.net.send(root, dst, tag, std::mem::take(payload));
                 }
             }
-            std::mem::take(&mut payloads[root])
+            std::mem::take(&mut payloads[root]).into()
         } else {
             self.net.recv(self.rank, root, tag)
         }
@@ -178,18 +198,19 @@ impl Endpoint {
             let mut acc = value;
             for src in 1..n {
                 let bytes = self.net.recv(0, src, tag);
-                let v = f64::from_le_bytes(bytes.try_into().expect("8-byte f64"));
+                let v = f64::from_le_bytes(bytes.as_slice().try_into().expect("8-byte f64"));
                 acc = op.apply_f64(acc, v);
             }
+            let combined: Payload = acc.to_le_bytes().to_vec().into();
             for dst in 1..n {
-                self.net.send(0, dst, tag, acc.to_le_bytes().to_vec());
+                self.net.send(0, dst, tag, combined.clone());
             }
             acc
         } else {
             self.net
                 .send(self.rank, 0, tag, value.to_le_bytes().to_vec());
             let bytes = self.net.recv(self.rank, 0, tag);
-            f64::from_le_bytes(bytes.try_into().expect("8-byte f64"))
+            f64::from_le_bytes(bytes.as_slice().try_into().expect("8-byte f64"))
         }
     }
 
@@ -202,7 +223,7 @@ impl Endpoint {
         &self,
         to_prev: Option<Vec<u8>>,
         to_next: Option<Vec<u8>>,
-    ) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+    ) -> (Option<Payload>, Option<Payload>) {
         let tag = self.next_tag(CollOp::Halo);
         let n = self.nranks();
         let rank = self.rank;
@@ -264,7 +285,7 @@ mod tests {
             ep.bcast(2, payload)
         });
         for r in results {
-            assert_eq!(r, vec![9, 9, 9]);
+            assert_eq!(&*r, &[9, 9, 9]);
         }
     }
 
@@ -274,7 +295,7 @@ mod tests {
         let root = results[0].as_ref().unwrap();
         assert_eq!(root.len(), 4);
         for (rank, payload) in root.iter().enumerate() {
-            assert_eq!(payload, &vec![rank as u8; rank + 1]);
+            assert_eq!(&**payload, vec![rank as u8; rank + 1].as_slice());
         }
         assert!(results[1].is_none());
     }
@@ -287,7 +308,7 @@ mod tests {
             ep.scatter(0, payloads)
         });
         for (rank, r) in results.iter().enumerate() {
-            assert_eq!(r, &vec![rank as u8 * 10]);
+            assert_eq!(&**r, &[rank as u8 * 10]);
         }
     }
 
@@ -313,11 +334,17 @@ mod tests {
         });
         // rank 1: from_prev = rank0's to_next = [0,1]; from_next = rank2's
         // to_prev = [2,0].
-        assert_eq!(results[1].0, Some(vec![0, 1]));
-        assert_eq!(results[1].1, Some(vec![2, 0]));
+        assert_eq!(
+            results[1].0.as_deref().map(Vec::as_slice),
+            Some(&[0u8, 1][..])
+        );
+        assert_eq!(
+            results[1].1.as_deref().map(Vec::as_slice),
+            Some(&[2u8, 0][..])
+        );
         // Edges.
-        assert_eq!(results[0].0, None);
-        assert_eq!(results[3].1, None);
+        assert!(results[0].0.is_none());
+        assert!(results[3].1.is_none());
     }
 
     #[test]
@@ -332,7 +359,7 @@ mod tests {
         for (a, b, c) in results {
             assert_eq!(a, 3.0);
             assert_eq!(b, 8.0);
-            assert_eq!(c, vec![7]);
+            assert_eq!(&*c, &[7]);
         }
     }
 
@@ -345,7 +372,7 @@ mod tests {
             ep.recv(prev, 42)
         });
         for (rank, r) in results.iter().enumerate() {
-            assert_eq!(r, &vec![((rank + 4) % 5) as u8]);
+            assert_eq!(&**r, &[((rank + 4) % 5) as u8]);
         }
     }
 }

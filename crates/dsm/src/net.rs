@@ -8,6 +8,14 @@
 //! a serialising ingress link, so a gather of P−1 partitions at the root
 //! pays the *sum* of their transfer times — exactly why the paper's
 //! master-collect checkpoint cost climbs with P (Fig. 4).
+//!
+//! Payloads travel as [`Payload`] (`Arc<Vec<u8>>`): depositing a message
+//! moves a reference, not the bytes — a unicast send *moves* its `Vec`
+//! into the shared header (no buffer copy, as before), and one buffer
+//! fanned out to P−1 destinations (broadcast, barrier release, restart
+//! scatter) is shared rather than copied P−1 times. Only the *simulated*
+//! transfer time scales with the byte count; the host-side cost of a send
+//! is O(1) in the payload size.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,8 +26,15 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::topology::{LinkClass, NetModel, Topology};
 
+/// The wire representation of one message body: reference-counted so
+/// fan-out sends (broadcast, scatter of a shared buffer) are zero-copy,
+/// and `Arc<Vec<u8>>` rather than `Arc<[u8]>` so converting an owned `Vec`
+/// (the unicast case: halo rows, gathered partitions) moves the buffer
+/// instead of copying it.
+pub type Payload = Arc<Vec<u8>>;
+
 struct Message {
-    bytes: Vec<u8>,
+    bytes: Payload,
     arrives_at: Instant,
     link: LinkClass,
 }
@@ -127,8 +142,10 @@ impl SimNet {
     }
 
     /// Deposit `bytes` from `src` for `dst` under `tag`. Returns
-    /// immediately (eager send).
-    pub fn send(&self, src: usize, dst: usize, tag: u64, bytes: Vec<u8>) {
+    /// immediately (eager send). Accepts anything convertible to a
+    /// [`Payload`]; passing an existing `Payload` clone is zero-copy.
+    pub fn send(&self, src: usize, dst: usize, tag: u64, bytes: impl Into<Payload>) {
+        let bytes = bytes.into();
         assert!(src < self.nranks && dst < self.nranks, "rank out of range");
         let link = self.topology.link(src, dst, self.nranks);
         match link {
@@ -159,8 +176,9 @@ impl SimNet {
     }
 
     /// Block until a message from `src` with `tag` is available at `dst`,
-    /// pay the simulated ingress time, and return it.
-    pub fn recv(&self, dst: usize, src: usize, tag: u64) -> Vec<u8> {
+    /// pay the simulated ingress time, and return it (a shared reference to
+    /// the sender's buffer — no copy).
+    pub fn recv(&self, dst: usize, src: usize, tag: u64) -> Payload {
         assert!(src < self.nranks && dst < self.nranks, "rank out of range");
         let mbox = &self.mailboxes[dst];
         let msg = {
@@ -226,7 +244,7 @@ mod tests {
     fn send_recv_roundtrip() {
         let net = SimNet::instant(2);
         net.send(0, 1, 7, vec![1, 2, 3]);
-        assert_eq!(net.recv(1, 0, 7), vec![1, 2, 3]);
+        assert_eq!(&*net.recv(1, 0, 7), &[1, 2, 3]);
     }
 
     #[test]
@@ -236,7 +254,7 @@ mod tests {
             net.send(0, 1, 1, vec![i]);
         }
         for i in 0..10u8 {
-            assert_eq!(net.recv(1, 0, 1), vec![i]);
+            assert_eq!(&*net.recv(1, 0, 1), &[i]);
         }
     }
 
@@ -245,8 +263,8 @@ mod tests {
         let net = SimNet::instant(2);
         net.send(0, 1, 1, vec![1]);
         net.send(0, 1, 2, vec![2]);
-        assert_eq!(net.recv(1, 0, 2), vec![2]);
-        assert_eq!(net.recv(1, 0, 1), vec![1]);
+        assert_eq!(&*net.recv(1, 0, 2), &[2]);
+        assert_eq!(&*net.recv(1, 0, 1), &[1]);
     }
 
     #[test]
@@ -257,7 +275,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(!receiver.is_finished());
         net.send(0, 1, 9, vec![42]);
-        assert_eq!(receiver.join().unwrap(), vec![42]);
+        assert_eq!(&*receiver.join().unwrap(), &[42]);
     }
 
     #[test]
@@ -315,7 +333,7 @@ mod tests {
         net.send(0, 1, 3, vec![5]);
         assert!(net.probe(1, 0, 3));
         assert!(net.probe(1, 0, 3));
-        assert_eq!(net.recv(1, 0, 3), vec![5]);
+        assert_eq!(&*net.recv(1, 0, 3), &[5]);
         assert!(!net.probe(1, 0, 3));
     }
 }

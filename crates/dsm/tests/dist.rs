@@ -405,6 +405,88 @@ fn local_snapshot_crash_restart_same_ranks() {
 }
 
 #[test]
+fn incremental_master_collect_crash_restart() {
+    // Dirty-chunk incremental mode end-to-end in master-collect strategy:
+    // base full snapshot + delta chain on disk, restart folds them back and
+    // matches the uncrashed sequential reference exactly.
+    let expected = sequential_reference();
+    let dir = tmpdir("inc_mc");
+    let plan = Arc::new(
+        ckpt_plugs(dist_plan(), 2, DistCkptStrategy::MasterCollect)
+            .plug(Plug::IncrementalCkpt { full_every: 3 }),
+    );
+
+    // Snapshots at iterations 2 (base), 4, 6, 8 (deltas); crash at 9.
+    let cfg = SpmdConfig::instant(3);
+    run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        false,
+        |ctx| relax(ctx, Some(9)),
+    );
+    let store = ppar_ckpt::CheckpointStore::new(&dir).unwrap();
+    assert!(
+        store.read_master_delta(1).unwrap().is_some()
+            && store.read_master_delta(3).unwrap().is_some(),
+        "incremental master-collect must leave a delta chain on disk"
+    );
+    assert_eq!(store.restart_count().unwrap(), Some(8));
+
+    let results = run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        true,
+        |ctx| relax(ctx, None),
+    );
+    assert_eq!(results[0], expected);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incremental_local_snapshot_crash_restart() {
+    // Per-element shard chains: every rank persists base + deltas of only
+    // its owned block (dirty ranges clamped to the partition).
+    let expected = sequential_reference();
+    let dir = tmpdir("inc_local");
+    let plan = Arc::new(
+        ckpt_plugs(dist_plan(), 4, DistCkptStrategy::LocalSnapshot)
+            .plug(Plug::IncrementalCkpt { full_every: 4 }),
+    );
+
+    // Snapshots at iterations 4 (base) and 8 (delta); crash at 10.
+    let cfg = SpmdConfig::instant(4);
+    run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        false,
+        |ctx| relax(ctx, Some(10)),
+    );
+    let store = ppar_ckpt::CheckpointStore::new(&dir).unwrap();
+    for rank in 0..4 {
+        assert!(
+            store.read_shard_delta(rank, 1).unwrap().is_some(),
+            "rank {rank} must have a shard delta"
+        );
+    }
+    assert_eq!(store.restart_count().unwrap(), Some(8));
+
+    let results = run_spmd(
+        &cfg,
+        plan.clone(),
+        &hook_factory(dir.clone(), plan.clone()),
+        true,
+        |ctx| relax(ctx, None),
+    );
+    assert_eq!(results[0], expected);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn traffic_flows_and_root_gather_is_heavier() {
     // Sanity on the simulated network: the distributed run moves bytes, and
     // halo traffic is much smaller than the final gather.

@@ -164,6 +164,15 @@ pub fn plan_ckpt_with_strategy(every: usize, strategy: DistCkptStrategy) -> Plan
     plan_ckpt(every).plug(Plug::DistCkpt { strategy })
 }
 
+/// Incremental checkpoint module: snapshots persist only the 8 KiB chunks
+/// of `G` written since the previous snapshot (a full base is promoted
+/// every `full_every` deltas). Still a one-plug addition over
+/// [`plan_ckpt`] — the paper's "very small programming overhead" claim
+/// (§V) carries over to incremental mode.
+pub fn plan_ckpt_incremental(every: usize, full_every: usize) -> Plan {
+    plan_ckpt(every).plug(Plug::IncrementalCkpt { full_every })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +230,10 @@ mod tests {
         assert!(plan_smp().validate().is_empty());
         assert!(plan_dist().validate().is_empty());
         assert!(plan_dist().merge(plan_ckpt(10)).validate().is_empty());
+        assert!(plan_dist()
+            .merge(plan_ckpt_incremental(10, 5))
+            .validate()
+            .is_empty());
     }
 
     #[test]
@@ -228,5 +241,7 @@ mod tests {
         // §V: "specifying the safe points, ignorable methods and safe data
         // fields introduces a very small programming overhead". Count it.
         assert!(plan_ckpt(10).len() <= 4);
+        // Incremental mode costs exactly one more plug.
+        assert_eq!(plan_ckpt_incremental(10, 5).len(), plan_ckpt(10).len() + 1);
     }
 }

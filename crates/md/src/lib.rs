@@ -326,6 +326,15 @@ pub fn plan_ckpt(every: usize) -> Plan {
         })
 }
 
+/// Incremental checkpoint module: dirty-chunk delta snapshots with a full
+/// promotion every `full_every` deltas. MD touches all particle state every
+/// step, so its deltas stay near-full — the interesting cases are the SOR
+/// boundary sweeps and partial-touch workloads; this plan exists so MD
+/// exercises the full-delta degenerate path.
+pub fn plan_ckpt_incremental(every: usize, full_every: usize) -> Plan {
+    plan_ckpt(every).plug(Plug::IncrementalCkpt { full_every })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +431,40 @@ mod tests {
         assert!(report.replayed);
         assert_eq!(report.result.checksum, reference.checksum);
         assert_eq!(report.result.kinetic, reference.kinetic);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_checkpoint_restart_matches_uncrashed_run() {
+        let dir = std::env::temp_dir().join(format!("ppar_md_inc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let reference = run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
+            md_pluggable(ctx, &cfg())
+        });
+
+        // Snapshot every 2 steps, full every 2 deltas: the crash at step 7
+        // restarts from base(2) + deltas(4, 6) — all-dirty deltas, MD's
+        // degenerate case — and must still be byte-exact.
+        let plan = Plan::new().merge(plan_ckpt_incremental(2, 2));
+        let report = ppar_ckpt::launch_seq(&dir, plan.clone(), |ctx| {
+            let mut c = cfg();
+            c.fail_after = Some(7);
+            (ppar_ckpt::AppStatus::Crashed, md_pluggable(ctx, &c))
+        })
+        .unwrap();
+        let s = report.stats;
+        assert!(s.delta_snapshots > 0, "incremental mode must write deltas");
+
+        let report = ppar_ckpt::launch_seq(&dir, plan, |ctx| {
+            (ppar_ckpt::AppStatus::Completed, md_pluggable(ctx, &cfg()))
+        })
+        .unwrap();
+        assert!(report.replayed);
+        assert_eq!(report.result.checksum, reference.checksum);
+        assert_eq!(report.result.kinetic, reference.kinetic);
+        assert_eq!(report.result.potential, reference.potential);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -11,7 +11,9 @@ use ppar_suite::core::plan::Plan;
 use ppar_suite::core::run_sequential;
 use ppar_suite::core::ExecMode;
 use ppar_suite::dsm::SpmdConfig;
-use ppar_suite::jgf::sor::pluggable::{plan_ckpt, plan_dist, plan_seq, plan_smp, sor_pluggable};
+use ppar_suite::jgf::sor::pluggable::{
+    plan_ckpt, plan_ckpt_incremental, plan_dist, plan_seq, plan_smp, sor_pluggable,
+};
 use ppar_suite::jgf::sor::{sor_seq, SorParams};
 
 fn params() -> SorParams {
@@ -79,6 +81,56 @@ fn every_mode_pair_supports_cross_mode_restart() {
             );
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+}
+
+#[test]
+fn incremental_checkpoint_cross_mode_restart() {
+    // Dirty-chunk incremental snapshots compose with cross-mode restart:
+    // the merged base+delta state is mode-independent like any master
+    // snapshot. every=2, full_every=2 -> base at iteration 2, deltas at 4
+    // and 6; crash at 7 restarts from the folded chain.
+    let expected = reference();
+    type Mode = (&'static str, Deploy, fn() -> Plan);
+    let modes: Vec<Mode> = vec![
+        ("seq", Deploy::Seq, plan_seq as fn() -> Plan),
+        (
+            "smp",
+            Deploy::Smp {
+                threads: 3,
+                max_threads: 3,
+            },
+            plan_smp as fn() -> Plan,
+        ),
+        (
+            "dist",
+            Deploy::Dist(SpmdConfig::instant(3)),
+            plan_dist as fn() -> Plan,
+        ),
+    ];
+    for k in 0..modes.len() {
+        let (a_name, a_deploy, a_plan) = &modes[k];
+        let (b_name, b_deploy, b_plan) = &modes[(k + 1) % modes.len()];
+        let dir = tmpdir(&format!("inc_{a_name}_{b_name}"));
+        crash_run(
+            a_deploy,
+            a_plan().merge(plan_ckpt_incremental(2, 2)),
+            &dir,
+            7,
+        );
+        let store = ppar_suite::ckpt::CheckpointStore::new(&dir).unwrap();
+        assert!(
+            store.read_master_delta(1).unwrap().is_some(),
+            "{a_name}: crash run must leave a delta chain"
+        );
+        let (checksum, replayed) =
+            finish_run(b_deploy, b_plan().merge(plan_ckpt_incremental(2, 2)), &dir);
+        assert!(replayed, "{a_name}->{b_name}: restart must replay");
+        assert_eq!(
+            checksum, expected,
+            "{a_name}->{b_name}: incremental cross-mode restart must agree"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

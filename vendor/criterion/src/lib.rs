@@ -1,8 +1,11 @@
 //! Offline shim of the `criterion` API surface the workspace's `benches/`
 //! targets use. Statistical machinery is reduced to honest wall-clock
 //! sampling: per benchmark it warms up, sizes an iteration batch to the
-//! configured measurement budget, takes `sample_size` samples and prints
-//! `min / median / max` nanoseconds per iteration.
+//! configured measurement budget, takes `sample_size` samples, drops the
+//! top and bottom ~5% as outliers (at least one sample each side once
+//! there are 5+ samples — scheduler blips otherwise dominate `max` and
+//! flake CI comparisons) and prints `min / median / max` nanoseconds per
+//! iteration over the trimmed set.
 //!
 //! Bench targets must set `harness = false` (as with real criterion).
 
@@ -107,6 +110,16 @@ struct Report {
     iters_per_sample: u64,
 }
 
+/// Sorted-sample outlier trimming: drop `len/20` (≥1, once there are at
+/// least 5 samples) entries from each end, always keeping the middle.
+fn trimmed(sorted: &[u128]) -> &[u128] {
+    if sorted.len() < 5 {
+        return sorted;
+    }
+    let cut = (sorted.len() / 20).max(1).min((sorted.len() - 1) / 2);
+    &sorted[cut..sorted.len() - cut]
+}
+
 /// Timing hook handed to each benchmark closure.
 pub struct Bencher {
     sample_size: usize,
@@ -143,11 +156,12 @@ impl Bencher {
             samples_ns.push(t0.elapsed().as_nanos() / iters as u128);
         }
         samples_ns.sort_unstable();
+        let kept = trimmed(&samples_ns);
         self.report = Some(Report {
-            min_ns: samples_ns[0],
-            median_ns: samples_ns[samples_ns.len() / 2],
-            max_ns: *samples_ns.last().unwrap(),
-            samples: samples_ns.len(),
+            min_ns: kept[0],
+            median_ns: kept[kept.len() / 2],
+            max_ns: *kept.last().unwrap(),
+            samples: kept.len(),
             iters_per_sample: iters,
         });
     }
@@ -177,6 +191,24 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trimming_drops_five_percent_each_side() {
+        // Below 5 samples: untouched.
+        assert_eq!(trimmed(&[1, 2, 3, 4]), &[1, 2, 3, 4]);
+        // 5..39 samples: one from each end.
+        assert_eq!(trimmed(&[1, 2, 3, 4, 1000]), &[2, 3, 4]);
+        let ten: Vec<u128> = (0..10).collect();
+        assert_eq!(trimmed(&ten), &ten[1..9]);
+        // 40+ samples: len/20 from each end.
+        let forty: Vec<u128> = (0..40).collect();
+        assert_eq!(trimmed(&forty), &forty[2..38]);
+        // An extreme outlier no longer leaks into max.
+        let mut spiky: Vec<u128> = vec![100; 9];
+        spiky.push(1_000_000);
+        spiky.sort_unstable();
+        assert_eq!(*trimmed(&spiky).last().unwrap(), 100);
+    }
 
     #[test]
     fn bencher_reports_sane_numbers() {
