@@ -41,6 +41,16 @@ pub enum Deploy {
     },
     /// Simulated distributed aggregate.
     Dist(SpmdConfig),
+    /// Hybrid: a simulated distributed aggregate whose elements each run a
+    /// local thread team (`ExecMode::Hybrid`). Master-collected checkpoint
+    /// data stays mode independent, so hybrid runs checkpoint/restart
+    /// interchangeably with every other deployment.
+    Hybrid {
+        /// The simulated cluster and element count.
+        cfg: SpmdConfig,
+        /// Local team size on each element.
+        threads: usize,
+    },
 }
 
 impl Deploy {
@@ -50,6 +60,7 @@ impl Deploy {
             Deploy::Seq => "seq".into(),
             Deploy::Smp { threads, .. } => format!("smp{threads}"),
             Deploy::Dist(cfg) => format!("dist{}", cfg.nranks),
+            Deploy::Hybrid { cfg, threads } => format!("hyb{}x{}", cfg.nranks, threads),
         }
     }
 }
@@ -101,7 +112,7 @@ pub fn launch<R: Send>(
                     threads,
                     max_threads,
                 } => TeamEngine::new(*threads, *max_threads),
-                Deploy::Dist(_) => unreachable!(),
+                Deploy::Dist(_) | Deploy::Hybrid { .. } => unreachable!(),
             };
             let shared = RunShared::new(
                 plan,
@@ -122,7 +133,7 @@ pub fn launch<R: Send>(
                 elapsed: start.elapsed(),
             })
         }
-        Deploy::Dist(cfg) => {
+        Deploy::Dist(cfg) | Deploy::Hybrid { cfg, .. } => {
             // Pre-create every element's checkpoint module BEFORE any rank
             // thread starts — the moral equivalent of mpirun synchronising
             // process startup. Creating them lazily inside the rank threads
@@ -144,13 +155,19 @@ pub fn launch<R: Send>(
                 // restart (Fig. 6); no controller is installed per rank.
                 (ck, None)
             };
-            let results = run_spmd(cfg, plan, &hooks, false, |ctx| {
+            let per_rank = |ctx: &Ctx| {
                 let (status, result) = app(ctx);
                 if status == AppStatus::Completed {
                     ctx.finish();
                 }
                 (status, result)
-            });
+            };
+            let results = match deploy {
+                Deploy::Hybrid { threads, .. } => {
+                    ppar_dsm::run_hybrid(cfg, *threads, plan, &hooks, false, per_rank)
+                }
+                _ => run_spmd(cfg, plan, &hooks, false, per_rank),
+            };
             Ok(LaunchOutcome {
                 results,
                 replayed: rank0.as_ref().map(|m| m.will_replay()).unwrap_or(false),

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppar_adapt::{launch, AppStatus, Deploy};
 use ppar_jgf::sor::baseline::{sor_seq_invasive, sor_threads};
-use ppar_jgf::sor::pluggable::{plan_ckpt, plan_seq, plan_smp, sor_pluggable};
+use ppar_jgf::sor::pluggable::{
+    plan_ckpt, plan_ckpt_incremental, plan_seq, plan_smp, sor_pluggable,
+};
 use ppar_jgf::sor::{sor_seq, SorParams};
 
 fn params() -> SorParams {
@@ -37,6 +39,27 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Incremental series: snapshot every 3 safe points (base at 3, deltas
+    // at 6 and 9); the delta sizes flow into CkptStats.last_save_bytes /
+    // delta_snapshots, which the fig3 table plots.
+    let dir_incr = std::env::temp_dir().join("ppar_crit_fig3_incr");
+    g.bench_function("seq_pp_incr_3ckpt", |b| {
+        b.iter(|| {
+            let out = launch(
+                &Deploy::Seq,
+                plan_seq().merge(plan_ckpt_incremental(3, 3)),
+                Some(&dir_incr),
+                None,
+                |ctx| (AppStatus::Completed, sor_pluggable(ctx, &params())),
+            )
+            .unwrap();
+            let stats = out.stats.as_ref().expect("ckpt stats");
+            assert!(stats.delta_snapshots >= 1, "incremental arm took deltas");
+            assert!(stats.last_save_bytes > 0);
+            out
+        })
+    });
+
     g.bench_function("smp4_original", |b| b.iter(|| sor_threads(&params(), 4)));
 
     let dir3 = std::env::temp_dir().join("ppar_crit_fig3_pp4");
@@ -56,7 +79,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
-    for d in [dir, dir2, dir3] {
+    for d in [dir, dir2, dir3, dir_incr] {
         let _ = std::fs::remove_dir_all(d);
     }
 }

@@ -57,6 +57,7 @@ fn main() {
     run("fig6", &|| figs::fig6(&cfg));
     run("fig7", &|| figs::fig7(&cfg));
     run("fig8", &|| figs::fig8(&cfg));
+    run("fig8_schedules", &|| figs::fig8_schedules(&cfg));
     run("fig9", &|| figs::fig9(&cfg));
     run("loc", &figs::loc_table);
 }

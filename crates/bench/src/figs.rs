@@ -17,7 +17,9 @@ use ppar_dsm::{NetModel, SpmdConfig, Topology};
 use ppar_jgf::sor::baseline::{
     sor_dist, sor_dist_invasive, sor_seq_invasive, sor_threads, sor_threads_invasive,
 };
-use ppar_jgf::sor::pluggable::{plan_ckpt, plan_dist, plan_seq, plan_smp, sor_pluggable};
+use ppar_jgf::sor::pluggable::{
+    plan_ckpt, plan_ckpt_incremental, plan_dist, plan_seq, plan_smp, plan_smp_with, sor_pluggable,
+};
 use ppar_jgf::sor::{sor_seq, SorParams};
 use ppar_smp::run_smp;
 
@@ -187,10 +189,16 @@ fn run_invasive(env: Env, every: usize, params: &SorParams) -> f64 {
 // ---------------------------------------------------------------------------
 
 /// Fig. 3: execution time of original vs invasive vs pluggable
-/// checkpointing, with 0 or 1 snapshots taken, across environments.
+/// checkpointing, with 0 or 1 snapshots taken, across environments — plus
+/// the **incremental series**: the same run snapshotting every
+/// `iterations/4` safe points with dirty-chunk deltas between full bases,
+/// reported through the recorded `CkptStats` (`delta_snapshots`,
+/// `last_save_bytes`). SOR rewrites every interior cell each sweep, so its
+/// deltas stay near-full — the column is the honest degenerate bound; the
+/// fraction-dependent savings live in fig4's controlled-dirty arms.
 pub fn fig3(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
-        "Fig 3 — checkpoint overhead (seconds)",
+        "Fig 3 — checkpoint overhead (seconds; incremental series via CkptStats)",
         &[
             "env",
             "original",
@@ -198,9 +206,13 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
             "invasive_1ckpt",
             "pp_0ckpt",
             "pp_1ckpt",
+            "pp_incr",
+            "incr_deltas",
+            "incr_last_save_mb",
         ],
     );
     let params = cfg.params();
+    let incr_every = (cfg.iterations / 4).max(1);
     for env in envs(cfg) {
         let original = run_original(env, &params);
         let inv0 = run_invasive(env, 0, &params);
@@ -209,8 +221,21 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
         let (pp0, _) = run_pp(env, Some(0), &params, Some(&dir0));
         let dir1 = scratch_dir("pp1");
         let (pp1, _) = run_pp(env, Some(cfg.iterations), &params, Some(&dir1));
+        let diri = scratch_dir("ppincr");
+        let (ppi, incr_stats) = {
+            let plan = env.base_plan().merge(plan_ckpt_incremental(incr_every, 3));
+            let p = params.clone();
+            let (outcome, secs) = time(|| {
+                launch(&env.deploy(), plan, Some(&diri), None, move |ctx| {
+                    (AppStatus::Completed, sor_pluggable(ctx, &p))
+                })
+                .expect("launch")
+            });
+            (secs, outcome.stats.expect("incremental checkpoint stats"))
+        };
         let _ = std::fs::remove_dir_all(&dir0);
         let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&diri);
         t.row(vec![
             env.label(),
             Table::f(original),
@@ -218,6 +243,9 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
             Table::f(inv1),
             Table::f(pp0),
             Table::f(pp1),
+            Table::f(ppi),
+            format!("{}", incr_stats.delta_snapshots),
+            Table::f(incr_stats.last_save_bytes as f64 / 1e6),
         ]);
     }
     t
@@ -505,6 +533,61 @@ pub fn fig8(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Fig. 8 companion: work-sharing schedules on an **imbalanced** loop.
+///
+/// Iteration `i` of the loop waits `(i + 1) × base` (a latency-bound cost
+/// profile, like a remote operation whose payload grows with the index).
+/// Static block assignment serialises on its tail; `Dynamic`/`Guided`
+/// claiming from the shared cache-line-padded cursor keeps every worker
+/// busy and must beat `Block` — the signal that construct dispatch is no
+/// longer drowning the schedules' balancing win.
+pub fn fig8_schedules(cfg: &ExpConfig) -> Table {
+    use ppar_core::schedule::Schedule;
+    let threads = 4usize;
+    let n = 64usize.min(cfg.n);
+    let base_us = 10u64;
+    let mut t = Table::new(
+        &format!(
+            "Fig 8 (schedules) — imbalanced loop, {threads} LE, n={n}, cost=(i+1)x{base_us}us"
+        ),
+        &["schedule", "time", "vs_block"],
+    );
+    let run = |schedule: Schedule| {
+        crate::harness::time_best(3, || {
+            let plan = Arc::new(plan_smp_with(schedule));
+            run_smp(plan, threads, None, None, |ctx| {
+                ctx.region("sor_run", |ctx| {
+                    ctx.each("rows", 0..n, |_, i| {
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            (i as u64 + 1) * base_us,
+                        ));
+                    });
+                });
+            });
+        })
+    };
+    let block = run(Schedule::Block);
+    for (label, schedule) in [
+        ("block", Schedule::Block),
+        ("cyclic", Schedule::Cyclic),
+        ("block_cyclic_4", Schedule::BlockCyclic { chunk: 4 }),
+        ("dynamic_4", Schedule::Dynamic { chunk: 4 }),
+        ("guided_2", Schedule::Guided { min_chunk: 2 }),
+    ] {
+        let secs = if label == "block" {
+            block
+        } else {
+            run(schedule)
+        };
+        t.row(vec![
+            label.to_string(),
+            Table::f(secs),
+            format!("{:.2}x", block / secs.max(1e-12)),
+        ]);
+    }
+    t
+}
+
 // ---------------------------------------------------------------------------
 // Fig. 9 — adaptability overhead across versions
 // ---------------------------------------------------------------------------
@@ -616,7 +699,37 @@ mod tests {
     fn fig3_produces_all_environments() {
         let t = fig3(&tiny());
         assert_eq!(t.rows.len(), 3); // seq + 1 LE + 1 P
-        assert_eq!(t.headers.len(), 6);
+        assert_eq!(t.headers.len(), 9);
+        for row in &t.rows {
+            // Incremental series: every=iterations/4 -> base + deltas; the
+            // recorded stats must show at least one delta snapshot and a
+            // non-empty last save.
+            let deltas: u64 = row[7].parse().expect("delta count");
+            assert!(deltas >= 1, "incremental run took deltas: {row:?}");
+            let mb: f64 = row[8].parse().expect("last save mb");
+            assert!(mb > 0.0, "last delta wrote bytes: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig8_schedules_dynamic_beats_block() {
+        let t = fig8_schedules(&tiny());
+        assert_eq!(t.rows.len(), 5);
+        let secs: std::collections::HashMap<String, f64> = t
+            .rows
+            .iter()
+            .map(|r| (r[0].clone(), r[1].parse().unwrap()))
+            .collect();
+        // The acceptance signal: dynamic and guided claiming beat static
+        // block on the imbalanced (triangular-cost) loop.
+        assert!(
+            secs["dynamic_4"] < secs["block"],
+            "dynamic must beat block: {secs:?}"
+        );
+        assert!(
+            secs["guided_2"] < secs["block"],
+            "guided must beat block: {secs:?}"
+        );
     }
 
     #[test]

@@ -444,20 +444,12 @@ impl SeqEngine {
     /// static engine cannot satisfy — they are left pending for an adaptive
     /// engine, or surfaced by the launcher).
     pub fn sequential_point(ctx: &Ctx, name: &str) {
-        if !ctx.plan().is_safe_point(name) {
-            return;
-        }
-        if let Some(ck) = ctx.ckpt_hook() {
-            match ck.at_point(ctx, name) {
-                PointDirective::Continue => {}
-                PointDirective::Snapshot => {
-                    ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
-                }
-                PointDirective::LoadAndResume => {
-                    ck.load_snapshot(ctx).expect("checkpoint load failed");
-                }
-            }
-        }
+        crate::runtime::drive_point(
+            ctx,
+            name,
+            |ctx, ck| ck.take_snapshot(ctx).expect("checkpoint snapshot failed"),
+            |ctx, ck| ck.load_snapshot(ctx).expect("checkpoint load failed"),
+        );
     }
 }
 

@@ -59,6 +59,7 @@ pub mod mode;
 pub mod partition;
 pub mod plan;
 pub mod replay;
+pub mod runtime;
 pub mod schedule;
 pub mod shared;
 pub mod state;

@@ -9,21 +9,28 @@
 //! A thread replaying a region (expansion protocol) skips construct bodies
 //! but still advances its sequence counter, so it stays aligned with the
 //! live team when it joins.
+//!
+//! This module is the single home of construct state for every engine:
+//! the shared-memory team, the hybrid engine's local teams, and the
+//! sequential engine (team of one) all coordinate through it.
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ppar_core::plan::ReduceOp;
+use super::claim::ChunkCursor;
+use crate::plan::ReduceOp;
 
 thread_local! {
     static SEQ: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Reset the calling thread's construct sequence (at region entry).
+/// Reset the calling thread's construct sequence (at region entry and at
+/// every safe-point crossing).
 pub fn seq_reset() {
     SEQ.with(|s| s.set(0));
 }
@@ -37,51 +44,28 @@ pub fn seq_next() -> u64 {
     })
 }
 
-/// Shared state of a dynamically scheduled loop: a claim cursor over the
-/// iteration space.
+/// Shared state of a dynamically scheduled loop: a cache-line-padded claim
+/// cursor over the iteration space.
 pub struct LoopState {
-    cursor: AtomicUsize,
+    cursor: ChunkCursor,
 }
 
 impl LoopState {
     fn new() -> Self {
         LoopState {
-            cursor: AtomicUsize::new(0),
+            cursor: ChunkCursor::new(),
         }
     }
 
     /// Claim the next `chunk` iterations of a space of `n`; returns the
     /// claimed half-open range, empty when exhausted.
-    pub fn claim(&self, n: usize, chunk: usize) -> std::ops::Range<usize> {
-        let chunk = chunk.max(1);
-        let start = self.cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= n {
-            return 0..0;
-        }
-        start..(start + chunk).min(n)
+    pub fn claim(&self, n: usize, chunk: usize) -> Range<usize> {
+        self.cursor.claim(n, chunk)
     }
 
     /// Claim a guided chunk: proportional to the remaining iterations.
-    pub fn claim_guided(
-        &self,
-        n: usize,
-        workers: usize,
-        min_chunk: usize,
-    ) -> std::ops::Range<usize> {
-        loop {
-            let start = self.cursor.load(Ordering::Relaxed);
-            if start >= n {
-                return 0..0;
-            }
-            let size = ppar_core::schedule::guided_next_chunk(n - start, workers, min_chunk);
-            if self
-                .cursor
-                .compare_exchange(start, start + size, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                return start..start + size;
-            }
-        }
+    pub fn claim_guided(&self, n: usize, workers: usize, min_chunk: usize) -> Range<usize> {
+        self.cursor.claim_guided(n, workers, min_chunk)
     }
 }
 
@@ -122,6 +106,12 @@ impl ReduceState {
             None => value,
             Some(a) => op.apply_f64(a, value),
         });
+    }
+
+    /// Replace the accumulated value (the retiring leader folds in any
+    /// cross-aggregate combine before the team reads the result).
+    pub fn publish(&self, value: f64) {
+        *self.acc.lock() = Some(value);
     }
 
     /// The combined value (call after the team barrier).
@@ -183,7 +173,7 @@ impl ConstructSpace {
     }
 }
 
-/// Convenience constructors used by the engine.
+/// Convenience constructors used by the engines.
 pub fn loop_state() -> ConstructState {
     ConstructState::Loop(LoopState::new())
 }
@@ -218,59 +208,6 @@ mod tests {
     }
 
     #[test]
-    fn loop_claims_cover_exactly_once() {
-        let state = LoopState::new();
-        let n = 1003;
-        let claimed = Arc::new(Mutex::new(vec![0u8; n]));
-        let state = Arc::new(state);
-        let threads: Vec<_> = (0..8)
-            .map(|_| {
-                let (state, claimed) = (state.clone(), claimed.clone());
-                std::thread::spawn(move || loop {
-                    let r = state.claim(n, 7);
-                    if r.is_empty() {
-                        break;
-                    }
-                    let mut c = claimed.lock();
-                    for i in r {
-                        c[i] += 1;
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert!(claimed.lock().iter().all(|&c| c == 1));
-    }
-
-    #[test]
-    fn guided_claims_cover_exactly_once() {
-        let state = Arc::new(LoopState::new());
-        let n = 517;
-        let claimed = Arc::new(Mutex::new(vec![0u8; n]));
-        let threads: Vec<_> = (0..4)
-            .map(|_| {
-                let (state, claimed) = (state.clone(), claimed.clone());
-                std::thread::spawn(move || loop {
-                    let r = state.claim_guided(n, 4, 2);
-                    if r.is_empty() {
-                        break;
-                    }
-                    let mut c = claimed.lock();
-                    for i in r {
-                        c[i] += 1;
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert!(claimed.lock().iter().all(|&c| c == 1));
-    }
-
-    #[test]
     fn single_claim_is_exclusive() {
         let s = Arc::new(SingleState::new());
         let winners: Vec<bool> = (0..8)
@@ -297,6 +234,9 @@ mod tests {
         m.combine(ReduceOp::Max, 2.0);
         m.combine(ReduceOp::Max, 7.0);
         assert_eq!(m.result(), 7.0);
+
+        m.publish(11.0);
+        assert_eq!(m.result(), 11.0);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property test: **every** `Schedule` kind partitions `0..n` into
+//! exactly-once coverage, for every team size in `1..=8`.
+//!
+//! Static kinds are checked through their pure index arithmetic
+//! (`static_assignment`); dynamic kinds are checked by racing real claimer
+//! threads on the shared runtime's [`ChunkCursor`]-backed loop state — the
+//! same code path the engines execute.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ppar_core::runtime::constructs::{loop_state, ConstructState};
+use ppar_core::schedule::{static_assignment, Schedule};
+use proptest::prelude::*;
+
+/// Execute `schedule` over `0..n` with `workers` concurrent claimers and
+/// return per-index execution counts.
+fn run_schedule(schedule: Schedule, n: usize, workers: usize) -> Vec<usize> {
+    let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+    if schedule.is_static() {
+        for ranges in static_assignment(n, workers, schedule) {
+            for r in ranges {
+                for i in r {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    } else {
+        let state = Arc::new(loop_state());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let state = state.clone();
+                let counts = counts.clone();
+                scope.spawn(move || {
+                    let ConstructState::Loop(ls) = &*state else {
+                        unreachable!("loop_state builds a Loop");
+                    };
+                    loop {
+                        let r = match schedule {
+                            Schedule::Dynamic { chunk } => ls.claim(n, chunk),
+                            Schedule::Guided { min_chunk } => {
+                                ls.claim_guided(n, workers, min_chunk)
+                            }
+                            _ => unreachable!("static kinds handled above"),
+                        };
+                        if r.is_empty() {
+                            break;
+                        }
+                        for i in r {
+                            counts[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+fn all_kinds(chunk: usize) -> [Schedule; 5] {
+    [
+        Schedule::Block,
+        Schedule::Cyclic,
+        Schedule::BlockCyclic { chunk },
+        Schedule::Dynamic { chunk },
+        Schedule::Guided { min_chunk: chunk },
+    ]
+}
+
+proptest! {
+    #[test]
+    fn prop_every_schedule_kind_partitions_exactly_once(
+        n in 0usize..300,
+        chunk in 1usize..8,
+    ) {
+        for schedule in all_kinds(chunk) {
+            for workers in 1..=8usize {
+                let counts = run_schedule(schedule, n, workers);
+                let missed: Vec<usize> = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 1)
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert!(
+                    missed.is_empty(),
+                    "{schedule:?} workers={workers} n={n}: bad counts at {missed:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_full_team_edgecases() {
+    // Deterministic spot checks: empty space, single index, chunk > n.
+    for schedule in [
+        Schedule::Dynamic { chunk: 16 },
+        Schedule::Guided { min_chunk: 16 },
+    ] {
+        for n in [0usize, 1, 7] {
+            for workers in [1usize, 8] {
+                let counts = run_schedule(schedule, n, workers);
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "{schedule:?} n={n} workers={workers}"
+                );
+            }
+        }
+    }
+}

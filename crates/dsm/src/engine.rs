@@ -27,10 +27,11 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use ppar_core::ctx::{Ctx, Engine, PointDirective};
+use ppar_core::ctx::{CkptHook, Ctx, Engine};
 use ppar_core::mode::ExecMode;
 use ppar_core::partition::{block_owned, block_with_halo, owned_ranges, Partition};
 use ppar_core::plan::{DistCkptStrategy, Plan, ReduceOp, UpdateAction};
+use ppar_core::runtime::drive_point;
 use ppar_core::state::DistCell;
 
 use crate::collective::Endpoint;
@@ -98,7 +99,7 @@ impl DsmEngine {
     }
 
     /// Scatter `field` from the root to all elements (owned ranges only).
-    fn scatter_field(&self, ctx: &Ctx, field: &str) {
+    pub(crate) fn scatter_field(&self, ctx: &Ctx, field: &str) {
         let plan = ctx.plan();
         let partition = self.partition_of(plan, field);
         let cell = ctx
@@ -132,7 +133,7 @@ impl DsmEngine {
     }
 
     /// Gather `field`'s partitions into the root's full copy.
-    fn gather_field(&self, ctx: &Ctx, field: &str) {
+    pub(crate) fn gather_field(&self, ctx: &Ctx, field: &str) {
         let plan = ctx.plan();
         let partition = self.partition_of(plan, field);
         let cell = ctx.registry().dist(field).expect("gather field registered");
@@ -149,7 +150,7 @@ impl DsmEngine {
     }
 
     /// Broadcast a replicated `field` from the root.
-    fn broadcast_field(&self, ctx: &Ctx, field: &str) {
+    pub(crate) fn broadcast_field(&self, ctx: &Ctx, field: &str) {
         let cell = ctx
             .registry()
             .state(field)
@@ -171,7 +172,7 @@ impl DsmEngine {
     }
 
     /// Element-wise all-reduce of an `f64` field.
-    fn allreduce_field(&self, ctx: &Ctx, field: &str, op: ReduceOp) {
+    pub(crate) fn allreduce_field(&self, ctx: &Ctx, field: &str, op: ReduceOp) {
         let cell = ctx
             .registry()
             .state(field)
@@ -206,7 +207,7 @@ impl DsmEngine {
 
     /// Exchange `halo` boundary indices of a block-partitioned field with
     /// the neighbouring elements.
-    fn halo_exchange_field(&self, ctx: &Ctx, field: &str, halo: usize) {
+    pub(crate) fn halo_exchange_field(&self, ctx: &Ctx, field: &str, halo: usize) {
         let cell = ctx.registry().dist(field).expect("halo field registered");
         let n = self.ep.nranks();
         let rank = self.ep.rank();
@@ -231,7 +232,7 @@ impl DsmEngine {
         }
     }
 
-    fn apply_update(&self, ctx: &Ctx, field: &str, action: UpdateAction) {
+    pub(crate) fn apply_update(&self, ctx: &Ctx, field: &str, action: UpdateAction) {
         match action {
             UpdateAction::HaloExchange { halo } => self.halo_exchange_field(ctx, field, halo),
             UpdateAction::Gather => self.gather_field(ctx, field),
@@ -241,8 +242,68 @@ impl DsmEngine {
         }
     }
 
+    /// Strategy-dispatched quiesced snapshot (§IV.A): master-collect
+    /// gathers partitioned safe data at the root (no global barriers);
+    /// local-snapshot brackets per-element saves with two global barriers.
+    /// Shared by the pure distributed engine and the hybrid engine's
+    /// worker-0 lines.
+    pub(crate) fn snapshot_strategy(&self, ctx: &Ctx, ck: &Arc<dyn CkptHook>) {
+        let plan = ctx.plan();
+        match plan.dist_ckpt_strategy() {
+            DistCkptStrategy::MasterCollect => {
+                // Collect partitioned safe data at the root — no
+                // global barriers (§IV.A, second alternative).
+                for field in plan.safe_data() {
+                    if plan.field_partition(field).is_some() {
+                        self.gather_field(ctx, field);
+                    }
+                }
+                if self.ep.rank() == 0 {
+                    ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
+                }
+            }
+            DistCkptStrategy::LocalSnapshot => {
+                // Two global barriers around per-element snapshots
+                // (§IV.A, first alternative).
+                self.ep.barrier();
+                ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
+                self.ep.barrier();
+            }
+        }
+    }
+
+    /// Strategy-dispatched quiesced restore; see
+    /// [`DsmEngine::snapshot_strategy`].
+    pub(crate) fn load_strategy(&self, ctx: &Ctx, ck: &Arc<dyn CkptHook>) {
+        let plan = ctx.plan();
+        match plan.dist_ckpt_strategy() {
+            DistCkptStrategy::MasterCollect => {
+                ck.load_snapshot(ctx).expect("checkpoint load failed");
+                // The paper's "load" cost for distributed restarts
+                // includes scattering the data back across the
+                // aggregate — attribute it to the load statistics.
+                let t0 = std::time::Instant::now();
+                self.redistribute_after_load(ctx);
+                ck.note_load_extra(t0.elapsed());
+            }
+            DistCkptStrategy::LocalSnapshot => {
+                self.ep.barrier();
+                ck.load_snapshot(ctx).expect("checkpoint load failed");
+                self.ep.barrier();
+                // Owned ranges are restored; halos are stale.
+                let t0 = std::time::Instant::now();
+                for (field, halo) in plan.halo_fields() {
+                    if halo > 0 {
+                        self.halo_exchange_field(ctx, &field, halo);
+                    }
+                }
+                ck.note_load_extra(t0.elapsed());
+            }
+        }
+    }
+
     /// After a restored snapshot: redistribute safe data and refresh halos.
-    fn redistribute_after_load(&self, ctx: &Ctx) {
+    pub(crate) fn redistribute_after_load(&self, ctx: &Ctx) {
         let plan = ctx.plan();
         let halo_depths: std::collections::HashMap<String, usize> =
             plan.halo_fields().into_iter().collect();
@@ -379,57 +440,12 @@ impl Engine for DsmEngine {
         if !plan.is_safe_point(name) {
             return;
         }
-        let strategy = plan.dist_ckpt_strategy();
-        if let Some(ck) = ctx.ckpt_hook().cloned() {
-            match ck.at_point(ctx, name) {
-                PointDirective::Continue => {}
-                PointDirective::Snapshot => match strategy {
-                    DistCkptStrategy::MasterCollect => {
-                        // Collect partitioned safe data at the root — no
-                        // global barriers (§IV.A, second alternative).
-                        for field in plan.safe_data() {
-                            if plan.field_partition(field).is_some() {
-                                self.gather_field(ctx, field);
-                            }
-                        }
-                        if self.ep.rank() == 0 {
-                            ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
-                        }
-                    }
-                    DistCkptStrategy::LocalSnapshot => {
-                        // Two global barriers around per-element snapshots
-                        // (§IV.A, first alternative).
-                        self.ep.barrier();
-                        ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
-                        self.ep.barrier();
-                    }
-                },
-                PointDirective::LoadAndResume => match strategy {
-                    DistCkptStrategy::MasterCollect => {
-                        ck.load_snapshot(ctx).expect("checkpoint load failed");
-                        // The paper's "load" cost for distributed restarts
-                        // includes scattering the data back across the
-                        // aggregate — attribute it to the load statistics.
-                        let t0 = std::time::Instant::now();
-                        self.redistribute_after_load(ctx);
-                        ck.note_load_extra(t0.elapsed());
-                    }
-                    DistCkptStrategy::LocalSnapshot => {
-                        self.ep.barrier();
-                        ck.load_snapshot(ctx).expect("checkpoint load failed");
-                        self.ep.barrier();
-                        // Owned ranges are restored; halos are stale.
-                        let t0 = std::time::Instant::now();
-                        for (field, halo) in plan.halo_fields() {
-                            if halo > 0 {
-                                self.halo_exchange_field(ctx, &field, halo);
-                            }
-                        }
-                        ck.note_load_extra(t0.elapsed());
-                    }
-                },
-            }
-        }
+        drive_point(
+            ctx,
+            name,
+            |ctx, ck| self.snapshot_strategy(ctx, ck),
+            |ctx, ck| self.load_strategy(ctx, ck),
+        );
         if let Some(ad) = ctx.adapt_hook().cloned() {
             if let Some(mode) = ad.pending(ctx, name) {
                 panic!(

@@ -13,19 +13,23 @@
 //! plan-driven SPMD engine ([`engine::DsmEngine`]) realising partitioned /
 //! replicated / local fields, scatter/gather/broadcast/reduce method plugs,
 //! halo-exchange update points and both distributed checkpoint strategies,
-//! and the job runner ([`spmd::run_spmd`]).
+//! the hybrid engine ([`hybrid::HybridEngine`]: each element runs a local
+//! thread team over the shared `ppar_core::runtime` layer), and the job
+//! runners ([`spmd::run_spmd`], [`spmd::run_hybrid`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod collective;
 pub mod engine;
+pub mod hybrid;
 pub mod net;
 pub mod spmd;
 pub mod topology;
 
 pub use collective::Endpoint;
 pub use engine::DsmEngine;
+pub use hybrid::HybridEngine;
 pub use net::{SimNet, Traffic};
-pub use spmd::{run_spmd, run_spmd_plain, SpmdConfig};
+pub use spmd::{run_hybrid, run_spmd, run_spmd_plain, SpmdConfig};
 pub use topology::{LinkClass, NetModel, Topology};

@@ -102,3 +102,46 @@ pub fn run_spmd_plain<R: Send>(
 ) -> Vec<R> {
     run_spmd(cfg, plan, &|_| (None, None), true, app)
 }
+
+/// Run `app` as a **hybrid** job: `cfg.nranks` aggregate elements, each
+/// running a local team of `threads` workers over the shared
+/// [`ppar_core::runtime`] layer (one [`crate::hybrid::HybridEngine`] per
+/// element). Returns the per-rank results in rank order.
+pub fn run_hybrid<R: Send>(
+    cfg: &SpmdConfig,
+    threads: usize,
+    plan: Arc<Plan>,
+    hooks: HookFactory<'_>,
+    auto_finish: bool,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
+    assert!(cfg.nranks >= 1, "need at least one rank");
+    let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
+    let mut out: Vec<Option<R>> = (0..cfg.nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (rank, slot) in out.iter_mut().enumerate() {
+            let net = net.clone();
+            let plan = plan.clone();
+            let app = &app;
+            std::thread::Builder::new()
+                .name(format!("ppar-hybrid-rank-{rank}"))
+                .spawn_scoped(scope, move || {
+                    let ep = Endpoint::new(net, rank);
+                    let engine = crate::hybrid::HybridEngine::new(ep, threads);
+                    let (ckpt, adapt) = hooks(rank);
+                    let shared =
+                        RunShared::new(plan, Arc::new(Registry::new()), engine, ckpt, adapt);
+                    let ctx = Ctx::new_root(shared);
+                    let result = app(&ctx);
+                    if auto_finish {
+                        ctx.finish();
+                    }
+                    *slot = Some(result);
+                })
+                .expect("failed to spawn hybrid rank thread");
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("rank thread completed"))
+        .collect()
+}

@@ -1,0 +1,125 @@
+//! Hybrid-engine construct semantics: plan-plugged barriers are
+//! aggregate-wide, delegated methods keep non-delegate ranks aligned, and
+//! reductions combine across teams *and* ranks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ppar_core::plan::{Plan, Plug, ReduceOp};
+use ppar_dsm::{run_hybrid, SpmdConfig};
+
+#[test]
+fn plugged_barrier_aligns_whole_aggregate() {
+    // 2 ranks x 2 workers. Every line of execution increments the counter
+    // before calling "phase"; the plugged barrier-before must align ALL
+    // four lines (not just the local team) before any body runs.
+    let plan = Arc::new(
+        Plan::new()
+            .plug(Plug::ParallelMethod { method: "r".into() })
+            .plug(Plug::Barrier {
+                method: "phase".into(),
+                before: true,
+                after: true,
+            }),
+    );
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let arrived2 = arrived.clone();
+    run_hybrid(
+        &SpmdConfig::instant(2),
+        2,
+        plan,
+        &|_| (None, None),
+        true,
+        move |ctx| {
+            ctx.region("r", |ctx| {
+                for round in 1..=10usize {
+                    arrived2.fetch_add(1, Ordering::SeqCst);
+                    ctx.call("phase", |_| {
+                        let seen = arrived2.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= round * 4,
+                            "round {round}: barrier released after {seen} arrivals \
+                             (all 4 lines across both ranks must have arrived)"
+                        );
+                    });
+                }
+            });
+        },
+    );
+    assert_eq!(arrived.load(Ordering::SeqCst), 40);
+}
+
+#[test]
+fn delegated_method_keeps_other_ranks_at_the_barrier() {
+    // "phase" is delegated to element 1 with a barrier before: element 0's
+    // team must still participate in the aggregate barrier even though it
+    // skips the body.
+    let plan = Arc::new(
+        Plan::new()
+            .plug(Plug::ParallelMethod { method: "r".into() })
+            .plug(Plug::OnElement {
+                method: "phase".into(),
+                id: 1,
+            })
+            .plug(Plug::Barrier {
+                method: "phase".into(),
+                before: true,
+                after: false,
+            }),
+    );
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let ran_on = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let (a2, r2) = (arrived.clone(), ran_on.clone());
+    run_hybrid(
+        &SpmdConfig::instant(2),
+        2,
+        plan,
+        &|_| (None, None),
+        true,
+        move |ctx| {
+            ctx.region("r", |ctx| {
+                a2.fetch_add(1, Ordering::SeqCst);
+                ctx.call("phase", |ctx| {
+                    assert_eq!(
+                        a2.load(Ordering::SeqCst),
+                        4,
+                        "barrier-before must align every line of both ranks"
+                    );
+                    r2.lock().push(ctx.rank());
+                });
+            });
+        },
+    );
+    let ran_on = ran_on.lock().clone();
+    assert!(!ran_on.is_empty(), "the delegate executed the body");
+    assert!(
+        ran_on.iter().all(|&r| r == 1),
+        "only element 1 runs a method delegated to it: {ran_on:?}"
+    );
+}
+
+#[test]
+fn reduce_combines_across_teams_and_ranks() {
+    let plan = Arc::new(Plan::new().plug(Plug::ParallelMethod { method: "r".into() }));
+    let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let r2 = results.clone();
+    run_hybrid(
+        &SpmdConfig::instant(2),
+        2,
+        plan,
+        &|_| (None, None),
+        true,
+        move |ctx| {
+            ctx.region("r", |ctx| {
+                let total = ctx.reduce_f64("sum", ReduceOp::Sum, 1.0);
+                r2.lock().push(total);
+            });
+        },
+    );
+    let results = results.lock().clone();
+    assert_eq!(results.len(), 4, "2 ranks x 2 workers");
+    assert!(
+        results.iter().all(|&v| v == 4.0),
+        "every line sees the aggregate-wide combined value: {results:?}"
+    );
+}

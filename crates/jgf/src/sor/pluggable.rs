@@ -102,14 +102,28 @@ pub fn plan_seq() -> Plan {
 /// work-shared block-wise (each sweep ends with the construct's implicit
 /// barrier, which is exactly the red/black synchronisation SOR needs).
 pub fn plan_smp() -> Plan {
+    plan_smp_with(Schedule::Block)
+}
+
+/// Shared-memory deployment with an explicit row schedule (the Fig. 8
+/// schedule study compares static block against dynamic/guided claiming on
+/// imbalanced sweeps).
+pub fn plan_smp_with(schedule: Schedule) -> Plan {
     Plan::new()
         .plug(Plug::ParallelMethod {
             method: "sor_run".into(),
         })
         .plug(Plug::For {
             loop_name: "rows".into(),
-            schedule: Schedule::Block,
+            schedule,
         })
+}
+
+/// Hybrid deployment: the distributed plan (rank-level row partition +
+/// halo updates) composed with the shared-memory plan — each aggregate
+/// element's local team work-shares the element's owned rows.
+pub fn plan_hybrid() -> Plan {
+    plan_dist().merge(plan_smp())
 }
 
 /// Distributed deployment: G is block-partitioned by rows; each sweep is
@@ -225,10 +239,33 @@ mod tests {
     }
 
     #[test]
+    fn pluggable_hybrid_matches_reference() {
+        let reference = sor_seq(&params());
+        for (ranks, threads) in [(1, 2), (2, 2), (3, 2), (2, 4)] {
+            let results = ppar_dsm::run_hybrid(
+                &SpmdConfig::instant(ranks),
+                threads,
+                Arc::new(plan_hybrid()),
+                &|_| (None, None),
+                true,
+                |ctx| sor_pluggable(ctx, &params()),
+            );
+            assert_eq!(
+                results[0].checksum, reference.checksum,
+                "ranks={ranks} threads={threads}: hybrid SOR must match after gather"
+            );
+        }
+    }
+
+    #[test]
     fn plans_validate() {
         assert!(plan_seq().validate().is_empty());
         assert!(plan_smp().validate().is_empty());
+        assert!(plan_smp_with(Schedule::Guided { min_chunk: 2 })
+            .validate()
+            .is_empty());
         assert!(plan_dist().validate().is_empty());
+        assert!(plan_hybrid().validate().is_empty());
         assert!(plan_dist().merge(plan_ckpt(10)).validate().is_empty());
         assert!(plan_dist()
             .merge(plan_ckpt_incremental(10, 5))

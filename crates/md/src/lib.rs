@@ -232,18 +232,32 @@ pub fn md_pluggable(ctx: &Ctx, cfg: &MdConfig) -> MdResult {
 
 /// Shared-memory plan.
 pub fn plan_smp() -> Plan {
+    plan_smp_with(Schedule::Block)
+}
+
+/// Shared-memory plan with an explicit schedule for the force loop (the
+/// cutoff makes per-particle force cost uneven, so dynamic/guided claiming
+/// is the interesting comparison). The cheap integrate loop stays block
+/// scheduled.
+pub fn plan_smp_with(schedule: Schedule) -> Plan {
     Plan::new()
         .plug(Plug::ParallelMethod {
             method: "simulate".into(),
         })
         .plug(Plug::For {
             loop_name: "force_loop".into(),
-            schedule: Schedule::Block,
+            schedule,
         })
         .plug(Plug::For {
             loop_name: "integrate_loop".into(),
             schedule: Schedule::Block,
         })
+}
+
+/// Hybrid plan: particle blocks partition across aggregate elements, each
+/// element's local team work-shares its owned particles.
+pub fn plan_hybrid() -> Plan {
+    plan_dist().merge(plan_smp())
 }
 
 /// Distributed plan: particles partition by blocks; each step the root
@@ -388,6 +402,41 @@ mod tests {
             assert_eq!(got.checksum, reference.checksum, "threads={threads}");
             assert_eq!(got.kinetic, reference.kinetic, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn smp_dynamic_and_guided_match_seq_bitwise() {
+        // Claimed chunks only redistribute *which worker* computes a
+        // particle's forces; every schedule must produce identical state.
+        let reference = run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
+            md_pluggable(ctx, &cfg())
+        });
+        for schedule in [
+            Schedule::Dynamic { chunk: 4 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let got = run_smp(Arc::new(plan_smp_with(schedule)), 4, None, None, |ctx| {
+                md_pluggable(ctx, &cfg())
+            });
+            assert_eq!(got.checksum, reference.checksum, "schedule={schedule:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_seq_bitwise() {
+        let reference = run_sequential(Arc::new(Plan::new()), None, None, |ctx| {
+            md_pluggable(ctx, &cfg())
+        });
+        let results = ppar_dsm::run_hybrid(
+            &ppar_dsm::SpmdConfig::instant(2),
+            2,
+            Arc::new(plan_hybrid()),
+            &|_| (None, None),
+            true,
+            |ctx| md_pluggable(ctx, &cfg()),
+        );
+        assert_eq!(results[0].checksum, reference.checksum);
+        assert_eq!(results[0].kinetic, reference.kinetic);
     }
 
     #[test]

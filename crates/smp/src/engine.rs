@@ -1,111 +1,37 @@
 //! The shared-memory team engine.
 //!
-//! Realises the paper's OpenMP-like execution model (§III.B) on persistent
-//! pool threads, and both halves of §IV:
-//!
-//! * **checkpointing**: at a snapshot-due safe point, a barrier is inserted
-//!   before and after the point; the master saves between them (§IV.A).
-//!   Restart replays the application, *forking teams as in a live run* to
-//!   rebuild every thread's call stack, then the master loads the data at
-//!   the checkpointed safe point between two barriers.
-//! * **run-time adaptation**: at a safe point, the team aligns; expansion
-//!   spawns new workers that replay the region body (skipping ignorable
-//!   methods and constructs) up to the current safe point and join;
-//!   contraction drains excess workers by unwinding them out of the region
-//!   ("executing methods with empty operations until the end of the parallel
-//!   region" — realised as a zero-effect unwind to the region boundary).
+//! Realises the paper's OpenMP-like execution model (§III.B) and both
+//! halves of §IV (checkpoint-between-barriers, expansion/contraction at
+//! safe points) by driving the shared team runtime in
+//! [`ppar_core::runtime`]: all construct dispatch, work-sharing claiming,
+//! barrier and safe-point/adaptation logic lives there (the
+//! [`ParallelEngine`] provided methods); this type only maps reshape
+//! targets onto local team sizes and forwards the [`Engine`] join points.
 //!
 //! SPMD discipline (same rules as OpenMP): work-sharing constructs and
 //! safe points must be reached by all team workers in the same order, and
 //! work-sharing constructs may not nest inside one another.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-
-use ppar_core::ctx::{AdaptHook, Ctx, Engine, PointDirective};
+use ppar_core::ctx::{Ctx, Engine};
 use ppar_core::mode::ExecMode;
 use ppar_core::plan::ReduceOp;
-use ppar_core::replay;
-use ppar_core::schedule::{block_cyclic_ranges, block_range, cyclic_indices, Schedule};
-use ppar_core::shared::{set_current_worker, tracking};
-
-use crate::barrier::TeamBarrier;
-use crate::constructs::{
-    self, loop_state, reduce_state, single_state, ConstructSpace, ConstructState,
-};
-use crate::pool::{Drained, Latch, TeamPool};
-
-thread_local! {
-    static DRAINING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Install a panic hook that silences the intentional `Drained` unwinds used
-/// by the contraction protocol (idempotent).
-fn install_quiet_drain_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if DRAINING.with(|d| d.get()) {
-                return; // graceful drain, not an error
-            }
-            previous(info);
-        }));
-    });
-}
-
-#[derive(Clone, Copy)]
-struct BodyPtr(*const (dyn Fn(&Ctx) + Sync));
-
-// Safety: the pointee outlives the region (the master joins the completion
-// latch before returning from `region`), and the closure is `Sync`.
-unsafe impl Send for BodyPtr {}
-unsafe impl Sync for BodyPtr {}
-
-struct RegionState {
-    body: BodyPtr,
-    latch: Arc<Latch>,
-    barrier: Arc<TeamBarrier>,
-    /// Safe points the team has passed since region entry (expansion replay
-    /// targets).
-    points: Arc<AtomicU64>,
-    /// The reshape decision published by the crossing leader for the
-    /// current safe-point crossing.
-    decision: Arc<Mutex<Option<ExecMode>>>,
-    panics: Arc<Mutex<Vec<String>>>,
-}
+use ppar_core::runtime::{ParallelEngine, TeamRuntime};
 
 /// The adaptive shared-memory engine. Also serves as the "sequential" end of
 /// the adaptive spectrum: with a team size of 1 it runs the base code on the
 /// calling thread, yet can still expand mid-region.
 pub struct TeamEngine {
-    desired: AtomicUsize,
-    active: AtomicUsize,
-    max_threads: usize,
-    pool: TeamPool,
-    region: Mutex<Option<RegionState>>,
-    criticals: Mutex<HashMap<String, Arc<Mutex<()>>>>,
-    space: ConstructSpace,
+    rt: TeamRuntime,
 }
 
 impl TeamEngine {
     /// An engine that forks teams of `threads` workers, expandable at run
     /// time up to `max_threads`.
     pub fn new(threads: usize, max_threads: usize) -> Arc<TeamEngine> {
-        install_quiet_drain_hook();
-        let max_threads = max_threads.max(threads).max(1);
         Arc::new(TeamEngine {
-            desired: AtomicUsize::new(threads.max(1)),
-            active: AtomicUsize::new(0),
-            max_threads,
-            pool: TeamPool::new(),
-            region: Mutex::new(None),
-            criticals: Mutex::new(HashMap::new()),
-            space: ConstructSpace::new(),
+            rt: TeamRuntime::new(threads, max_threads),
         })
     }
 
@@ -117,180 +43,28 @@ impl TeamEngine {
     /// The team size the next region will fork (and, inside a region, the
     /// current live size).
     pub fn current_threads(&self) -> usize {
-        let active = self.active.load(Ordering::SeqCst);
-        if active > 0 {
-            active
-        } else {
-            self.desired.load(Ordering::SeqCst)
-        }
+        self.rt.current_threads()
     }
 
     /// Upper bound on team size.
     pub fn max_threads(&self) -> usize {
-        self.max_threads
+        self.rt.max_threads()
+    }
+}
+
+impl ParallelEngine for TeamEngine {
+    fn rt(&self) -> &TeamRuntime {
+        &self.rt
     }
 
-    #[allow(clippy::type_complexity)]
-    fn cur_region_parts(
-        &self,
-    ) -> Option<(
-        Arc<TeamBarrier>,
-        Arc<Latch>,
-        Arc<AtomicU64>,
-        BodyPtr,
-        Arc<Mutex<Option<ExecMode>>>,
-        Arc<Mutex<Vec<String>>>,
-    )> {
-        self.region.lock().as_ref().map(|r| {
-            (
-                r.barrier.clone(),
-                r.latch.clone(),
-                r.points.clone(),
-                r.body,
-                r.decision.clone(),
-                r.panics.clone(),
-            )
-        })
-    }
-
-    fn in_region(&self) -> bool {
-        self.active.load(Ordering::SeqCst) > 0
-    }
-
-    fn spawn_worker(&self, ctx: &Ctx, w: usize, replay_target: Option<u64>) {
-        let (_, latch, _, body, _, panics) = self
-            .cur_region_parts()
-            .expect("spawn_worker requires an active region");
-        let wctx = ctx.for_worker(w);
-        let ck = ctx.ckpt_hook().cloned();
-        // Capture the forking thread's safe-point clock NOW: the worker job
-        // starts asynchronously, and during replay the master may cross
-        // further safe points before the job runs (reading a shared counter
-        // from the job would skew the new worker's clock).
-        let clock0 = ck.as_ref().map(|ck| ck.count()).unwrap_or(0);
-        self.pool.dispatch(w - 1, move || {
-            // Capture the whole BodyPtr wrapper (its Send impl carries the
-            // safety argument), not just the raw pointer field.
-            let body = body;
-            set_current_worker(w);
-            constructs::seq_reset();
-            if let Some(ck) = &ck {
-                ck.sync_thread_clock(clock0);
-            }
-            if let Some(target) = replay_target {
-                replay::begin(target);
-            }
-            // Safety: `body` outlives the region; see BodyPtr.
-            let body = unsafe { &*body.0 };
-            let outcome = catch_unwind(AssertUnwindSafe(|| body(&wctx)));
-            DRAINING.with(|d| d.set(false));
-            replay::end();
-            if let Err(payload) = outcome {
-                if !payload.is::<Drained>() {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    panics.lock().push(msg);
-                }
-            }
-            set_current_worker(0);
-            latch.count_down();
-        });
-    }
-
-    /// Team barrier: returns the leader flag. No-op (leader) outside a team.
-    fn team_barrier(&self) -> bool {
-        if !self.in_region() || replay::active() {
-            return true;
-        }
-        let Some((barrier, ..)) = self.cur_region_parts() else {
-            return true;
-        };
-        let leader = barrier.wait();
-        tracking::advance_epoch();
-        leader
-    }
-
-    /// Construct-ending barrier that retires the construct's shared state
-    /// *inside the leader action* (before anyone is released). Sequence
-    /// numbers are reset at every safe point, so a key may be reused by the
-    /// very next construct — removal must therefore complete before any
-    /// worker can race ahead and re-create the key.
-    fn team_barrier_retire(&self, seq: u64) {
-        if !self.in_region() || replay::active() {
-            self.space.remove(seq);
-            return;
-        }
-        let Some((barrier, ..)) = self.cur_region_parts() else {
-            self.space.remove(seq);
-            return;
-        };
-        barrier.wait_leader(|_| {
-            self.space.remove(seq);
-        });
-        tracking::advance_epoch();
-    }
-
-    /// Apply a published reshape decision. Callers are already aligned: the
-    /// decision was published by the crossing leader atomically with a
-    /// barrier release, so every live worker enters with the same `mode`.
-    fn reshape(&self, ctx: &Ctx, mode: ExecMode, adapt: &Arc<dyn AdaptHook>) {
-        let new = match mode {
+    fn reshape_team_size(&self, mode: ExecMode) -> usize {
+        match mode {
             ExecMode::Sequential => 1,
-            ExecMode::SharedMemory { threads } => threads.clamp(1, self.max_threads),
+            ExecMode::SharedMemory { threads } => threads.clamp(1, self.rt.max_threads()),
             other => panic!(
                 "TeamEngine cannot reshape to {other}; distributed targets require the \
                  ppar-adapt launcher (adaptation by checkpoint/restart)"
             ),
-        };
-        if !self.in_region() {
-            // Between regions only the master runs: take effect at the next
-            // fork.
-            self.desired.store(new, Ordering::SeqCst);
-            adapt.confirm(mode);
-            return;
-        }
-        let (barrier, latch, points, ..) = self
-            .cur_region_parts()
-            .expect("reshape inside region requires region state");
-        let cur = self.active.load(Ordering::SeqCst).max(1);
-
-        if new > cur {
-            // Expansion (§IV.B): the leader — atomically with the barrier
-            // release — spawns replay workers targeting the safe points seen
-            // since region entry, grows the barrier and confirms.
-            barrier.wait_leader(|size| {
-                let target = points.load(Ordering::SeqCst);
-                latch.add(new - cur);
-                for w in cur..new {
-                    self.spawn_worker(ctx, w, Some(target));
-                }
-                *size = new;
-                self.active.store(new, Ordering::SeqCst);
-                self.desired.store(new, Ordering::SeqCst);
-                adapt.confirm(mode);
-            });
-            // Join barrier: the old team waits here until every new worker
-            // finishes its replay and arrives.
-            barrier.wait();
-            tracking::advance_epoch();
-        } else if new < cur {
-            barrier.wait_leader(|size| {
-                *size = new;
-                self.active.store(new, Ordering::SeqCst);
-                self.desired.store(new, Ordering::SeqCst);
-                adapt.confirm(mode);
-            });
-            tracking::advance_epoch();
-            if ctx.worker() >= new {
-                // Graceful drain: unwind this worker to the region boundary.
-                DRAINING.with(|d| d.set(true));
-                std::panic::panic_any(Drained);
-            }
-        } else {
-            barrier.wait_leader(|_| adapt.confirm(mode));
         }
     }
 }
@@ -303,95 +77,15 @@ impl Engine for TeamEngine {
     }
 
     fn team_size(&self) -> usize {
-        let active = self.active.load(Ordering::SeqCst);
-        if active > 0 {
-            active
-        } else {
-            1
-        }
+        self.rt.team_size()
     }
 
     fn call(&self, ctx: &Ctx, name: &str, body: &mut dyn FnMut(&Ctx)) {
-        let plan = ctx.plan();
-        let (before, after) = plan.barrier_around(name);
-        if before {
-            self.barrier(ctx);
-        }
-        if plan.is_master_only(name) {
-            if ctx.worker() == 0 && !replay::active() {
-                body(ctx);
-            }
-        } else if plan.is_single(name) {
-            let mut wrapped = || body(ctx);
-            self.single(ctx, name, &mut wrapped);
-        } else if plan.is_synchronized(name) {
-            let mut wrapped = || body(ctx);
-            self.critical(ctx, name, &mut wrapped);
-        } else {
-            body(ctx);
-        }
-        if after {
-            self.barrier(ctx);
-        }
+        self.pe_call(ctx, name, body);
     }
 
     fn region(&self, ctx: &Ctx, name: &str, body: &(dyn Fn(&Ctx) + Sync)) {
-        if !ctx.plan().is_parallel_method(name) || replay::active() || self.in_region() {
-            // Unplugged, replaying, or nested: run on the current line of
-            // execution (nested regions serialise, as in OpenMP with nesting
-            // disabled).
-            body(ctx);
-            return;
-        }
-
-        let k = self
-            .desired
-            .load(Ordering::SeqCst)
-            .clamp(1, self.max_threads);
-        let barrier = Arc::new(TeamBarrier::new(k));
-        let latch = Latch::new(k - 1);
-        let points = Arc::new(AtomicU64::new(0));
-        let panics = Arc::new(Mutex::new(Vec::new()));
-        // Safety: the latch join below keeps `body` alive for every worker.
-        let body_static: &'static (dyn Fn(&Ctx) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(&Ctx) + Sync), &'static (dyn Fn(&Ctx) + Sync)>(body)
-        };
-        *self.region.lock() = Some(RegionState {
-            body: BodyPtr(body_static as *const _),
-            latch: latch.clone(),
-            barrier,
-            points,
-            decision: Arc::new(Mutex::new(None)),
-            panics: panics.clone(),
-        });
-        self.active.store(k, Ordering::SeqCst);
-        tracking::advance_epoch();
-
-        for w in 1..k {
-            self.spawn_worker(ctx, w, None);
-        }
-
-        // The master participates as worker 0.
-        set_current_worker(0);
-        constructs::seq_reset();
-        let ctx0 = ctx.for_worker(0);
-        let master_outcome = catch_unwind(AssertUnwindSafe(|| body_static(&ctx0)));
-
-        latch.wait();
-        self.active.store(0, Ordering::SeqCst);
-        *self.region.lock() = None;
-        tracking::advance_epoch();
-
-        if let Err(payload) = master_outcome {
-            resume_unwind(payload);
-        }
-        let worker_panics = panics.lock();
-        if !worker_panics.is_empty() {
-            panic!(
-                "worker panic(s) in parallel region {name:?}: {}",
-                worker_panics.join("; ")
-            );
-        }
+        self.pe_region(ctx, name, body);
     }
 
     fn for_each(
@@ -401,232 +95,31 @@ impl Engine for TeamEngine {
         range: std::ops::Range<usize>,
         body: &(dyn Fn(&Ctx, usize) + Sync),
     ) {
-        // Every loop consumes one construct sequence slot on every path so
-        // replaying threads stay aligned with the live team.
-        let seq = constructs::seq_next();
-        if replay::active() {
-            return;
-        }
-        let team = self.active.load(Ordering::SeqCst);
-        let plugged = ctx.plan().for_schedule(name);
-        if plugged.is_none() || team <= 1 {
-            // Unplugged inside a team: replicated execution (each worker runs
-            // the full range), matching OpenMP code in a parallel region
-            // without a work-sharing directive. Outside a team: sequential.
-            for i in range {
-                body(ctx, i);
-            }
-            return;
-        }
-        let schedule = plugged.unwrap();
-        let w = ctx.worker();
-        let n = range.len();
-        let offset = range.start;
-        match schedule {
-            Schedule::Block => {
-                for i in block_range(n, team, w) {
-                    body(ctx, offset + i);
-                }
-            }
-            Schedule::Cyclic => {
-                for i in cyclic_indices(n, team, w) {
-                    body(ctx, offset + i);
-                }
-            }
-            Schedule::BlockCyclic { chunk } => {
-                for r in block_cyclic_ranges(n, team, w, chunk) {
-                    for i in r {
-                        body(ctx, offset + i);
-                    }
-                }
-            }
-            Schedule::Dynamic { chunk } => {
-                let state = self.space.get_or_insert(seq, loop_state);
-                let ConstructState::Loop(ls) = &*state else {
-                    panic!("construct sequence misalignment at loop {name:?} (seq {seq})");
-                };
-                loop {
-                    let r = ls.claim(n, chunk);
-                    if r.is_empty() {
-                        break;
-                    }
-                    for i in r {
-                        body(ctx, offset + i);
-                    }
-                }
-            }
-            Schedule::Guided { min_chunk } => {
-                let state = self.space.get_or_insert(seq, loop_state);
-                let ConstructState::Loop(ls) = &*state else {
-                    panic!("construct sequence misalignment at loop {name:?} (seq {seq})");
-                };
-                loop {
-                    let r = ls.claim_guided(n, team, min_chunk);
-                    if r.is_empty() {
-                        break;
-                    }
-                    for i in r {
-                        body(ctx, offset + i);
-                    }
-                }
-            }
-        }
-        // Implicit barrier at the end of a work-shared loop (OpenMP `for`
-        // semantics); dynamic schedules retire their shared state inside the
-        // leader action.
-        if schedule.is_static() {
-            self.team_barrier();
-        } else {
-            self.team_barrier_retire(seq);
-        }
+        self.pe_for_each(ctx, name, range, body);
     }
 
     fn point(&self, ctx: &Ctx, name: &str) {
-        if replay::active() {
-            // Expansion replay: count safe points; at the target, leave
-            // replay mode and join the team at the reshape join barrier.
-            if ctx.plan().is_safe_point(name) && replay::note_point() {
-                replay::end();
-                if let Some((barrier, ..)) = self.cur_region_parts() {
-                    barrier.wait();
-                }
-                tracking::advance_epoch();
-                // Align the construct sequence with the live team: every
-                // worker resets at this same crossing.
-                constructs::seq_reset();
-            }
-            return;
-        }
-        if !ctx.plan().is_safe_point(name) {
-            return;
-        }
-        if ctx.worker() == 0 {
-            if let Some((_, _, points, ..)) = self.cur_region_parts() {
-                points.fetch_add(1, Ordering::SeqCst);
-            }
-        }
-        if let Some(ck) = ctx.ckpt_hook().cloned() {
-            match ck.at_point(ctx, name) {
-                PointDirective::Continue => {}
-                PointDirective::Snapshot => {
-                    // §IV.A: "we introduce a barrier before and another after
-                    // the safe point"; the master saves in between.
-                    self.team_barrier();
-                    if ctx.worker() == 0 {
-                        ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
-                    }
-                    self.team_barrier();
-                }
-                PointDirective::LoadAndResume => {
-                    self.team_barrier();
-                    if ctx.worker() == 0 {
-                        ck.load_snapshot(ctx).expect("checkpoint load failed");
-                    }
-                    self.team_barrier();
-                }
-            }
-        }
-        if let Some(ad) = ctx.adapt_hook().cloned() {
-            if let Some((barrier, _, _, _, decision, _)) = self.cur_region_parts() {
-                // Publish protocol: the crossing leader polls the controller
-                // once and publishes the decision before anyone is released,
-                // so the whole team acts on the same answer.
-                barrier.wait_leader(|_| {
-                    *decision.lock() = ad.pending(ctx, name);
-                });
-                tracking::advance_epoch();
-                let mode = *decision.lock();
-                if let Some(mode) = mode {
-                    self.reshape(ctx, mode, &ad);
-                }
-            } else if let Some(mode) = ad.pending(ctx, name) {
-                // Outside a region only the master is running.
-                self.reshape(ctx, mode, &ad);
-            }
-        }
-        // Re-base the construct sequence at every safe-point crossing, at
-        // the same program location on every worker. This keeps joining
-        // replay workers aligned even when work-sharing constructs live
-        // inside ignorable methods (which replay skips wholesale).
-        constructs::seq_reset();
+        self.pe_point(ctx, name);
     }
 
-    fn barrier(&self, _ctx: &Ctx) {
-        if replay::active() {
-            return;
-        }
-        self.team_barrier();
+    fn barrier(&self, ctx: &Ctx) {
+        self.pe_barrier(ctx);
     }
 
-    fn critical(&self, _ctx: &Ctx, name: &str, body: &mut dyn FnMut()) {
-        if replay::active() {
-            return;
-        }
-        if !self.in_region() {
-            body();
-            return;
-        }
-        let mutex = {
-            let mut criticals = self.criticals.lock();
-            criticals
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new(())))
-                .clone()
-        };
-        let _guard = mutex.lock();
-        body();
+    fn critical(&self, ctx: &Ctx, name: &str, body: &mut dyn FnMut()) {
+        self.pe_critical(ctx, name, body);
     }
 
-    fn single(&self, _ctx: &Ctx, name: &str, body: &mut dyn FnMut()) {
-        let seq = constructs::seq_next();
-        if replay::active() {
-            return;
-        }
-        let team = self.active.load(Ordering::SeqCst);
-        if team <= 1 {
-            body();
-            return;
-        }
-        let state = self.space.get_or_insert(seq, single_state);
-        let ConstructState::Single(s) = &*state else {
-            panic!("construct sequence misalignment at single {name:?} (seq {seq})");
-        };
-        if s.try_claim() {
-            body();
-        }
-        // Implicit barrier (OpenMP single semantics).
-        self.team_barrier_retire(seq);
+    fn single(&self, ctx: &Ctx, name: &str, body: &mut dyn FnMut()) {
+        self.pe_single(ctx, name, body);
     }
 
     fn master(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
-        if replay::active() {
-            return;
-        }
-        if ctx.worker() == 0 {
-            body();
-        }
+        self.pe_master(ctx, body);
     }
 
-    fn reduce_f64(&self, _ctx: &Ctx, name: &str, op: ReduceOp, value: f64) -> f64 {
-        let seq = constructs::seq_next();
-        if replay::active() {
-            // Replay cannot reconstruct other workers' contributions; the
-            // caller's control flow must not depend on reductions during
-            // replay (choose safe data so that it does not).
-            return value;
-        }
-        let team = self.active.load(Ordering::SeqCst);
-        if team <= 1 {
-            return value;
-        }
-        let state = self.space.get_or_insert(seq, reduce_state);
-        let ConstructState::Reduce(r) = &*state else {
-            panic!("construct sequence misalignment at reduce {name:?} (seq {seq})");
-        };
-        r.combine(op, value);
-        self.team_barrier_retire(seq);
-        // The held Arc keeps the accumulator alive past its retirement.
-        r.result()
+    fn reduce_f64(&self, ctx: &Ctx, name: &str, op: ReduceOp, value: f64) -> f64 {
+        self.pe_reduce(ctx, name, op, value)
     }
 
     fn finish(&self, ctx: &Ctx) {

@@ -12,18 +12,19 @@
 //! replay that re-forks teams to rebuild thread call stacks, and the
 //! run-time expansion/contraction protocol (new workers replay the region
 //! body; drained workers unwind to the region boundary).
+//!
+//! Since the unified-runtime refactor, the barrier, the persistent worker
+//! pool, construct coordination and the whole dispatch/safe-point protocol
+//! live in [`ppar_core::runtime`] (shared with the hybrid engine); this
+//! crate re-exports them and contributes only the [`TeamEngine`] wrapper.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod barrier;
-pub mod constructs;
 pub mod engine;
-pub mod pool;
 
-pub use barrier::TeamBarrier;
 pub use engine::TeamEngine;
-pub use pool::{Latch, TeamPool};
+pub use ppar_core::runtime::{constructs, Latch, TeamBarrier, TeamPool};
 
 use std::sync::Arc;
 

@@ -577,6 +577,105 @@ fn sequential_to_parallel_expansion_inside_region() {
 }
 
 #[test]
+fn adaptation_mid_dynamic_loop_defers_to_next_safe_point() {
+    // §IV.B: "requests to adapt the application parallelism structure are
+    // managed on these safe points". A request that arrives while a
+    // dynamically scheduled loop is mid-claim must not tear the loop: the
+    // running sweep finishes with the old team (exactly-once coverage) and
+    // the reshape lands at the next safe-point crossing.
+    struct AsyncRequest {
+        requested: AtomicBool,
+        target: ExecMode,
+        confirms: AtomicUsize,
+    }
+    impl AdaptHook for AsyncRequest {
+        fn pending(&self, _ctx: &Ctx, _name: &str) -> Option<ExecMode> {
+            (self.requested.load(Ordering::SeqCst) && self.confirms.load(Ordering::SeqCst) == 0)
+                .then_some(self.target)
+        }
+        fn confirm(&self, _mode: ExecMode) {
+            self.confirms.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let n = 400usize;
+    let iterations = 8usize;
+    let hook = Arc::new(AsyncRequest {
+        requested: AtomicBool::new(false),
+        target: ExecMode::smp(6),
+        confirms: AtomicUsize::new(0),
+    });
+    let plan = Arc::new(
+        Plan::new()
+            .plug(Plug::ParallelMethod {
+                method: "work".into(),
+            })
+            .plug(Plug::For {
+                loop_name: "l".into(),
+                schedule: Schedule::Dynamic { chunk: 3 },
+            })
+            .plug(Plug::SafePoints {
+                points: PointSet::Named(vec!["it".into()]),
+                every: 0,
+            }),
+    );
+    let engine = TeamEngine::new(2, 8);
+    let shared = RunShared::new(
+        plan,
+        Arc::new(Registry::new()),
+        engine.clone(),
+        None,
+        Some(hook.clone() as Arc<dyn AdaptHook>),
+    );
+    let ctx = Ctx::new_root(shared);
+
+    let h = hits(n);
+    let h2 = h.clone();
+    // Team sizes observed inside the loop bodies, per iteration.
+    let sizes_in_loop: Arc<Vec<parking_lot::Mutex<Vec<usize>>>> = Arc::new(
+        (0..iterations)
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect(),
+    );
+    let sizes2 = sizes_in_loop.clone();
+    let hook2 = hook.clone();
+    ctx.region("work", |ctx| {
+        for it in 0..iterations {
+            ctx.each("l", 0..n, |ctx, i| {
+                h2[i].fetch_add(1, Ordering::SeqCst);
+                sizes2[it].lock().push(ctx.num_workers());
+                // The reshape request lands *mid-loop*, from a claimed
+                // iteration of sweep 2.
+                if it == 2 && i == n / 2 {
+                    hook2.requested.store(true, Ordering::SeqCst);
+                }
+            });
+            ctx.point("it");
+        }
+    });
+    ctx.finish();
+
+    // No iteration was lost or duplicated, in any sweep.
+    assert_each_exactly(&h, iterations);
+    assert_eq!(
+        hook.confirms.load(Ordering::SeqCst),
+        1,
+        "applied exactly once"
+    );
+    assert_eq!(engine.current_threads(), 6);
+    // The sweep the request arrived in completed on the old team; the
+    // reshape took effect at the following safe point.
+    assert!(
+        sizes_in_loop[2].lock().iter().all(|&s| s == 2),
+        "sweep 2 must finish on the 2-worker team (reshape deferred)"
+    );
+    assert!(
+        sizes_in_loop[4].lock().iter().all(|&s| s == 6),
+        "sweeps after the crossing run on the 6-worker team"
+    );
+}
+
+#[test]
 fn multiple_reshapes_in_one_run() {
     // Grow then shrink: 2 -> 8 -> 3.
     struct Script {
