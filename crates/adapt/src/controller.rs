@@ -43,6 +43,29 @@ impl ResourceTimeline {
     }
 }
 
+/// How an applied reshape was realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshapeKind {
+    /// Realised with no process exit and no disk round-trip: an engine
+    /// team retarget at the safe-point crossing, or an in-memory hand-off
+    /// relaunch driven by [`crate::live::launch_live`].
+    InPlace,
+    /// Realised by checkpoint/restart through the on-disk store (the
+    /// fallback, and the paper's Fig. 6 baseline).
+    Restart,
+}
+
+/// One applied adaptation, as recorded by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedReshape {
+    /// Safe-point crossing count when the reshape completed.
+    pub crossing: u64,
+    /// The mode the run continued in.
+    pub mode: ExecMode,
+    /// How the reshape was realised.
+    pub kind: ReshapeKind,
+}
+
 /// Implements [`AdaptHook`]: tracks safe-point crossings, surfaces pending
 /// reshape requests, records applied adaptations.
 pub struct AdaptationController {
@@ -50,7 +73,7 @@ pub struct AdaptationController {
     external: Mutex<Option<ExecMode>>,
     timeline: Mutex<Vec<(u64, ExecMode)>>,
     active: Mutex<Option<ExecMode>>,
-    history: Mutex<Vec<(u64, ExecMode)>>,
+    applied: Mutex<Vec<AppliedReshape>>,
 }
 
 impl AdaptationController {
@@ -66,7 +89,7 @@ impl AdaptationController {
             external: Mutex::new(None),
             timeline: Mutex::new(timeline.events),
             active: Mutex::new(None),
-            history: Mutex::new(Vec::new()),
+            applied: Mutex::new(Vec::new()),
         })
     }
 
@@ -82,9 +105,45 @@ impl AdaptationController {
         self.crossings.load(Ordering::SeqCst)
     }
 
-    /// Applied adaptations as `(crossing, mode)` pairs.
+    /// Applied adaptations as `(crossing, mode)` pairs (see
+    /// [`AdaptationController::applied`] for the realisation kinds).
     pub fn history(&self) -> Vec<(u64, ExecMode)> {
-        self.history.lock().clone()
+        self.applied
+            .lock()
+            .iter()
+            .map(|a| (a.crossing, a.mode))
+            .collect()
+    }
+
+    /// Applied adaptations with their realisation kinds.
+    pub fn applied(&self) -> Vec<AppliedReshape> {
+        self.applied.lock().clone()
+    }
+
+    /// Record that the pending request was realised by checkpoint/restart
+    /// (the fallback path): clears it like [`AdaptHook::confirm`] but tags
+    /// the history entry [`ReshapeKind::Restart`]. Restart drivers call
+    /// this after relaunching in the target mode.
+    pub fn confirm_restart(&self, mode: ExecMode) {
+        self.confirm_kind(mode, ReshapeKind::Restart);
+    }
+
+    fn confirm_kind(&self, mode: ExecMode, kind: ReshapeKind) {
+        // Idempotent per request: rank-shared views may deliver the same
+        // decision to several elements (each applies it, each confirms);
+        // only the first confirmation of the in-flight request records.
+        let mut active = self.active.lock();
+        if *active != Some(mode) {
+            return;
+        }
+        *active = None;
+        drop(active);
+        let crossing = self.crossings.load(Ordering::SeqCst);
+        self.applied.lock().push(AppliedReshape {
+            crossing,
+            mode,
+            kind,
+        });
     }
 }
 
@@ -112,9 +171,73 @@ impl AdaptHook for AdaptationController {
     }
 
     fn confirm(&self, mode: ExecMode) {
-        *self.active.lock() = None;
-        let c = self.crossings.load(Ordering::SeqCst);
-        self.history.lock().push((c, mode));
+        self.confirm_kind(mode, ReshapeKind::InPlace);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rank-shared views
+// ---------------------------------------------------------------------------
+
+/// Shared decision log behind [`RankAdaptView`]: every aggregate element
+/// executes the same safe-point crossing sequence (SPMD discipline), so
+/// crossing `k` on rank `r` corresponds to crossing `k` on rank 0. The
+/// first element to reach a crossing asks the real controller once; every
+/// other element reads the memoised answer — preserving the controller's
+/// "polled exactly once per crossing" contract across a whole simulated
+/// aggregate.
+struct RankSharedDecisions {
+    inner: Arc<AdaptationController>,
+    decisions: Mutex<Vec<Option<ExecMode>>>,
+}
+
+/// One aggregate element's view of a shared [`AdaptationController`]:
+/// install one per rank to drive run-time adaptation of distributed and
+/// hybrid runs (each rank polls its own crossings; decisions are shared).
+pub struct RankAdaptView {
+    shared: Arc<RankSharedDecisions>,
+    rank: usize,
+    crossing: AtomicU64,
+}
+
+impl AdaptationController {
+    /// Per-rank views over this controller for an `n`-element aggregate.
+    pub fn rank_views(self: &Arc<Self>, n: usize) -> Vec<Arc<RankAdaptView>> {
+        let shared = Arc::new(RankSharedDecisions {
+            inner: self.clone(),
+            decisions: Mutex::new(Vec::new()),
+        });
+        (0..n.max(1))
+            .map(|rank| {
+                Arc::new(RankAdaptView {
+                    shared: shared.clone(),
+                    rank,
+                    crossing: AtomicU64::new(0),
+                })
+            })
+            .collect()
+    }
+}
+
+impl AdaptHook for RankAdaptView {
+    fn pending(&self, ctx: &Ctx, name: &str) -> Option<ExecMode> {
+        let idx = self.crossing.fetch_add(1, Ordering::SeqCst) as usize;
+        let mut decisions = self.shared.decisions.lock();
+        // This rank polled every earlier crossing itself, so the log can be
+        // at most one entry short here — and exactly this rank extends it.
+        if decisions.len() == idx {
+            let d = self.shared.inner.pending(ctx, name);
+            decisions.push(d);
+        }
+        decisions[idx]
+    }
+
+    fn confirm(&self, mode: ExecMode) {
+        // Every rank applies the shared decision; rank 0 records it (the
+        // controller's confirm is idempotent per request regardless).
+        if self.rank == 0 {
+            self.shared.inner.confirm(mode);
+        }
     }
 }
 

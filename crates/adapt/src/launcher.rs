@@ -50,7 +50,22 @@ pub enum Deploy {
         cfg: SpmdConfig,
         /// Local team size on each element.
         threads: usize,
+        /// In-place reshape headroom for each element's local team (e.g.
+        /// `hyb2x2 -> hyb2x4` at a safe-point crossing). Clamped up to
+        /// `threads` when smaller.
+        max_threads: usize,
     },
+}
+
+impl Deploy {
+    /// A hybrid deployment with no local-team reshape headroom.
+    pub fn hybrid(cfg: SpmdConfig, threads: usize) -> Deploy {
+        Deploy::Hybrid {
+            cfg,
+            threads,
+            max_threads: threads,
+        }
+    }
 }
 
 impl Deploy {
@@ -60,7 +75,7 @@ impl Deploy {
             Deploy::Seq => "seq".into(),
             Deploy::Smp { threads, .. } => format!("smp{threads}"),
             Deploy::Dist(cfg) => format!("dist{}", cfg.nranks),
-            Deploy::Hybrid { cfg, threads } => format!("hyb{}x{}", cfg.nranks, threads),
+            Deploy::Hybrid { cfg, threads, .. } => format!("hyb{}x{}", cfg.nranks, threads),
         }
     }
 }
@@ -163,9 +178,19 @@ pub fn launch<R: Send>(
                 (status, result)
             };
             let results = match deploy {
-                Deploy::Hybrid { threads, .. } => {
-                    ppar_dsm::run_hybrid(cfg, *threads, plan, &hooks, false, per_rank)
-                }
+                Deploy::Hybrid {
+                    threads,
+                    max_threads,
+                    ..
+                } => ppar_dsm::run_hybrid_adaptive(
+                    cfg,
+                    *threads,
+                    (*max_threads).max(*threads),
+                    plan,
+                    &hooks,
+                    false,
+                    per_rank,
+                ),
                 _ => run_spmd(cfg, plan, &hooks, false, per_rank),
             };
             Ok(LaunchOutcome {

@@ -15,12 +15,21 @@
 //!   *different* mode or aggregate size (adaptation by restart, Fig. 6).
 //! * [`launcher::overdecomposed`] — the traditional over-decomposition
 //!   baseline the paper compares against (Fig. 8).
+//! * [`live::launch_live`] — **live reshape**: a deployment loop in which a
+//!   mode change the running engine cannot realise in place is applied by
+//!   an in-memory state hand-off (`ppar_ckpt::MemTransport`) and an
+//!   in-process relaunch — no process exit, no disk round-trip. Restart
+//!   stays available as the fallback behind the unchanged [`launcher`] API.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
 pub mod launcher;
+pub mod live;
 
-pub use controller::{AdaptationController, ResourceTimeline};
+pub use controller::{
+    AdaptationController, AppliedReshape, RankAdaptView, ReshapeKind, ResourceTimeline,
+};
 pub use launcher::{launch, overdecomposed, run_until_complete, AppStatus, Deploy, LaunchOutcome};
+pub use live::{deploy_for_mode, launch_live, LiveOutcome};

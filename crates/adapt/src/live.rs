@@ -1,0 +1,299 @@
+//! Live in-place reshape: run-time adaptation with no process restart.
+//!
+//! The classic path (Fig. 6 of the paper) adapts by *restart*: serialize to
+//! disk, tear the deployment down, relaunch under the new mode and replay.
+//! [`launch_live`] converts that into an in-process protocol built on the
+//! pluggable checkpoint transport ([`ppar_ckpt::transport`]):
+//!
+//! 1. the run starts under the initial [`Deploy`] with a
+//!    [`ppar_ckpt::MemTransport`] armed as the **hand-off** sink on every
+//!    element's checkpoint module;
+//! 2. a reshape request lands at a safe-point crossing. If the live engine
+//!    can realise it in place (`smp4 -> smp8` team retarget, `hyb2x2 ->
+//!    hyb2x4` per-element team resize — the §IV.B expansion/contraction
+//!    protocol over the shared `ppar_core::runtime`), it does, and no
+//!    hand-off happens;
+//! 3. otherwise the crossing **escalates**: the quiesced engine streams one
+//!    mode-independent master snapshot into the in-memory transport and
+//!    every line of execution unwinds to this launcher with
+//!    [`ppar_core::runtime::ModeSwitch`];
+//! 4. the launcher retargets the deployment (same process!), arms the
+//!    hand-off as the successor's **resume** source, and relaunches the
+//!    application closure; replay runs with ignorable methods skipped and
+//!    installs the state straight from memory at the hand-off's safe
+//!    point.
+//!
+//! No process exits and no disk is touched by the mode switch itself;
+//! periodic checkpoints keep flowing to the on-disk store (when a
+//! checkpoint directory is configured), so a real crash mid-session still
+//! restarts from disk — restart remains the fallback behind the unchanged
+//! [`crate::launcher`] API.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppar_ckpt::hook::{CheckpointModule, CkptStats};
+use ppar_ckpt::transport::{CkptTransport, MemTransport};
+use ppar_core::ctx::{AdaptHook, CkptHook, Ctx, RunShared, SeqEngine};
+use ppar_core::error::{PparError, Result};
+use ppar_core::mode::ExecMode;
+use ppar_core::plan::Plan;
+use ppar_core::runtime::{clear_draining, ModeSwitch};
+use ppar_core::state::Registry;
+use ppar_dsm::SpmdConfig;
+use ppar_smp::TeamEngine;
+
+use crate::controller::{AdaptationController, ReshapeKind};
+use crate::launcher::Deploy;
+use crate::AppStatus;
+
+/// Outcome of one live session ([`launch_live`]): the final run's results
+/// plus the mode switches that were applied by in-memory hand-off.
+pub struct LiveOutcome<R> {
+    /// Per-rank `(status, result)` pairs of the *final* launch round.
+    pub results: Vec<(AppStatus, R)>,
+    /// Escalated mode switches, in order (engine-internal in-place
+    /// reshapes don't appear here — see
+    /// [`AdaptationController::applied`]).
+    pub reshapes: Vec<(ExecMode, ReshapeKind)>,
+    /// Launch rounds executed (1 = no escalated reshape).
+    pub launches: usize,
+    /// Did the *initial* round replay a previous on-disk failure?
+    pub replayed: bool,
+    /// Rank-0 checkpoint statistics of the final round.
+    pub stats: Option<CkptStats>,
+    /// Wall time of the whole session.
+    pub elapsed: Duration,
+}
+
+impl<R> LiveOutcome<R> {
+    /// Did every rank of the final round complete?
+    pub fn completed(&self) -> bool {
+        self.results.iter().all(|(s, _)| *s == AppStatus::Completed)
+    }
+}
+
+/// One rank's exit from a launch round.
+enum Round<R> {
+    Done(AppStatus, R),
+    Switch(ExecMode),
+}
+
+fn run_catching<R>(f: impl FnOnce() -> (AppStatus, R)) -> Round<R> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok((status, result)) => Round::Done(status, result),
+        Err(payload) => {
+            // The escalation unwind marked this thread as draining so the
+            // panic hook stayed silent; re-arm normal reporting.
+            clear_draining();
+            match payload.downcast::<ModeSwitch>() {
+                Ok(switch) => Round::Switch(switch.0),
+                Err(other) => resume_unwind(other),
+            }
+        }
+    }
+}
+
+/// Map an escalated reshape target onto a deployment, inheriting the
+/// simulated-cluster configuration from `template` when the target has
+/// distributed structure (fresh single-node topology otherwise).
+pub fn deploy_for_mode(mode: ExecMode, template: &Deploy) -> Deploy {
+    let cfg_for = |p: usize| -> SpmdConfig {
+        match template {
+            Deploy::Dist(cfg) | Deploy::Hybrid { cfg, .. } => SpmdConfig { nranks: p, ..*cfg },
+            _ => SpmdConfig::instant(p),
+        }
+    };
+    match mode {
+        ExecMode::Sequential => Deploy::Smp {
+            threads: 1,
+            max_threads: 1,
+        },
+        ExecMode::SharedMemory { threads } => Deploy::Smp {
+            threads,
+            max_threads: threads,
+        },
+        ExecMode::Distributed { processes } => Deploy::Dist(cfg_for(processes)),
+        ExecMode::Hybrid {
+            processes,
+            threads_per_process,
+        } => Deploy::Hybrid {
+            cfg: cfg_for(processes),
+            threads: threads_per_process,
+            max_threads: threads_per_process,
+        },
+    }
+}
+
+fn deploy_ranks(deploy: &Deploy) -> usize {
+    match deploy {
+        Deploy::Seq | Deploy::Smp { .. } => 1,
+        Deploy::Dist(cfg) | Deploy::Hybrid { cfg, .. } => cfg.nranks,
+    }
+}
+
+/// Launch `app` under `initial` with **live reshape**: run-time adaptations
+/// the engine cannot realise in place are applied by an in-memory state
+/// hand-off and an in-process relaunch (see the [module docs](self)).
+///
+/// `ckpt_dir` additionally plugs durable periodic checkpointing (and arms
+/// replay if the directory holds a failed run); without it, snapshots live
+/// in a per-round [`MemTransport`], so even checkpoint-free sessions can
+/// reshape live. A `Deploy::Seq` initial deployment accepts no reshapes
+/// (the strict sequential engine never polls the controller) — use
+/// `Deploy::Smp { threads: 1, .. }` for the adaptive sequential end of the
+/// spectrum.
+pub fn launch_live<R: Send>(
+    initial: &Deploy,
+    plan: Plan,
+    ckpt_dir: Option<&Path>,
+    controller: Arc<AdaptationController>,
+    app: impl Fn(&Ctx) -> (AppStatus, R) + Sync,
+) -> Result<LiveOutcome<R>> {
+    let plan = Arc::new(plan);
+    let start = Instant::now();
+    let mut deploy = initial.clone();
+    let mut resume: Option<Arc<MemTransport>> = None;
+    let mut reshapes: Vec<(ExecMode, ReshapeKind)> = Vec::new();
+    let mut replayed = false;
+
+    // A runaway controller (or a target the successor immediately escalates
+    // again) must not loop forever.
+    const MAX_ROUNDS: usize = 32;
+    for round in 0..MAX_ROUNDS {
+        let nranks = deploy_ranks(&deploy);
+        let handoff = Arc::new(MemTransport::new());
+
+        // Checkpoint modules: durable (directory) or per-round in-memory.
+        let modules: Vec<Arc<CheckpointModule>> = match ckpt_dir {
+            Some(dir) => CheckpointModule::create_group(dir, &plan, nranks)?,
+            None => {
+                let mem: Arc<dyn CkptTransport> = Arc::new(MemTransport::new());
+                CheckpointModule::create_group_with_transport(mem, &plan, nranks)
+            }
+        };
+        for module in &modules {
+            module.arm_handoff(handoff.clone() as Arc<dyn CkptTransport>);
+            if let Some(source) = &resume {
+                module.arm_resume(source.clone() as Arc<dyn CkptTransport>)?;
+            }
+        }
+        if round == 0 {
+            replayed = modules[0].will_replay() && resume.is_none();
+        }
+        let rank0 = modules[0].clone();
+
+        let rounds: Vec<Round<R>> = match &deploy {
+            Deploy::Seq | Deploy::Smp { .. } => {
+                let engine: Arc<dyn ppar_core::ctx::Engine> = match &deploy {
+                    Deploy::Seq => Arc::new(SeqEngine),
+                    Deploy::Smp {
+                        threads,
+                        max_threads,
+                    } => TeamEngine::new(*threads, *max_threads),
+                    _ => unreachable!(),
+                };
+                let shared = RunShared::new(
+                    plan.clone(),
+                    Arc::new(Registry::new()),
+                    engine,
+                    Some(modules[0].clone() as Arc<dyn CkptHook>),
+                    Some(controller.clone() as Arc<dyn AdaptHook>),
+                );
+                let ctx = Ctx::new_root(shared);
+                vec![run_catching(|| {
+                    let (status, result) = app(&ctx);
+                    if status == AppStatus::Completed {
+                        ctx.finish();
+                    }
+                    (status, result)
+                })]
+            }
+            Deploy::Dist(cfg) | Deploy::Hybrid { cfg, .. } => {
+                let views = controller.rank_views(nranks);
+                let modules_ref = &modules;
+                let views_ref = &views;
+                let hooks = move |rank: usize| {
+                    (
+                        Some(modules_ref[rank].clone() as Arc<dyn CkptHook>),
+                        Some(views_ref[rank].clone() as Arc<dyn AdaptHook>),
+                    )
+                };
+                let per_rank = |ctx: &Ctx| {
+                    run_catching(|| {
+                        let (status, result) = app(ctx);
+                        if status == AppStatus::Completed {
+                            ctx.finish();
+                        }
+                        (status, result)
+                    })
+                };
+                match &deploy {
+                    Deploy::Hybrid {
+                        threads,
+                        max_threads,
+                        ..
+                    } => ppar_dsm::run_hybrid_adaptive(
+                        cfg,
+                        *threads,
+                        (*max_threads).max(*threads),
+                        plan.clone(),
+                        &hooks,
+                        false,
+                        per_rank,
+                    ),
+                    _ => ppar_dsm::run_spmd(cfg, plan.clone(), &hooks, false, per_rank),
+                }
+            }
+        };
+
+        // An escalated crossing unwinds every rank with the same target
+        // (SPMD discipline: all elements reach the same crossing and read
+        // the same shared decision).
+        let switch = rounds.iter().find_map(|r| match r {
+            Round::Switch(mode) => Some(*mode),
+            Round::Done(..) => None,
+        });
+        match switch {
+            Some(mode) => {
+                // The on-disk RUNNING marker (when a directory is
+                // configured) intentionally stays set across the relaunch:
+                // the session is still in flight, and if the process dies
+                // mid-switch a cold restart must replay from the last disk
+                // snapshot. Safe-point counts are monotone within a
+                // session, so the successor's first base promotion can
+                // never collide with the live chain's base count.
+                //
+                // The engines left the request pending (they did not apply
+                // it); this relaunch is the application. Confirm before the
+                // successor starts so its crossings see a clean controller.
+                controller.confirm(mode);
+                reshapes.push((mode, ReshapeKind::InPlace));
+                resume = Some(handoff);
+                deploy = deploy_for_mode(mode, &deploy);
+            }
+            None => {
+                let results = rounds
+                    .into_iter()
+                    .map(|r| match r {
+                        Round::Done(status, result) => (status, result),
+                        Round::Switch(_) => unreachable!("switch handled above"),
+                    })
+                    .collect();
+                return Ok(LiveOutcome {
+                    results,
+                    reshapes,
+                    launches: round + 1,
+                    replayed,
+                    stats: Some(rank0.stats()),
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+    }
+    Err(PparError::InvalidAdaptation(format!(
+        "live reshape did not converge within {MAX_ROUNDS} relaunches"
+    )))
+}

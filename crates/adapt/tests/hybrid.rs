@@ -18,10 +18,7 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 }
 
 fn hybrid(ranks: usize, threads: usize) -> Deploy {
-    Deploy::Hybrid {
-        cfg: SpmdConfig::instant(ranks),
-        threads,
-    }
+    Deploy::hybrid(SpmdConfig::instant(ranks), threads)
 }
 
 #[test]

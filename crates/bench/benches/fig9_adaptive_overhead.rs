@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppar_core::run_sequential;
+use ppar_dsm::SpmdConfig;
 use ppar_jgf::sor::baseline::sor_threads;
-use ppar_jgf::sor::pluggable::{plan_seq, plan_smp, sor_pluggable};
+use ppar_jgf::sor::pluggable::{plan_hybrid, plan_seq, plan_smp, sor_pluggable};
 use ppar_jgf::sor::{sor_seq, SorParams};
 use ppar_smp::run_smp;
 use std::sync::Arc;
@@ -32,6 +33,22 @@ fn bench(c: &mut Criterion) {
             run_smp(Arc::new(plan_smp()), 4, None, None, |ctx| {
                 sor_pluggable(ctx, &params())
             })
+        })
+    });
+    // The hybrid point of the mode matrix: 2 elements × 2-thread teams,
+    // asserting the bitwise-sequential contract on every sample.
+    let seq_checksum = sor_seq(&params()).checksum;
+    g.bench_function("pluggable_hybrid_2x2", |b| {
+        b.iter(|| {
+            let results = ppar_dsm::run_hybrid(
+                &SpmdConfig::instant(2),
+                2,
+                Arc::new(plan_hybrid()),
+                &|_| (None, None),
+                true,
+                |ctx| sor_pluggable(ctx, &params()),
+            );
+            assert_eq!(results[0].checksum, seq_checksum);
         })
     });
     g.finish();

@@ -1,0 +1,225 @@
+//! Reshape-latency microbench: **in-place (live) reshape vs restart-based
+//! reshape**.
+//!
+//! Two levels:
+//!
+//! * `transport_*` — the pure state hand-off cost for a 32 MiB field. The
+//!   in-place arm streams a master snapshot into a
+//!   [`ppar_ckpt::MemTransport`], reads it merged and reinstalls — the
+//!   exact path a live reshape pays at the crossing. The restart arm pays
+//!   what adaptation-by-restart pays instead: stream the snapshot to disk,
+//!   re-run the pcr start-up protocol (marker detection + restart-target
+//!   chain walk, i.e. "relaunch"), read the file back merged and
+//!   reinstall.
+//! * `e2e_*` — whole SOR runs that switch `smp2 -> hyb2x2` mid-run, via
+//!   [`ppar_adapt::launch_live`] (in-memory hand-off, in-process relaunch)
+//!   and via the classic two-launch checkpoint/restart cycle.
+//!
+//! The acceptance bar for the transport seam is **≥ 5× lower in-place
+//! hand-off latency** (no disk I/O, no relaunch protocol).
+//!
+//! `PPAR_RESHAPE_SMOKE=1` (the CI arm) runs one small shape of each level
+//! and asserts the in-place arm wins, rather than measuring steady state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ppar_adapt::{launch, launch_live, AdaptationController, AppStatus, Deploy, ResourceTimeline};
+use ppar_ckpt::store::{FieldSource, SnapshotMeta};
+use ppar_ckpt::transport::CkptTransport;
+use ppar_ckpt::{CheckpointModule, CheckpointStore, MemTransport};
+use ppar_core::mode::ExecMode;
+use ppar_core::plan::{Plan, Plug, PointSet};
+use ppar_core::shared::SharedVec;
+use ppar_core::state::StateCell;
+use ppar_dsm::SpmdConfig;
+use ppar_jgf::sor::pluggable::{plan_ckpt, plan_hybrid, sor_pluggable};
+use ppar_jgf::sor::{sor_seq, SorParams};
+
+fn smoke() -> bool {
+    std::env::var("PPAR_RESHAPE_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ppar_reshape_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn ckpt_plan() -> Plan {
+    Plan::new()
+        .plug(Plug::SafeData { field: "G".into() })
+        .plug(Plug::SafePoints {
+            points: PointSet::Named(vec!["p".into()]),
+            every: 0,
+        })
+}
+
+/// One in-place hand-off: snapshot the field into memory (no checksum pass
+/// — the bytes never leave the process), read it merged through the
+/// borrowed view, reinstall. This is exactly the path a live reshape pays
+/// at the crossing. Returns bytes moved (sanity).
+fn inplace_handoff(mem: &MemTransport, cell: &SharedVec<f64>, meta: &SnapshotMeta) -> u64 {
+    let fields: Vec<(&str, FieldSource<'_>)> = vec![("G", FieldSource::Cell(cell))];
+    let written = mem.put_master(meta, &fields, &mut Vec::new()).unwrap();
+    mem.with_merged_master(&mut |snap| cell.load_bytes(snap.field("G").unwrap()))
+        .unwrap();
+    written
+}
+
+/// One restart-based hand-off: snapshot to disk, re-run module start-up
+/// (failure detection + restart-target walk — the "relaunch"), read the
+/// file merged, reinstall.
+fn restart_handoff(cell: &SharedVec<f64>, meta: &SnapshotMeta, dir: &std::path::Path) -> u64 {
+    let store = CheckpointStore::new(dir).unwrap();
+    store.set_marker().unwrap();
+    let fields: Vec<(&str, FieldSource<'_>)> = vec![("G", FieldSource::Cell(cell))];
+    let written = store.put_master(meta, &fields, &mut Vec::new()).unwrap();
+    // The successor process's start-up protocol.
+    let plan = ckpt_plan();
+    let module = CheckpointModule::create(dir, &plan).unwrap();
+    assert!(module.will_replay());
+    let snap = module.store().read_merged_master().unwrap().unwrap();
+    cell.load_bytes(snap.field("G").unwrap()).unwrap();
+    written
+}
+
+fn e2e_params(n: usize, iters: usize) -> SorParams {
+    SorParams::new(n, iters)
+}
+
+/// Whole-run live reshape: smp2 -> hyb2x2 at crossing `switch`.
+fn e2e_live(params: &SorParams, switch: u64) -> f64 {
+    let controller = AdaptationController::with_timeline(
+        ResourceTimeline::new().at(switch, ExecMode::hybrid(2, 2)),
+    );
+    let plan = plan_hybrid().merge(plan_ckpt(0));
+    let outcome = launch_live(
+        &Deploy::Smp {
+            threads: 2,
+            max_threads: 2,
+        },
+        plan,
+        None,
+        controller,
+        |ctx| (AppStatus::Completed, sor_pluggable(ctx, params)),
+    )
+    .unwrap();
+    assert!(outcome.completed() && outcome.launches == 2);
+    outcome.results[0].1.checksum
+}
+
+/// Whole-run restart reshape: checkpoint at `switch` in smp2, stop, relaunch
+/// from disk in hyb2x2.
+fn e2e_restart(params: &SorParams, switch: usize) -> f64 {
+    let dir = scratch("e2e");
+    let plan = || plan_hybrid().merge(plan_ckpt(switch));
+    let crash_params = SorParams {
+        fail_after: Some(switch),
+        ..params.clone()
+    };
+    let r1 = launch(
+        &Deploy::Smp {
+            threads: 2,
+            max_threads: 2,
+        },
+        plan(),
+        Some(&dir),
+        None,
+        |ctx| (AppStatus::Crashed, sor_pluggable(ctx, &crash_params)),
+    )
+    .unwrap();
+    assert!(!r1.completed());
+    let r2 = launch(
+        &Deploy::hybrid(SpmdConfig::instant(2), 2),
+        plan(),
+        Some(&dir),
+        None,
+        |ctx| (AppStatus::Completed, sor_pluggable(ctx, params)),
+    )
+    .unwrap();
+    assert!(r2.completed() && r2.replayed);
+    let checksum = r2.results[0].1.checksum;
+    let _ = std::fs::remove_dir_all(&dir);
+    checksum
+}
+
+fn smoke_run() {
+    // Transport level: a 8 MiB field, once per arm, in-place must win.
+    let n = 1 << 20; // f64s
+    let cell = SharedVec::from_vec((0..n).map(|i| i as f64).collect());
+    let meta = SnapshotMeta {
+        mode_tag: "smp2".into(),
+        count: 1,
+        rank: None,
+        nranks: 1,
+    };
+    let mem = MemTransport::new();
+    let t0 = std::time::Instant::now();
+    let moved_mem = inplace_handoff(&mem, &cell, &meta);
+    let t_mem = t0.elapsed();
+    let dir = scratch("smoke");
+    let t0 = std::time::Instant::now();
+    let moved_disk = restart_handoff(&cell, &meta, &dir);
+    let t_disk = t0.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(moved_mem, moved_disk, "identical record bytes");
+    println!(
+        "reshape smoke: in-place {t_mem:?} vs restart {t_disk:?} ({:.1}x)",
+        t_disk.as_secs_f64() / t_mem.as_secs_f64().max(1e-12)
+    );
+    assert!(
+        t_mem < t_disk,
+        "in-place hand-off must beat the disk round-trip: {t_mem:?} vs {t_disk:?}"
+    );
+
+    // End-to-end level: tiny SOR, both paths must agree bitwise with seq.
+    let params = e2e_params(33, 8);
+    let reference = sor_seq(&params);
+    let live = e2e_live(&params, 3);
+    let restart = e2e_restart(&params, 3);
+    assert_eq!(live, reference.checksum);
+    assert_eq!(restart, reference.checksum);
+    println!("reshape smoke: e2e live/restart checksums match the sequential reference");
+}
+
+fn bench(c: &mut Criterion) {
+    if smoke() {
+        smoke_run();
+        return;
+    }
+
+    // ---- transport-level hand-off: 32 MiB field ----
+    let n = 4 << 20; // f64s -> 32 MiB
+    let cell = SharedVec::from_vec((0..n).map(|i| (i as f64).sqrt()).collect());
+    let meta = SnapshotMeta {
+        mode_tag: "smp2".into(),
+        count: 1,
+        rank: None,
+        nranks: 1,
+    };
+    let mut g = c.benchmark_group("reshape_latency_transport");
+    g.sample_size(10);
+    let mem = MemTransport::new();
+    g.bench_function("inplace_mem_handoff_32mib", |b| {
+        b.iter(|| inplace_handoff(&mem, &cell, &meta))
+    });
+    let dir = scratch("transport");
+    g.bench_function("restart_disk_roundtrip_32mib", |b| {
+        b.iter(|| restart_handoff(&cell, &meta, &dir))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+
+    // ---- end-to-end: smp2 -> hyb2x2 mid-run ----
+    let params = e2e_params(160, 10);
+    let mut g = c.benchmark_group("reshape_latency_e2e");
+    g.sample_size(10);
+    g.bench_function("live_smp2_to_hyb2x2", |b| b.iter(|| e2e_live(&params, 4)));
+    g.bench_function("restart_smp2_to_hyb2x2", |b| {
+        b.iter(|| e2e_restart(&params, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,7 +18,8 @@ use ppar_jgf::sor::baseline::{
     sor_dist, sor_dist_invasive, sor_seq_invasive, sor_threads, sor_threads_invasive,
 };
 use ppar_jgf::sor::pluggable::{
-    plan_ckpt, plan_ckpt_incremental, plan_dist, plan_seq, plan_smp, plan_smp_with, sor_pluggable,
+    plan_ckpt, plan_ckpt_incremental, plan_dist, plan_hybrid, plan_seq, plan_smp, plan_smp_with,
+    sor_pluggable,
 };
 use ppar_jgf::sor::{sor_seq, SorParams};
 use ppar_smp::run_smp;
@@ -36,6 +37,8 @@ pub struct ExpConfig {
     pub le_counts: Vec<usize>,
     /// Distributed process counts ("P" series).
     pub p_counts: Vec<usize>,
+    /// Hybrid shapes ("P x LE" series): `(processes, threads_per_process)`.
+    pub hyb_shapes: Vec<(usize, usize)>,
     /// Over-decomposition factors (Fig. 8).
     pub of_factors: Vec<usize>,
     /// Processing-element counts (Fig. 9).
@@ -50,6 +53,7 @@ impl ExpConfig {
             iterations: 60,
             le_counts: vec![2, 4, 8, 16],
             p_counts: vec![2, 4, 8, 16, 32],
+            hyb_shapes: vec![(2, 4), (4, 4)],
             of_factors: vec![1, 2, 4, 8, 16],
             pe_counts: vec![1, 4, 8, 16, 32],
         }
@@ -78,6 +82,9 @@ pub enum Env {
     Le(usize),
     /// `k` simulated processes on the paper cluster.
     P(usize),
+    /// Hybrid: `p` simulated processes, each running a local team of `t`
+    /// lines of execution (rounds out the mode matrix).
+    Hyb(usize, usize),
 }
 
 impl Env {
@@ -86,6 +93,7 @@ impl Env {
             Env::Seq => "seq".into(),
             Env::Le(k) => format!("{k} LE"),
             Env::P(k) => format!("{k} P"),
+            Env::Hyb(p, t) => format!("{p}x{t} HYB"),
         }
     }
 
@@ -101,6 +109,14 @@ impl Env {
                 nranks: k,
                 model: NetModel::default(),
             }),
+            Env::Hyb(p, t) => Deploy::hybrid(
+                SpmdConfig {
+                    topology: Topology::paper_cluster(),
+                    nranks: p,
+                    model: NetModel::default(),
+                },
+                t,
+            ),
         }
     }
 
@@ -109,6 +125,7 @@ impl Env {
             Env::Seq => plan_seq(),
             Env::Le(_) => plan_smp(),
             Env::P(_) => plan_dist(),
+            Env::Hyb(..) => plan_hybrid(),
         }
     }
 }
@@ -117,6 +134,7 @@ fn envs(cfg: &ExpConfig) -> Vec<Env> {
     let mut v = vec![Env::Seq];
     v.extend(cfg.le_counts.iter().map(|&k| Env::Le(k)));
     v.extend(cfg.p_counts.iter().map(|&k| Env::P(k)));
+    v.extend(cfg.hyb_shapes.iter().map(|&(p, t)| Env::Hyb(p, t)));
     v
 }
 
@@ -149,12 +167,15 @@ fn run_pp(
     (secs, outcome.stats)
 }
 
-/// Run the hand-written ("original") SOR in `env`.
+/// Run the hand-written ("original") SOR in `env`. No hand-written hybrid
+/// exists (that is the point of pluggable composition), so the hybrid rows
+/// compare against the hand-written distributed version at the same rank
+/// count — the closest manual baseline.
 fn run_original(env: Env, params: &SorParams) -> f64 {
     match env {
         Env::Seq => time(|| sor_seq(params)).1,
         Env::Le(k) => time(|| sor_threads(params, k)).1,
-        Env::P(k) => {
+        Env::P(k) | Env::Hyb(k, _) => {
             let cfg = SpmdConfig {
                 topology: Topology::paper_cluster(),
                 nranks: k,
@@ -165,13 +186,14 @@ fn run_original(env: Env, params: &SorParams) -> f64 {
     }
 }
 
-/// Run the invasively checkpointed SOR in `env`.
+/// Run the invasively checkpointed SOR in `env` (hybrid rows fall back to
+/// the distributed invasive version, as in [`run_original`]).
 fn run_invasive(env: Env, every: usize, params: &SorParams) -> f64 {
     let dir = scratch_dir("invasive");
     let secs = match env {
         Env::Seq => time(|| sor_seq_invasive(params, every, &dir)).1,
         Env::Le(k) => time(|| sor_threads_invasive(params, k, every, &dir)).1,
-        Env::P(k) => {
+        Env::P(k) | Env::Hyb(k, _) => {
             let cfg = SpmdConfig {
                 topology: Topology::paper_cluster(),
                 nranks: k,
@@ -593,12 +615,23 @@ pub fn fig8_schedules(cfg: &ExpConfig) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Fig. 9: JGF-style fixed versions (sequential / threads / message
-/// passing) vs the adaptive pluggable version choosing its mode per
-/// processing-element count, on a cluster of 8-core machines.
+/// passing / hybrid) vs the adaptive pluggable version choosing its mode
+/// per processing-element count, on a cluster of 8-core machines. The
+/// adaptive chooser covers the full mode matrix: sequential for one PE, a
+/// thread team within one machine, and a **hybrid** deployment (one
+/// element per machine, a local team filling its cores) beyond — pure
+/// message passing stays as the fixed `jgf_mpi` comparison column.
 pub fn fig9(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig 9 — adaptability overhead on 8-core machines (seconds)",
-        &["PE", "jgf_seq", "jgf_threads", "jgf_mpi", "adaptive"],
+        &[
+            "PE",
+            "jgf_seq",
+            "jgf_threads",
+            "jgf_mpi",
+            "hybrid",
+            "adaptive",
+        ],
     );
     let params = cfg.params();
     let machine_cores = 8usize;
@@ -622,8 +655,26 @@ pub fn fig9(cfg: &ExpConfig) -> Table {
             )
             .expect("launch")
         });
+        // Fixed hybrid version at the same PE count: one element per
+        // machine, local team of up to `machine_cores`.
+        let hyb_deploy = Deploy::hybrid(
+            SpmdConfig {
+                topology: Topology::eight_core_cluster(machines),
+                nranks: machines,
+                model: NetModel::default(),
+            },
+            pe.min(machine_cores).max(1),
+        );
+        let p3 = params.clone();
+        let (_, hybrid) = time(|| {
+            launch(&hyb_deploy, plan_hybrid(), None, None, move |ctx| {
+                (AppStatus::Completed, sor_pluggable(ctx, &p3))
+            })
+            .expect("launch")
+        });
         // Adaptive: one code base, mode chosen by committed resources.
         let p2 = params.clone();
+        let hyb_deploy2 = hyb_deploy.clone();
         let (_, adaptive) = time(|| {
             if pe == 1 {
                 run_sequential(Arc::new(plan_seq()), None, None, |ctx| {
@@ -634,16 +685,14 @@ pub fn fig9(cfg: &ExpConfig) -> Table {
                     sor_pluggable(ctx, &p2)
                 })
             } else {
-                let results = ppar_dsm::run_spmd_plain(
-                    &SpmdConfig {
-                        topology: Topology::eight_core_cluster(machines),
-                        nranks: pe,
-                        model: NetModel::default(),
-                    },
-                    Arc::new(plan_dist()),
-                    |ctx| sor_pluggable(ctx, &p2),
-                );
-                results.into_iter().next().unwrap()
+                // Beyond one machine the adaptive version deploys hybrid:
+                // rank-level data movement across machines, a thread team
+                // within each.
+                let outcome = launch(&hyb_deploy2, plan_hybrid(), None, None, |ctx| {
+                    (AppStatus::Completed, sor_pluggable(ctx, &p2))
+                })
+                .expect("launch");
+                outcome.results.into_iter().next().unwrap().1
             }
         });
         t.row(vec![
@@ -651,6 +700,7 @@ pub fn fig9(cfg: &ExpConfig) -> Table {
             Table::f(jgf_seq),
             Table::f(jgf_threads),
             Table::f(jgf_mpi),
+            Table::f(hybrid),
             Table::f(adaptive),
         ]);
     }
@@ -690,6 +740,7 @@ mod tests {
             iterations: 6,
             le_counts: vec![2],
             p_counts: vec![2],
+            hyb_shapes: vec![(2, 2)],
             of_factors: vec![1, 2],
             pe_counts: vec![1, 4],
         }
@@ -698,7 +749,7 @@ mod tests {
     #[test]
     fn fig3_produces_all_environments() {
         let t = fig3(&tiny());
-        assert_eq!(t.rows.len(), 3); // seq + 1 LE + 1 P
+        assert_eq!(t.rows.len(), 4); // seq + 1 LE + 1 P + 1 HYB
         assert_eq!(t.headers.len(), 9);
         for row in &t.rows {
             // Incremental series: every=iterations/4 -> base + deltas; the
@@ -735,12 +786,20 @@ mod tests {
     #[test]
     fn fig4_and_fig5_report_checkpoint_costs() {
         let t4 = fig4(&tiny());
-        assert_eq!(t4.rows.len(), 3);
+        assert_eq!(t4.rows.len(), 4);
         let t5 = fig5(&tiny());
-        assert_eq!(t5.rows.len(), 3);
+        assert_eq!(t5.rows.len(), 4);
         for row in &t5.rows {
             assert_eq!(row[3], "6", "replayed to the 6th safe point: {row:?}");
         }
+    }
+
+    #[test]
+    fn fig9_covers_the_full_mode_matrix() {
+        let t = fig9(&tiny());
+        assert_eq!(t.rows.len(), 2); // pe = 1, 4
+        assert_eq!(t.headers.len(), 6, "hybrid column present");
+        assert_eq!(t.headers[4], "hybrid");
     }
 
     #[test]

@@ -112,6 +112,21 @@ impl DeltaMeta {
         let mut r = Reader { buf: body, pos: 0 };
         DeltaSnapshot::decode_header(&mut r)
     }
+
+    /// Header-only decode of an in-memory delta record (no CRC
+    /// re-verification; see [`crate::store::Snapshot`]'s trusted decode).
+    pub(crate) fn decode_trusted(bytes: &[u8]) -> Result<DeltaMeta> {
+        if bytes.len() < DELTA_MAGIC.len() + 4 {
+            return Err(PparError::CorruptCheckpoint(
+                "delta record too short".into(),
+            ));
+        }
+        let mut r = Reader {
+            buf: &bytes[..bytes.len() - 4],
+            pos: 0,
+        };
+        DeltaSnapshot::decode_header(&mut r)
+    }
 }
 
 impl DeltaSnapshot {
@@ -164,6 +179,22 @@ impl DeltaSnapshot {
     /// Decode and integrity-check one delta file.
     pub fn decode(bytes: &[u8]) -> Result<DeltaSnapshot> {
         let (body, _) = DeltaSnapshot::check_crc(bytes)?;
+        DeltaSnapshot::decode_body(body)
+    }
+
+    /// Decode a delta record held in process memory (see
+    /// [`crate::store::Snapshot`]'s trusted decode): structural validation
+    /// only, no CRC re-verification.
+    pub(crate) fn decode_trusted(bytes: &[u8]) -> Result<DeltaSnapshot> {
+        if bytes.len() < DELTA_MAGIC.len() + 4 {
+            return Err(PparError::CorruptCheckpoint(
+                "delta record too short".into(),
+            ));
+        }
+        DeltaSnapshot::decode_body(&bytes[..bytes.len() - 4])
+    }
+
+    fn decode_body(body: &[u8]) -> Result<DeltaSnapshot> {
         let mut r = Reader { buf: body, pos: 0 };
         let meta = DeltaSnapshot::decode_header(&mut r)?;
         let nfields = r.take_u32()?;

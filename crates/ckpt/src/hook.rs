@@ -33,7 +33,10 @@ use ppar_core::plan::{DistCkptStrategy, Plan};
 use ppar_core::state::StateCell;
 
 use crate::delta::DeltaMeta;
-use crate::store::{CheckpointStore, DeltaSource, FieldSource, Snapshot, SnapshotMeta};
+use crate::store::{
+    CheckpointStore, DeltaSource, FieldSource, Snapshot, SnapshotMeta, SnapshotView,
+};
+use crate::transport::CkptTransport;
 
 static NEXT_MODULE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -64,6 +67,13 @@ pub struct CkptStats {
     pub save_time: Duration,
     /// Wall time of the most recent `take_snapshot`.
     pub last_save_time: Duration,
+    /// Live hand-off snapshots streamed into an armed in-memory transport
+    /// (live reshape: one per in-process mode switch).
+    pub handoff_snapshots: u64,
+    /// Bytes streamed by the most recent hand-off snapshot.
+    pub last_handoff_bytes: u64,
+    /// Wall time of the most recent hand-off snapshot.
+    pub last_handoff_time: Duration,
     /// Wall time spent inside `load_snapshot` (the Fig. 5 "load" bar).
     pub load_time: Duration,
     /// Wall time from module creation to replay completion (the Fig. 5
@@ -77,7 +87,20 @@ pub struct CkptStats {
 /// simulated aggregate element). Implements [`CkptHook`] for the engines.
 pub struct CheckpointModule {
     id: u64,
-    store: CheckpointStore,
+    /// The file store backing `transport` when this module persists to disk
+    /// (`None` for pure in-memory modules); owns the RUNNING-marker
+    /// lifecycle, which is meaningless for memory transports.
+    store: Option<CheckpointStore>,
+    /// Where snapshots and deltas travel (disk directory or process
+    /// memory); all persistence paths go through this seam.
+    transport: Arc<dyn CkptTransport>,
+    /// Armed live hand-off sink: [`CkptHook::handoff_snapshot`] streams a
+    /// full, mode-independent master snapshot here at a reshape crossing.
+    handoff: Mutex<Option<Arc<dyn CkptTransport>>>,
+    /// Armed one-shot resume source: the replay target points into this
+    /// transport and [`CkptHook::load_snapshot`] installs from it (live
+    /// reshape: the successor run inherits state from memory).
+    resume: Mutex<Option<Arc<dyn CkptTransport>>>,
     every: u64,
     replay: AtomicBool,
     detected_failure: bool,
@@ -133,8 +156,6 @@ impl CheckpointModule {
         n: usize,
     ) -> Result<Vec<Arc<CheckpointModule>>> {
         let store = CheckpointStore::new(dir)?;
-        let every = plan.checkpoint_every().unwrap_or(0) as u64;
-
         let detected_failure = store.marker_exists();
         let restart_count = if detected_failure {
             store.restart_count()?
@@ -158,12 +179,53 @@ impl CheckpointModule {
         }
 
         store.set_marker()?;
+        let transport: Arc<dyn CkptTransport> = Arc::new(store.clone());
+        Ok(CheckpointModule::build_group(
+            Some(store),
+            transport,
+            plan,
+            n,
+            detected_failure,
+            replay,
+            target,
+        ))
+    }
+
+    /// Create one module per aggregate element persisting through an
+    /// arbitrary transport instead of a checkpoint directory — typically an
+    /// in-memory [`crate::transport::MemTransport`] (live-reshape sessions
+    /// without durable checkpointing, disk-free benches). No failure
+    /// detection runs (memory does not survive a process death) and the
+    /// run-marker lifecycle is a no-op; arm replay explicitly with
+    /// [`CheckpointModule::arm_resume`] to inherit state from a hand-off.
+    pub fn create_group_with_transport(
+        transport: Arc<dyn CkptTransport>,
+        plan: &Plan,
+        n: usize,
+    ) -> Vec<Arc<CheckpointModule>> {
+        CheckpointModule::build_group(None, transport, plan, n, false, false, 0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_group(
+        store: Option<CheckpointStore>,
+        transport: Arc<dyn CkptTransport>,
+        plan: &Plan,
+        n: usize,
+        detected_failure: bool,
+        replay: bool,
+        target: u64,
+    ) -> Vec<Arc<CheckpointModule>> {
+        let every = plan.checkpoint_every().unwrap_or(0) as u64;
         let incremental = plan.incremental_ckpt().map(|k| k as u64);
-        Ok((0..n.max(1))
+        (0..n.max(1))
             .map(|_| {
                 Arc::new(CheckpointModule {
                     id: NEXT_MODULE_ID.fetch_add(1, Ordering::Relaxed),
                     store: store.clone(),
+                    transport: transport.clone(),
+                    handoff: Mutex::new(None),
+                    resume: Mutex::new(None),
                     every,
                     replay: AtomicBool::new(replay),
                     detected_failure,
@@ -176,7 +238,32 @@ impl CheckpointModule {
                     chain: Mutex::new(DeltaChain::default()),
                 })
             })
-            .collect())
+            .collect()
+    }
+
+    /// Arm the live hand-off sink: at an escalated reshape crossing the
+    /// engine streams a full master snapshot into `sink` via
+    /// [`CkptHook::handoff_snapshot`] instead of touching the disk.
+    pub fn arm_handoff(&self, sink: Arc<dyn CkptTransport>) {
+        *self.handoff.lock() = Some(sink);
+    }
+
+    /// Arm a one-shot resume from `source`: replay mode is switched on with
+    /// the source's restart count as the target, and the restore at that
+    /// safe point installs from `source` (then reverts to the module's own
+    /// transport). Returns the replay target. This is the successor side of
+    /// a live reshape: state flows back out of the in-memory transport the
+    /// predecessor handed off into.
+    pub fn arm_resume(&self, source: Arc<dyn CkptTransport>) -> Result<u64> {
+        let target = source.restart_count()?.ok_or_else(|| {
+            PparError::InvalidAdaptation(
+                "cannot resume: the hand-off transport holds no snapshot".into(),
+            )
+        })?;
+        *self.resume.lock() = Some(source);
+        self.target.store(target, Ordering::SeqCst);
+        self.replay.store(true, Ordering::SeqCst);
+        Ok(target)
     }
 
     /// Did start-up detect a failed previous execution?
@@ -199,9 +286,17 @@ impl CheckpointModule {
         self.stats.lock().clone()
     }
 
-    /// The underlying store (benches clear it between experiments).
+    /// The underlying file store (benches clear it between experiments).
+    /// Panics for in-memory modules — use [`CheckpointModule::transport`].
     pub fn store(&self) -> &CheckpointStore {
-        &self.store
+        self.store
+            .as_ref()
+            .expect("this checkpoint module has no file store (in-memory transport)")
+    }
+
+    /// The transport snapshots travel through (file store or memory).
+    pub fn transport(&self) -> &Arc<dyn CkptTransport> {
+        &self.transport
     }
 
     fn clock_increment(&self) -> u64 {
@@ -236,7 +331,7 @@ impl CheckpointModule {
             .map(|(name, cell)| (name.as_str(), FieldSource::Cell(&**cell)))
             .collect();
         let mut scratch = self.scratch.lock();
-        self.store.stream_master(meta, &fields, &mut scratch)
+        self.transport.put_master(meta, &fields, &mut scratch)
     }
 
     /// Stream a local shard: partitioned fields contribute only this
@@ -281,7 +376,7 @@ impl CheckpointModule {
             })
             .collect();
         let mut scratch = self.scratch.lock();
-        self.store.stream_shard(meta, &fields, &mut scratch)
+        self.transport.put_shard(meta, &fields, &mut scratch)
     }
 
     /// Stream a master *delta*: every tracked field contributes only its
@@ -309,7 +404,7 @@ impl CheckpointModule {
             })
             .collect();
         let mut scratch = self.scratch.lock();
-        self.store.stream_master_delta(meta, &fields, &mut scratch)
+        self.transport.put_master_delta(meta, &fields, &mut scratch)
     }
 
     /// Stream a local shard *delta*: partitioned fields contribute the dirty
@@ -407,7 +502,7 @@ impl CheckpointModule {
             })
             .collect();
         let mut scratch = self.scratch.lock();
-        self.store.stream_shard_delta(meta, &fields, &mut scratch)
+        self.transport.put_shard_delta(meta, &fields, &mut scratch)
     }
 
     /// Reset write tracking on every safe-data cell: the snapshot that just
@@ -422,11 +517,48 @@ impl CheckpointModule {
     }
 
     fn install_master_fields(&self, ctx: &Ctx, snap: &Snapshot) -> Result<()> {
+        self.install_master_fields_view(ctx, &SnapshotView::of(snap))
+    }
+
+    fn install_master_fields_view(&self, ctx: &Ctx, snap: &SnapshotView<'_>) -> Result<()> {
         for name in ctx.plan().safe_data() {
             let bytes = snap.field(name).ok_or_else(|| {
                 PparError::CorruptCheckpoint(format!("snapshot missing field {name:?}"))
             })?;
             ctx.registry().state(name)?.load_bytes(bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Install this element's portion straight from a *master* snapshot
+    /// view (borrowed payloads — the zero-copy resume path): partitioned
+    /// fields take only the owned block (sliced out of the full field
+    /// payload), everything else loads whole. This is the resume path of a
+    /// live reshape — the hand-off is always a mode-independent master
+    /// snapshot, whatever checkpoint strategy the plan uses, so a
+    /// local-snapshot successor must carve its shard out of it.
+    fn install_owned_from_master(&self, ctx: &Ctx, snap: &SnapshotView<'_>) -> Result<()> {
+        let rank = ctx.rank();
+        let nranks = ctx.num_ranks();
+        for name in ctx.plan().safe_data() {
+            let bytes = snap.field(name).ok_or_else(|| {
+                PparError::CorruptCheckpoint(format!("hand-off snapshot missing field {name:?}"))
+            })?;
+            if ctx.plan().field_partition(name).is_some() {
+                let cell = ctx.registry().dist(name)?;
+                let ib = cell.index_bytes();
+                let owned = block_owned(cell.logical_len(), nranks, rank);
+                let slice = bytes.get(owned.start * ib..owned.end * ib).ok_or_else(|| {
+                    PparError::CorruptCheckpoint(format!(
+                        "hand-off field {name:?}: {} bytes cannot cover owned block \
+                             {owned:?} × {ib}B",
+                        bytes.len()
+                    ))
+                })?;
+                cell.install(owned, slice)?;
+            } else {
+                ctx.registry().state(name)?.load_bytes(bytes)?;
+            }
         }
         Ok(())
     }
@@ -516,7 +648,7 @@ impl CkptHook for CheckpointModule {
                     // deltas that the merge step ignores (base_count
                     // mismatch), never a broken restore.
                     let written = stream_full(count)?;
-                    self.store.clear_deltas(rank)?;
+                    self.transport.clear_deltas(rank)?;
                     *chain = DeltaChain {
                         have_base: true,
                         base_count: count,
@@ -567,12 +699,36 @@ impl CkptHook for CheckpointModule {
         let t0 = Instant::now();
         let strategy = ctx.plan().dist_ckpt_strategy();
         let nranks = ctx.num_ranks();
+        let resume = self.resume.lock().take();
 
-        if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
+        if let Some(source) = resume {
+            // Live-reshape resume: the predecessor handed off a full master
+            // snapshot through `source` (memory — no disk round-trip, and
+            // the view keeps the install zero-copy: record bytes go
+            // straight into the cells). The master snapshot is mode
+            // independent, so it installs under any strategy: every
+            // local-snapshot element carves out its owned block; otherwise
+            // the root installs whole and the engine rescatters, exactly
+            // as for a disk restore.
+            let installed = source.with_merged_master(&mut |snap| {
+                if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
+                    self.install_owned_from_master(ctx, snap)
+                } else if ctx.rank() == 0 {
+                    self.install_master_fields_view(ctx, snap)
+                } else {
+                    Ok(())
+                }
+            })?;
+            if !installed {
+                return Err(PparError::CorruptCheckpoint(
+                    "hand-off transport lost its snapshot".into(),
+                ));
+            }
+        } else if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
             // Every element loads its own shard (base + delta chain folded
             // into the complete owned block).
             let snap = self
-                .store
+                .transport
                 .read_merged_shard(ctx.rank() as u32)?
                 .ok_or_else(|| {
                     PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
@@ -584,7 +740,7 @@ impl CkptHook for CheckpointModule {
             // fields and broadcasts the rest (no file access on other
             // elements).
             let snap = self
-                .store
+                .transport
                 .read_merged_master()?
                 .ok_or_else(|| PparError::CorruptCheckpoint("missing master snapshot".into()))?;
             self.install_master_fields(ctx, &snap)?;
@@ -617,7 +773,93 @@ impl CkptHook for CheckpointModule {
     }
 
     fn finish(&self, _ctx: &Ctx) -> Result<()> {
-        self.store.clear_marker()
+        match &self.store {
+            Some(store) => store.clear_marker(),
+            // In-memory modules have no failure marker: memory does not
+            // survive the process, so there is nothing to detect at start-up.
+            None => Ok(()),
+        }
+    }
+
+    fn can_handoff(&self) -> bool {
+        self.handoff.lock().is_some()
+    }
+
+    fn handoff_snapshot(&self, ctx: &Ctx) -> Result<()> {
+        let sink = self.handoff.lock().clone().ok_or_else(|| {
+            PparError::InvalidAdaptation(
+                "live reshape requested but no hand-off transport is armed".into(),
+            )
+        })?;
+        let t0 = Instant::now();
+        // Always a *full master* snapshot: the successor may be any mode and
+        // any aggregate size, so the hand-off must carry the complete,
+        // mode-independent state (partitioned fields are already collected
+        // at the caller — engines gather before calling, master-collect
+        // rules).
+        let meta = SnapshotMeta {
+            mode_tag: ctx.mode().tag(),
+            count: self.clock_get(),
+            rank: None,
+            nranks: ctx.num_ranks() as u32,
+        };
+        let mut cells: Vec<(&String, Arc<dyn StateCell>)> = Vec::new();
+        for name in ctx.plan().safe_data() {
+            cells.push((name, ctx.registry().state(name)?));
+        }
+        let fields: Vec<(&str, FieldSource<'_>)> = cells
+            .iter()
+            .map(|(name, cell)| (name.as_str(), FieldSource::Cell(&**cell)))
+            .collect();
+        let written = {
+            let mut scratch = self.scratch.lock();
+            sink.put_master(&meta, &fields, &mut scratch)?
+        };
+        let mut stats = self.stats.lock();
+        stats.handoff_snapshots += 1;
+        stats.last_handoff_bytes = written;
+        stats.last_handoff_time = t0.elapsed();
+        Ok(())
+    }
+
+    fn tracks_dirty(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    fn next_snapshot_is_delta(&self) -> bool {
+        match self.incremental {
+            None => false,
+            Some(full_every) => {
+                let chain = self.chain.lock();
+                chain.have_base && (chain.next_seq as u64) <= full_every
+            }
+        }
+    }
+
+    fn note_peer_snapshot(&self, ctx: &Ctx) -> Result<()> {
+        let Some(full_every) = self.incremental else {
+            return Ok(());
+        };
+        // Mirror the chain bookkeeping of the element that actually wrote
+        // the snapshot (master-collect: the root). Every element advances
+        // the same safe-point clock, so the promote/delta decision is
+        // reproduced exactly — which is what lets the engine ask *any*
+        // element's module whether the coming gather may be dirty-only.
+        {
+            let mut chain = self.chain.lock();
+            if !chain.have_base || chain.next_seq as u64 > full_every {
+                *chain = DeltaChain {
+                    have_base: true,
+                    base_count: self.clock_get(),
+                    next_seq: 1,
+                };
+            } else {
+                chain.next_seq += 1;
+            }
+        }
+        // The epoch reset: whatever this element had dirty has now been
+        // captured at the root (the dirty gather shipped it there).
+        self.clear_dirty_fields(ctx)
     }
 }
 

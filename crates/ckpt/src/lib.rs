@@ -8,6 +8,10 @@
 //!
 //! * a portable binary snapshot format ([`codec`], [`store`]) with CRC-32
 //!   integrity and atomic replacement;
+//! * a pluggable byte **transport** ([`transport`]): the same streamed
+//!   records travel to disk ([`CheckpointStore`]) or stay in process
+//!   memory ([`MemTransport`] — the live-reshape hand-off and a disk-free
+//!   lane for benches);
 //! * dirty-chunk **incremental** snapshots ([`delta`]): delta records that
 //!   persist only the bytes written since the previous snapshot;
 //! * the safe-point clock and snapshot policy ([`hook::CheckpointModule`]);
@@ -51,12 +55,14 @@
 //!   the *last delta's* safe point. Merged data stays mode-independent:
 //!   incremental snapshots restart in any execution mode, in any aggregate
 //!   size (master-collect), exactly like full ones.
-//! * **Caveat** — in distributed *master-collect* mode the pre-snapshot
-//!   gather installs every remote partition into the root's containers,
-//!   which marks those chunks dirty; partitioned-field deltas are therefore
-//!   near-full there. Sequential, shared-memory and local-snapshot
-//!   distributed runs (each element tracks only its own writes) get the
-//!   full dirty-fraction savings.
+//! * **Distributed gathers** — in master-collect mode, once a base exists
+//!   the pre-snapshot gather ships only each element's *dirty ranges*
+//!   (clamped to its owned block) to the root, whose write tracking then
+//!   reflects exactly the aggregate's touched chunks — so partitioned-field
+//!   deltas scale with the dirty fraction in every mode. Elements that do
+//!   not persist mirror the chain bookkeeping
+//!   ([`ppar_core::ctx::CkptHook::note_peer_snapshot`]) to keep the
+//!   full-vs-delta decision aggregate-consistent.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -68,9 +74,11 @@ pub mod hook;
 pub mod pcr;
 pub mod serde_cell;
 pub mod store;
+pub mod transport;
 
 pub use delta::{DeltaMeta, DeltaPayload, DeltaSnapshot};
 pub use hook::{CheckpointModule, CkptStats};
 pub use pcr::{launch_seq, AppStatus, RunReport};
 pub use serde_cell::{alloc_serde, SerdeCell};
-pub use store::{CheckpointStore, Snapshot};
+pub use store::{CheckpointStore, Snapshot, SnapshotView};
+pub use transport::{CkptTransport, MemTransport};

@@ -135,7 +135,7 @@ impl Snapshot {
         out
     }
 
-    fn decode(bytes: &[u8]) -> Result<Snapshot> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot> {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(PparError::CorruptCheckpoint("file too short".into()));
         }
@@ -147,6 +147,88 @@ impl Snapshot {
                 crc32(body)
             )));
         }
+        Snapshot::decode_body(body)
+    }
+
+    /// Decode a record whose bytes never left this process (the in-memory
+    /// transport): structural validation only, the trailing CRC is stripped
+    /// but not re-verified. Integrity checking guards the durable medium —
+    /// a disk file written by one process generation and read by another —
+    /// not a buffer handed across a reshape within one address space, and
+    /// skipping the extra full pass is a measurable part of the live
+    /// reshape's latency win.
+    pub(crate) fn decode_trusted(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PparError::CorruptCheckpoint("record too short".into()));
+        }
+        Snapshot::decode_body(&bytes[..bytes.len() - 4])
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Snapshot> {
+        let view = SnapshotView::decode_body(body)?;
+        Ok(Snapshot {
+            mode_tag: view.mode_tag,
+            count: view.count,
+            rank: view.rank,
+            nranks: view.nranks,
+            fields: view
+                .fields
+                .into_iter()
+                .map(|(n, b)| (n, b.to_vec()))
+                .collect(),
+        })
+    }
+}
+
+/// Borrowed view of a decoded snapshot record: the zero-copy read side of
+/// the in-memory transport. Field payloads reference the record bytes
+/// directly, so installing a multi-MiB hand-off costs one copy (record →
+/// cell) instead of two (record → materialized snapshot → cell).
+pub struct SnapshotView<'a> {
+    /// Execution-mode tag at snapshot time.
+    pub mode_tag: String,
+    /// Safe points executed when the snapshot was taken.
+    pub count: u64,
+    /// Owning element for shard snapshots; `None` for master snapshots.
+    pub rank: Option<u32>,
+    /// Aggregate size at snapshot time.
+    pub nranks: u32,
+    /// Field name → borrowed payload bytes, in declaration order.
+    pub fields: Vec<(String, &'a [u8])>,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Payload bytes of field `name`.
+    pub fn field(&self, name: &str) -> Option<&'a [u8]> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, b)| *b)
+    }
+
+    /// Borrowed view over a full snapshot (fields reference the owned
+    /// payload buffers).
+    pub fn of(snap: &'a Snapshot) -> SnapshotView<'a> {
+        SnapshotView {
+            mode_tag: snap.mode_tag.clone(),
+            count: snap.count,
+            rank: snap.rank,
+            nranks: snap.nranks,
+            fields: snap
+                .fields
+                .iter()
+                .map(|(n, b)| (n.clone(), b.as_slice()))
+                .collect(),
+        }
+    }
+
+    /// Structural decode of an in-process record (no CRC re-verification;
+    /// see [`Snapshot::decode_trusted`]).
+    pub(crate) fn decode_trusted(bytes: &'a [u8]) -> Result<SnapshotView<'a>> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PparError::CorruptCheckpoint("record too short".into()));
+        }
+        SnapshotView::decode_body(&bytes[..bytes.len() - 4])
+    }
+
+    fn decode_body(body: &'a [u8]) -> Result<SnapshotView<'a>> {
         let mut r = Reader { buf: body, pos: 0 };
         let magic = r.take(8)?;
         if magic != MAGIC {
@@ -164,7 +246,7 @@ impl Snapshot {
         for _ in 0..nfields {
             let name = r.take_str()?;
             let len = r.take_u64()? as usize;
-            fields.push((name, r.take(len)?.to_vec()));
+            fields.push((name, r.take(len)?));
         }
         if r.pos != body.len() {
             return Err(PparError::CorruptCheckpoint(format!(
@@ -172,7 +254,7 @@ impl Snapshot {
                 body.len() - r.pos
             )));
         }
-        Ok(Snapshot {
+        Ok(SnapshotView {
             mode_tag,
             count,
             rank: (rank_raw != MASTER_RANK).then_some(rank_raw),
@@ -242,18 +324,21 @@ pub enum DeltaSource<'a> {
 }
 
 /// Adapter that forwards writes to the sink while folding every byte into
-/// the running CRC. Handed to [`StateCell::write_state`] so even cell-driven
-/// writes stay on the single-pass path.
+/// the running CRC (when checksumming is on). Handed to
+/// [`StateCell::write_state`] so even cell-driven writes stay on the
+/// single-pass path.
 struct CrcTee<'a, W: Write> {
     sink: &'a mut W,
-    crc: &'a mut Crc32,
+    crc: Option<&'a mut Crc32>,
     written: &'a mut u64,
 }
 
 impl<W: Write> Write for CrcTee<'_, W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.sink.write(buf)?;
-        self.crc.update(&buf[..n]);
+        if let Some(crc) = self.crc.as_deref_mut() {
+            crc.update(&buf[..n]);
+        }
         *self.written += n as u64;
         Ok(n)
     }
@@ -267,9 +352,18 @@ impl<W: Write> Write for CrcTee<'_, W> {
 /// streamed straight into the sink (typically a [`BufWriter`] over the temp
 /// file) while the checksum runs alongside. Produces bytes identical to
 /// [`Snapshot::encode`] for the same content.
+///
+/// Records destined for process memory (the live-reshape hand-off) may be
+/// written *unchecksummed*: the byte layout is identical but the 4-byte
+/// trailer is zero, saving a full pass over multi-MiB payloads. The
+/// in-memory transport's trusted decode ignores the trailer; writing such a
+/// record to a disk file would fail CRC verification on load — by design,
+/// loudly.
 pub struct SnapshotWriter<W: Write> {
     sink: W,
     crc: Crc32,
+    /// Fold bytes into the running CRC (off for in-memory hand-offs).
+    checksum: bool,
     written: u64,
     fields_remaining: u32,
 }
@@ -278,9 +372,29 @@ impl<W: Write> SnapshotWriter<W> {
     /// Start a snapshot: writes the header for `meta` announcing `nfields`
     /// upcoming fields.
     pub fn new(sink: W, meta: &SnapshotMeta, nfields: u32) -> Result<SnapshotWriter<W>> {
+        SnapshotWriter::full_writer(sink, meta, nfields, true)
+    }
+
+    /// [`SnapshotWriter::new`] without the checksum pass (in-memory
+    /// records; see the type docs).
+    pub fn new_unchecksummed(
+        sink: W,
+        meta: &SnapshotMeta,
+        nfields: u32,
+    ) -> Result<SnapshotWriter<W>> {
+        SnapshotWriter::full_writer(sink, meta, nfields, false)
+    }
+
+    fn full_writer(
+        sink: W,
+        meta: &SnapshotMeta,
+        nfields: u32,
+        checksum: bool,
+    ) -> Result<SnapshotWriter<W>> {
         let mut w = SnapshotWriter {
             sink,
             crc: Crc32::new(),
+            checksum,
             written: 0,
             fields_remaining: nfields,
         };
@@ -294,7 +408,9 @@ impl<W: Write> SnapshotWriter<W> {
     }
 
     fn put(&mut self, bytes: &[u8]) -> Result<()> {
-        self.crc.update(bytes);
+        if self.checksum {
+            self.crc.update(bytes);
+        }
         self.sink.write_all(bytes)?;
         self.written += bytes.len() as u64;
         Ok(())
@@ -368,9 +484,29 @@ impl<W: Write> SnapshotWriter<W> {
         meta: &crate::delta::DeltaMeta,
         nfields: u32,
     ) -> Result<SnapshotWriter<W>> {
+        SnapshotWriter::delta_writer(sink, meta, nfields, true)
+    }
+
+    /// [`SnapshotWriter::new_delta`] without the checksum pass (in-memory
+    /// records; see the type docs).
+    pub fn new_delta_unchecksummed(
+        sink: W,
+        meta: &crate::delta::DeltaMeta,
+        nfields: u32,
+    ) -> Result<SnapshotWriter<W>> {
+        SnapshotWriter::delta_writer(sink, meta, nfields, false)
+    }
+
+    fn delta_writer(
+        sink: W,
+        meta: &crate::delta::DeltaMeta,
+        nfields: u32,
+        checksum: bool,
+    ) -> Result<SnapshotWriter<W>> {
         let mut w = SnapshotWriter {
             sink,
             crc: Crc32::new(),
+            checksum,
             written: 0,
             fields_remaining: nfields,
         };
@@ -401,7 +537,7 @@ impl<W: Write> SnapshotWriter<W> {
         let streamed = {
             let mut tee = CrcTee {
                 sink: &mut self.sink,
-                crc: &mut self.crc,
+                crc: self.checksum.then_some(&mut self.crc),
                 written: &mut self.written,
             };
             cell.write_state(&mut tee)?
@@ -470,7 +606,7 @@ impl<W: Write> SnapshotWriter<W> {
         let streamed = {
             let mut tee = CrcTee {
                 sink: &mut self.sink,
-                crc: &mut self.crc,
+                crc: self.checksum.then_some(&mut self.crc),
                 written: &mut self.written,
             };
             cell.write_dirty_state(ranges, &mut tee)?
@@ -538,11 +674,77 @@ impl<W: Write> SnapshotWriter<W> {
                 self.fields_remaining
             )));
         }
-        let crc = self.crc.finish();
+        let crc = if self.checksum { self.crc.finish() } else { 0 };
         self.sink.write_all(&crc.to_le_bytes())?;
         self.written += 4;
         self.sink.flush()?;
         Ok((self.written, self.sink))
+    }
+}
+
+/// The file-backed store is one [`crate::transport::CkptTransport`]
+/// implementation (the durable one); the `put_*` sinks are exactly the
+/// inherent `stream_*` methods, so the on-disk format stays byte-identical
+/// to every earlier release (golden-bytes tested above).
+impl crate::transport::CkptTransport for CheckpointStore {
+    fn describe(&self) -> &'static str {
+        "file"
+    }
+
+    fn put_master(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.stream_master(meta, fields, scratch)
+    }
+
+    fn put_shard(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.stream_shard(meta, fields, scratch)
+    }
+
+    fn put_master_delta(
+        &self,
+        meta: &crate::delta::DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.stream_master_delta(meta, fields, scratch)
+    }
+
+    fn put_shard_delta(
+        &self,
+        meta: &crate::delta::DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.stream_shard_delta(meta, fields, scratch)
+    }
+
+    fn read_merged_master(&self) -> Result<Option<Snapshot>> {
+        CheckpointStore::read_merged_master(self)
+    }
+
+    fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+        CheckpointStore::read_merged_shard(self, rank)
+    }
+
+    fn restart_count(&self) -> Result<Option<u64>> {
+        CheckpointStore::restart_count(self)
+    }
+
+    fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
+        CheckpointStore::clear_deltas(self, rank)
+    }
+
+    fn clear_all_deltas(&self) -> Result<()> {
+        CheckpointStore::clear_all_deltas(self)
     }
 }
 
@@ -791,18 +993,11 @@ impl CheckpointStore {
     /// The chain is walked from seq 1 until the first missing file; a delta
     /// whose `base_count` does not match the base is *stale* (left over from
     /// a crash between base promotion and delta GC) and terminates the walk
-    /// harmlessly. Corrupt or out-of-order deltas are hard errors.
-    fn merge_chain(&self, mut snap: Snapshot) -> Result<Snapshot> {
-        let base_count = snap.count;
-        let mut seq = 1u32;
-        while let Some(delta) = self.read_delta(snap.rank, seq)? {
-            if !CheckpointStore::chain_step_is_live(&delta.meta, base_count, seq, snap.count)? {
-                break;
-            }
-            delta.apply_to(&mut snap)?;
-            seq += 1;
-        }
-        Ok(snap)
+    /// harmlessly. Corrupt or out-of-order deltas are hard errors. (Chain
+    /// rules are shared with every other transport through
+    /// [`crate::transport::merge_chain_with`].)
+    fn merge_chain(&self, snap: Snapshot) -> Result<Snapshot> {
+        crate::transport::merge_chain_with(snap, |rank, seq| self.read_delta(rank, seq))
     }
 
     /// Load the master snapshot with its delta chain folded in: the result
@@ -876,56 +1071,18 @@ impl CheckpointStore {
         self.read(&self.shard_path(rank))
     }
 
-    /// The single source of truth for delta-chain step validity, shared by
-    /// the header-only walk ([`CheckpointStore::chain_tip_count`]) and the
-    /// full merge ([`CheckpointStore::merge_chain`]) so the restart target
-    /// and the restored state can never disagree on chain rules. Returns
-    /// `Ok(false)` for a *stale* delta (previous base generation —
-    /// terminates the walk harmlessly); errors on ordering violations.
-    fn chain_step_is_live(
-        meta: &crate::delta::DeltaMeta,
-        base_count: u64,
-        expected_seq: u32,
-        prev_count: u64,
-    ) -> Result<bool> {
-        if meta.base_count != base_count {
-            return Ok(false);
-        }
-        if meta.seq != expected_seq {
-            return Err(PparError::CorruptCheckpoint(format!(
-                "delta file {expected_seq} carries sequence number {}",
-                meta.seq
-            )));
-        }
-        if meta.count <= prev_count {
-            return Err(PparError::CorruptCheckpoint(format!(
-                "delta {expected_seq} count {} does not advance past {prev_count}",
-                meta.count
-            )));
-        }
-        Ok(true)
-    }
-
     /// The safe-point count at the tip of a base's delta chain, walking
     /// delta *headers* only (CRC-checked, but no payload is materialized —
     /// the full merge happens once, at load time).
     fn chain_tip_count(&self, base_count: u64, rank: Option<u32>) -> Result<u64> {
-        let mut count = base_count;
-        let mut seq = 1u32;
-        loop {
+        crate::transport::chain_tip_with(base_count, rank, |rank, seq| {
             let bytes = match fs::read(self.delta_path(rank, seq)) {
                 Ok(b) => b,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
                 Err(e) => return Err(e.into()),
             };
-            let meta = crate::delta::DeltaMeta::decode(&bytes)?;
-            if !CheckpointStore::chain_step_is_live(&meta, base_count, seq, count)? {
-                break;
-            }
-            count = meta.count;
-            seq += 1;
-        }
-        Ok(count)
+            crate::delta::DeltaMeta::decode(&bytes).map(Some)
+        })
     }
 
     /// The safe-point count a restart should replay to: prefers the master

@@ -1,0 +1,687 @@
+//! Pluggable checkpoint transports: where snapshot bytes travel.
+//!
+//! The checkpoint layer separates *what* is persisted (the snapshot and
+//! delta formats of [`crate::store`] and [`crate::delta`]) from *where* the
+//! bytes go. A [`CkptTransport`] is a sink + source pair:
+//!
+//! * **sink** — streaming full-snapshot writes ([`CkptTransport::put_master`]
+//!   / [`CkptTransport::put_shard`]) and delta-record writes, all through
+//!   the shared golden encoder ([`crate::store::SnapshotWriter`]), so every
+//!   transport produces byte-identical encodings for identical content;
+//! * **source** — merged reads that fold a base snapshot with its delta
+//!   chain ([`CkptTransport::read_merged_master`] /
+//!   [`CkptTransport::read_merged_shard`]) plus the restart-target walk
+//!   ([`CkptTransport::restart_count`]).
+//!
+//! Two implementations ship:
+//!
+//! * [`crate::store::CheckpointStore`] — the on-disk directory layout
+//!   (unchanged, golden-bytes tested): crash/restart persistence;
+//! * [`MemTransport`] — the same record bytes held in process memory: the
+//!   state hand-off behind **live reshape** (run-time adaptation with no
+//!   process exit and no disk round-trip) and a fast lane for benches.
+//!
+//! Because both sides of every transport share one encoder and one
+//! chain-merge implementation (the crate-internal `merge_chain_with` /
+//! `chain_tip_with` helpers), a snapshot handed off in memory matches the
+//! file a disk-backed save of the same state would have produced byte for
+//! byte, except the CRC trailer (zero in memory — integrity checking
+//! guards the durable medium) — the property test in this module pins
+//! that down.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use ppar_core::error::{PparError, Result};
+
+use crate::delta::{DeltaMeta, DeltaSnapshot};
+use crate::store::{
+    DeltaSource, FieldSource, Snapshot, SnapshotMeta, SnapshotView, SnapshotWriter, MASTER_RANK,
+};
+
+/// A checkpoint byte transport: streaming snapshot/delta sink plus merged
+/// snapshot source. See the [module docs](self) for the contract binding
+/// all implementations (shared golden encoder, shared chain rules).
+pub trait CkptTransport: Send + Sync {
+    /// Short human-readable tag for reports (`"file"`, `"memory"`).
+    fn describe(&self) -> &'static str;
+
+    /// Stream a master (mode-independent) full snapshot; returns bytes
+    /// written. `scratch` buffers length-unknown cells and is reused across
+    /// calls.
+    fn put_master(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64>;
+
+    /// Stream one element's shard full snapshot; returns bytes written.
+    fn put_shard(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64>;
+
+    /// Stream a master delta record; returns bytes written.
+    fn put_master_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64>;
+
+    /// Stream one element's shard delta record; returns bytes written.
+    fn put_shard_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64>;
+
+    /// Load the master snapshot with its delta chain folded in (per field
+    /// byte-identical to a full snapshot of the same state).
+    fn read_merged_master(&self) -> Result<Option<Snapshot>>;
+
+    /// Run `install` over the merged master snapshot, zero-copy where the
+    /// transport can serve borrowed payload bytes (the in-memory transport
+    /// with no delta chain pending — the live-reshape resume fast path).
+    /// Returns `Ok(false)` when no master snapshot exists; the default
+    /// materializes through [`CkptTransport::read_merged_master`].
+    fn with_merged_master(
+        &self,
+        install: &mut dyn FnMut(&SnapshotView<'_>) -> Result<()>,
+    ) -> Result<bool> {
+        match self.read_merged_master()? {
+            Some(snap) => {
+                install(&SnapshotView::of(&snap))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Load rank `rank`'s shard with its delta chain folded in.
+    fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>>;
+
+    /// The safe-point count a restart/resume should replay to (chain tips
+    /// count); `None` when no usable snapshot exists.
+    fn restart_count(&self) -> Result<Option<u64>>;
+
+    /// Delete every delta of one chain (base-promotion GC).
+    fn clear_deltas(&self, rank: Option<u32>) -> Result<()>;
+
+    /// Delete every delta of every chain (fresh-run hygiene).
+    fn clear_all_deltas(&self) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// shared chain rules
+// ---------------------------------------------------------------------------
+
+/// The single source of truth for delta-chain step validity, shared by every
+/// transport's header-only walk ([`chain_tip_with`]) and full merge
+/// ([`merge_chain_with`]), so the restart target and the restored state can
+/// never disagree on chain rules. Returns `Ok(false)` for a *stale* delta
+/// (previous base generation — terminates the walk harmlessly); errors on
+/// ordering violations.
+pub(crate) fn chain_step_is_live(
+    meta: &DeltaMeta,
+    base_count: u64,
+    expected_seq: u32,
+    prev_count: u64,
+) -> Result<bool> {
+    if meta.base_count != base_count {
+        return Ok(false);
+    }
+    if meta.seq != expected_seq {
+        return Err(PparError::CorruptCheckpoint(format!(
+            "delta file {expected_seq} carries sequence number {}",
+            meta.seq
+        )));
+    }
+    if meta.count <= prev_count {
+        return Err(PparError::CorruptCheckpoint(format!(
+            "delta {expected_seq} count {} does not advance past {prev_count}",
+            meta.count
+        )));
+    }
+    Ok(true)
+}
+
+/// Fold a delta chain onto `snap` (the base full snapshot), reading deltas
+/// through `read_delta`. The chain is walked from seq 1 until the first
+/// missing record; stale deltas terminate the walk harmlessly.
+pub(crate) fn merge_chain_with(
+    mut snap: Snapshot,
+    read_delta: impl Fn(Option<u32>, u32) -> Result<Option<DeltaSnapshot>>,
+) -> Result<Snapshot> {
+    let base_count = snap.count;
+    let mut seq = 1u32;
+    while let Some(delta) = read_delta(snap.rank, seq)? {
+        if !chain_step_is_live(&delta.meta, base_count, seq, snap.count)? {
+            break;
+        }
+        delta.apply_to(&mut snap)?;
+        seq += 1;
+    }
+    Ok(snap)
+}
+
+/// The safe-point count at the tip of a base's delta chain, walking delta
+/// *headers* only through `read_meta` (no payload is materialized).
+pub(crate) fn chain_tip_with(
+    base_count: u64,
+    rank: Option<u32>,
+    read_meta: impl Fn(Option<u32>, u32) -> Result<Option<DeltaMeta>>,
+) -> Result<u64> {
+    let mut count = base_count;
+    let mut seq = 1u32;
+    while let Some(meta) = read_meta(rank, seq)? {
+        if !chain_step_is_live(&meta, base_count, seq, count)? {
+            break;
+        }
+        count = meta.count;
+        seq += 1;
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// in-memory transport
+// ---------------------------------------------------------------------------
+
+/// An in-memory checkpoint transport: the same snapshot/delta record bytes a
+/// [`crate::store::CheckpointStore`] would put on disk, held in process
+/// memory instead.
+///
+/// This is the hand-off vehicle for **live reshape**: at a safe-point
+/// crossing the engine streams a mode-independent master snapshot into a
+/// `MemTransport`, the run retargets (new team shape, new aggregate shape,
+/// even a different engine family), and the successor installs the state
+/// straight from memory — no process exit, no disk round-trip. It also
+/// serves delta-record hand-offs (rank-level dirty-range gathers) and
+/// disk-free checkpointing for benches.
+///
+/// Record bytes are byte-identical to the file-backed store's output for
+/// the same content (shared [`SnapshotWriter`] encoder; property-tested),
+/// so state can cross transports freely.
+#[derive(Default)]
+pub struct MemTransport {
+    master: Mutex<Option<Vec<u8>>>,
+    shards: Mutex<HashMap<u32, Vec<u8>>>,
+    /// Delta records keyed by `(rank-or-MASTER_RANK, seq)`.
+    deltas: Mutex<HashMap<(u32, u32), Vec<u8>>>,
+    snapshots: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl MemTransport {
+    /// An empty in-memory transport.
+    pub fn new() -> MemTransport {
+        MemTransport::default()
+    }
+
+    /// Records written so far (full + delta, master + shards).
+    pub fn snapshots_stored(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Total record bytes streamed into this transport so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Encoded length of the currently held master snapshot, if any.
+    pub fn master_len(&self) -> Option<usize> {
+        self.master.lock().as_ref().map(|b| b.len())
+    }
+
+    /// Raw encoded bytes of the currently held master snapshot, if any
+    /// (byte-equality assertions against the file-backed store).
+    pub fn master_bytes(&self) -> Option<Vec<u8>> {
+        self.master.lock().clone()
+    }
+
+    /// Drop every held record (counters are kept).
+    pub fn clear(&self) {
+        *self.master.lock() = None;
+        self.shards.lock().clear();
+        self.deltas.lock().clear();
+    }
+
+    fn delta_key(rank: Option<u32>, seq: u32) -> (u32, u32) {
+        (rank.unwrap_or(MASTER_RANK), seq)
+    }
+
+    /// Pre-size the record buffer from the fields' known lengths (growth
+    /// reallocs on a multi-MiB hand-off would copy the payload several
+    /// extra times).
+    fn reserve_hint(fields: &[(&str, FieldSource<'_>)]) -> usize {
+        let payload: usize = fields
+            .iter()
+            .map(|(name, source)| {
+                let body = match source {
+                    FieldSource::Bytes(b) => b.len(),
+                    FieldSource::Cell(cell) => cell.known_byte_len().unwrap_or(0),
+                };
+                name.len() + 16 + body
+            })
+            .sum();
+        payload + 128
+    }
+
+    /// Encode one full record into `buf` (cleared and grown to the fields'
+    /// known lengths first — callers pass a recycled buffer so repeated
+    /// hand-offs run copy-speed with no fresh multi-MiB mapping to fault
+    /// in).
+    fn encode_full(
+        &self,
+        mut buf: Vec<u8>,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(u64, Vec<u8>)> {
+        buf.clear();
+        buf.reserve(MemTransport::reserve_hint(fields));
+        // Unchecksummed: the record never leaves this process, so the CRC
+        // pass that guards disk files is skipped (the trailer is zero; the
+        // trusted decode ignores it).
+        let mut w = SnapshotWriter::new_unchecksummed(buf, meta, fields.len() as u32)?;
+        for (name, source) in fields {
+            w.field(name, source, scratch)?;
+        }
+        let (written, buf) = w.finish()?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(written, Ordering::Relaxed);
+        Ok((written, buf))
+    }
+
+    fn encode_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(u64, Vec<u8>)> {
+        let mut w = SnapshotWriter::new_delta_unchecksummed(Vec::new(), meta, fields.len() as u32)?;
+        for (name, source) in fields {
+            w.delta_field(name, source, scratch)?;
+        }
+        let (written, buf) = w.finish()?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(written, Ordering::Relaxed);
+        Ok((written, buf))
+    }
+
+    fn read_delta(&self, rank: Option<u32>, seq: u32) -> Result<Option<DeltaSnapshot>> {
+        match self.deltas.lock().get(&MemTransport::delta_key(rank, seq)) {
+            Some(bytes) => DeltaSnapshot::decode_trusted(bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn read_delta_meta(&self, rank: Option<u32>, seq: u32) -> Result<Option<DeltaMeta>> {
+        match self.deltas.lock().get(&MemTransport::delta_key(rank, seq)) {
+            Some(bytes) => DeltaMeta::decode_trusted(bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+impl CkptTransport for MemTransport {
+    fn describe(&self) -> &'static str {
+        "memory"
+    }
+
+    fn put_master(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        debug_assert!(meta.rank.is_none(), "master snapshot must have rank None");
+        // Recycle the previous master record's allocation.
+        let recycled = self.master.lock().take().unwrap_or_default();
+        let (written, buf) = self.encode_full(recycled, meta, fields, scratch)?;
+        *self.master.lock() = Some(buf);
+        Ok(written)
+    }
+
+    fn put_shard(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let rank = meta
+            .rank
+            .ok_or_else(|| PparError::InvalidPlan("shard snapshot needs a rank".into()))?;
+        let recycled = self.shards.lock().remove(&rank).unwrap_or_default();
+        let (written, buf) = self.encode_full(recycled, meta, fields, scratch)?;
+        self.shards.lock().insert(rank, buf);
+        Ok(written)
+    }
+
+    fn put_master_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        debug_assert!(meta.rank.is_none(), "master delta must have rank None");
+        let (written, buf) = self.encode_delta(meta, fields, scratch)?;
+        self.deltas
+            .lock()
+            .insert(MemTransport::delta_key(None, meta.seq), buf);
+        Ok(written)
+    }
+
+    fn put_shard_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let rank = meta
+            .rank
+            .ok_or_else(|| PparError::InvalidPlan("shard delta needs a rank".into()))?;
+        let (written, buf) = self.encode_delta(meta, fields, scratch)?;
+        self.deltas
+            .lock()
+            .insert(MemTransport::delta_key(Some(rank), meta.seq), buf);
+        Ok(written)
+    }
+
+    fn read_merged_master(&self) -> Result<Option<Snapshot>> {
+        // Trusted decode: the bytes never left this process, so the CRC
+        // pass that guards disk files is skipped (part of the live
+        // reshape's "no disk round-trip" latency win).
+        let base = match &*self.master.lock() {
+            Some(bytes) => Snapshot::decode_trusted(bytes)?,
+            None => return Ok(None),
+        };
+        merge_chain_with(base, |rank, seq| self.read_delta(rank, seq)).map(Some)
+    }
+
+    fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+        let base = match self.shards.lock().get(&rank) {
+            Some(bytes) => Snapshot::decode_trusted(bytes)?,
+            None => return Ok(None),
+        };
+        merge_chain_with(base, |rank, seq| self.read_delta(rank, seq)).map(Some)
+    }
+
+    fn with_merged_master(
+        &self,
+        install: &mut dyn FnMut(&SnapshotView<'_>) -> Result<()>,
+    ) -> Result<bool> {
+        // Fast path: no delta chain over the master record — hand the
+        // caller borrowed payload slices straight out of the record (one
+        // copy total: record → cells). With a chain pending, fall back to
+        // the owned merge.
+        let has_master_deltas = self
+            .deltas
+            .lock()
+            .keys()
+            .any(|(rank, _)| *rank == MASTER_RANK);
+        if !has_master_deltas {
+            let guard = self.master.lock();
+            let Some(bytes) = guard.as_ref() else {
+                return Ok(false);
+            };
+            install(&SnapshotView::decode_trusted(bytes)?)?;
+            return Ok(true);
+        }
+        match self.read_merged_master()? {
+            Some(snap) => {
+                install(&SnapshotView::of(&snap))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn restart_count(&self) -> Result<Option<u64>> {
+        // View decodes only: the count lives in the header, and this runs
+        // once per rank when a resume is armed — materializing payload
+        // copies here would tax the latency-critical hand-off path.
+        let master_count = self
+            .master
+            .lock()
+            .as_ref()
+            .map(|b| SnapshotView::decode_trusted(b).map(|s| s.count))
+            .transpose()?;
+        if let Some(count) = master_count {
+            return Ok(Some(chain_tip_with(count, None, |rank, seq| {
+                self.read_delta_meta(rank, seq)
+            })?));
+        }
+        let shard0_count = self
+            .shards
+            .lock()
+            .get(&0)
+            .map(|b| SnapshotView::decode_trusted(b).map(|s| s.count))
+            .transpose()?;
+        if let Some(count) = shard0_count {
+            return Ok(Some(chain_tip_with(count, Some(0), |rank, seq| {
+                self.read_delta_meta(rank, seq)
+            })?));
+        }
+        Ok(None)
+    }
+
+    fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
+        let tag = rank.unwrap_or(MASTER_RANK);
+        self.deltas.lock().retain(|(r, _), _| *r != tag);
+        Ok(())
+    }
+
+    fn clear_all_deltas(&self) -> Result<()> {
+        self.deltas.lock().clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CheckpointStore;
+    use ppar_core::shared::SharedVec;
+    use ppar_core::state::StateCell;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ppar_transport_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn meta(count: u64, rank: Option<u32>) -> SnapshotMeta {
+        SnapshotMeta {
+            mode_tag: "smp4".into(),
+            count,
+            rank,
+            nranks: 1,
+        }
+    }
+
+    #[test]
+    fn mem_master_roundtrip_and_counts() {
+        let t = MemTransport::new();
+        assert!(t.read_merged_master().unwrap().is_none());
+        assert_eq!(t.restart_count().unwrap(), None);
+
+        let payload = vec![1u8, 2, 3, 4];
+        t.put_master(
+            &meta(7, None),
+            &[("G", FieldSource::Bytes(&payload))],
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let snap = t.read_merged_master().unwrap().unwrap();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.field("G").unwrap(), payload.as_slice());
+        assert_eq!(t.restart_count().unwrap(), Some(7));
+        assert_eq!(t.snapshots_stored(), 1);
+        assert!(t.bytes_written() > 0);
+    }
+
+    #[test]
+    fn mem_shard_roundtrip_prefers_master_for_restart_count() {
+        let t = MemTransport::new();
+        let payload = vec![9u8; 16];
+        let mut m = meta(5, Some(2));
+        m.nranks = 4;
+        t.put_shard(&m, &[("G", FieldSource::Bytes(&payload))], &mut Vec::new())
+            .unwrap();
+        assert!(t.read_merged_shard(1).unwrap().is_none());
+        assert_eq!(t.read_merged_shard(2).unwrap().unwrap().count, 5);
+        // restart_count falls back to shard 0 only.
+        assert_eq!(t.restart_count().unwrap(), None);
+        let mut m0 = meta(9, Some(0));
+        m0.nranks = 4;
+        t.put_shard(&m0, &[("G", FieldSource::Bytes(&payload))], &mut Vec::new())
+            .unwrap();
+        assert_eq!(t.restart_count().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn mem_delta_chain_merges_and_gc_clears() {
+        let t = MemTransport::new();
+        let v = SharedVec::from_vec((0..4000).map(|i| i as f64).collect());
+        t.put_master(
+            &meta(10, None),
+            &[("G", FieldSource::Cell(&v))],
+            &mut Vec::new(),
+        )
+        .unwrap();
+        v.clear_dirty();
+
+        v.set(3, -1.0);
+        let ranges = v.dirty_byte_ranges();
+        let dm = DeltaMeta {
+            mode_tag: "smp4".into(),
+            count: 20,
+            base_count: 10,
+            seq: 1,
+            rank: None,
+            nranks: 1,
+        };
+        t.put_master_delta(
+            &dm,
+            &[(
+                "G",
+                DeltaSource::DirtyCell {
+                    cell: &v,
+                    ranges: &ranges,
+                },
+            )],
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let merged = t.read_merged_master().unwrap().unwrap();
+        assert_eq!(merged.count, 20, "restart replays to the delta");
+        assert_eq!(merged.field("G").unwrap(), v.save_bytes().as_slice());
+        assert_eq!(t.restart_count().unwrap(), Some(20));
+
+        t.clear_deltas(None).unwrap();
+        assert_eq!(t.read_merged_master().unwrap().unwrap().count, 10);
+    }
+
+    /// The transport contract: for identical content, the in-memory record
+    /// equals the file the disk store writes byte-for-byte except the
+    /// 4-byte CRC trailer (zero in memory — the checksum pass guards the
+    /// durable medium only), and both decode to the same snapshot.
+    #[test]
+    fn mem_bytes_equal_file_bytes_modulo_trailer() {
+        let dir = tmpdir("golden");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let mem = MemTransport::new();
+        let v = SharedVec::from_vec((0..512).map(|i| (i as f64).sin()).collect());
+        let m = meta(3, None);
+        let fields: Vec<(&str, FieldSource<'_>)> = vec![("G", FieldSource::Cell(&v))];
+        let on_disk = store.put_master(&m, &fields, &mut Vec::new()).unwrap();
+        let in_mem = mem.put_master(&m, &fields, &mut Vec::new()).unwrap();
+        assert_eq!(on_disk, in_mem);
+        let file = std::fs::read(dir.join("ckpt_master.bin")).unwrap();
+        let record = mem.master_bytes().unwrap();
+        assert_eq!(record.len(), file.len());
+        assert_eq!(record[..record.len() - 4], file[..file.len() - 4]);
+        assert_eq!(&record[record.len() - 4..], &[0, 0, 0, 0]);
+        assert_eq!(
+            mem.read_merged_master().unwrap().unwrap(),
+            store.read_merged_master().unwrap().unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Both transports are interchangeable behind the trait object.
+    #[test]
+    fn trait_object_dispatch_works_for_both() {
+        let dir = tmpdir("dyn");
+        let transports: Vec<Arc<dyn CkptTransport>> = vec![
+            Arc::new(CheckpointStore::new(&dir).unwrap()),
+            Arc::new(MemTransport::new()),
+        ];
+        for t in &transports {
+            let payload = vec![5u8; 8];
+            t.put_master(
+                &meta(1, None),
+                &[("x", FieldSource::Bytes(&payload))],
+                &mut Vec::new(),
+            )
+            .unwrap();
+            let snap = t.read_merged_master().unwrap().unwrap();
+            assert_eq!(snap.field("x").unwrap(), payload.as_slice());
+            assert_eq!(t.restart_count().unwrap(), Some(1));
+            t.clear_all_deltas().unwrap();
+        }
+        assert_eq!(transports[0].describe(), "file");
+        assert_eq!(transports[1].describe(), "memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest::proptest! {
+        /// The acceptance-criterion property: for random field mixes, the
+        /// in-memory transport round-trip is byte-identical to a file-backed
+        /// save + load of the same content (shared golden encoder on the
+        /// way in, shared reader + chain rules on the way out).
+        #[test]
+        fn prop_mem_roundtrip_matches_file_roundtrip(
+            fields in proptest::collection::vec(
+                ("[a-z]{1,8}", proptest::collection::vec(proptest::prelude::any::<u8>(), 0..600)),
+                0..6,
+            ),
+            count in 0u64..1_000_000,
+        ) {
+            let dir = tmpdir("prop");
+            let store = CheckpointStore::new(&dir).unwrap();
+            let mem = MemTransport::new();
+            let m = SnapshotMeta { mode_tag: "hyb2x4".into(), count, rank: None, nranks: 2 };
+            let refs: Vec<(&str, FieldSource<'_>)> = fields
+                .iter()
+                .map(|(n, b)| (n.as_str(), FieldSource::Bytes(b.as_slice())))
+                .collect();
+            store.put_master(&m, &refs, &mut Vec::new()).unwrap();
+            mem.put_master(&m, &refs, &mut Vec::new()).unwrap();
+
+            // Byte-identical records modulo the CRC trailer (zero in
+            // memory; the shared golden encoder produced everything else)...
+            let file = std::fs::read(dir.join("ckpt_master.bin")).unwrap();
+            let record = mem.master_bytes().unwrap();
+            proptest::prop_assert_eq!(record.len(), file.len());
+            proptest::prop_assert_eq!(&record[..record.len() - 4], &file[..file.len() - 4]);
+            // ...and identical decoded snapshots through each side's reader:
+            // the round-trip is byte-identical per field.
+            let from_file = store.read_merged_master().unwrap().unwrap();
+            let from_mem = mem.read_merged_master().unwrap().unwrap();
+            proptest::prop_assert_eq!(from_file, from_mem);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

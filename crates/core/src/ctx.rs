@@ -76,6 +76,53 @@ pub trait CkptHook: Send + Sync {
     /// partitioned data across the aggregate).
     fn note_load_extra(&self, _extra: std::time::Duration) {}
 
+    // ---- live-reshape hand-off seam ----
+
+    /// Is a live hand-off transport armed? When true, an engine that cannot
+    /// realise a reshape target in place may stream the state into the
+    /// hand-off (see [`CkptHook::handoff_snapshot`]) and unwind for an
+    /// in-process relaunch instead of demanding a full restart.
+    fn can_handoff(&self) -> bool {
+        false
+    }
+
+    /// Stream a full, mode-independent master snapshot of the safe data into
+    /// the armed hand-off transport. Engines call this quiesced at a
+    /// safe-point crossing, with partitioned data already collected at the
+    /// caller (master-collect rules). Errors when no hand-off is armed.
+    fn handoff_snapshot(&self, _ctx: &Ctx) -> Result<()> {
+        Err(crate::error::PparError::InvalidAdaptation(
+            "this checkpoint hook has no live hand-off transport".into(),
+        ))
+    }
+
+    // ---- incremental-gather seam (dirty-range master-collect) ----
+
+    /// Does this hook run dirty-chunk incremental checkpointing? Engines use
+    /// this to decide whether rank-local write tracking must be reset after
+    /// a master-collect gather.
+    fn tracks_dirty(&self) -> bool {
+        false
+    }
+
+    /// In incremental mode: will the snapshot taken at the *current* chain
+    /// position be persisted as a delta (true) or promoted to a full base
+    /// (false)? Deterministic and identical on every aggregate element (the
+    /// safe-point clock is symmetric), so engines may consult any element's
+    /// module to choose between a full gather and a dirty-range gather.
+    fn next_snapshot_is_delta(&self) -> bool {
+        false
+    }
+
+    /// A peer element (master-collect: the root) persisted the snapshot for
+    /// this safe point. Elements that did not write mirror the chain
+    /// bookkeeping and reset their local write tracking here, keeping the
+    /// full-vs-delta decision of [`CkptHook::next_snapshot_is_delta`]
+    /// aggregate-consistent.
+    fn note_peer_snapshot(&self, _ctx: &Ctx) -> Result<()> {
+        Ok(())
+    }
+
     /// The run completed normally: clear the failure marker.
     fn finish(&self, ctx: &Ctx) -> Result<()>;
 }

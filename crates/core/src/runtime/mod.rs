@@ -57,5 +57,5 @@ pub mod team;
 
 pub use barrier::TeamBarrier;
 pub use claim::{CachePadded, ChunkCursor};
-pub use pool::{Drained, Latch, TeamPool};
+pub use pool::{clear_draining, mark_draining, Drained, Latch, ModeSwitch, TeamPool};
 pub use team::{drive_point, ParallelEngine, TeamRuntime};

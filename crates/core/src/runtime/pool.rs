@@ -92,6 +92,18 @@ fn wait_yields() -> usize {
 /// recognises it as a graceful exit, not a failure.
 pub struct Drained;
 
+/// Panic payload used by the **live-reshape escalation** protocol: an engine
+/// that cannot realise a reshape target in place snapshots the state into
+/// the armed hand-off transport and unwinds every line of execution to the
+/// launcher with this marker, carrying the target mode. The worker loop
+/// treats it as a graceful exit (like [`Drained`]); the launcher catches it
+/// on the master line, retargets the deployment and relaunches in process —
+/// no exit, no disk round-trip.
+pub struct ModeSwitch(
+    /// The execution mode the run should continue in.
+    pub crate::mode::ExecMode,
+);
+
 thread_local! {
     static DRAINING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
@@ -100,6 +112,13 @@ thread_local! {
 /// stays silent and the worker loop treats the unwind as graceful.
 pub fn mark_draining() {
     DRAINING.with(|d| d.set(true));
+}
+
+/// Clear the draining mark on the current thread. Launchers call this after
+/// catching an intentional [`ModeSwitch`]/[`Drained`] unwind so later
+/// *real* panics on the same thread report normally again.
+pub fn clear_draining() {
+    DRAINING.with(|d| d.set(false));
 }
 
 /// Install a panic hook that silences the intentional [`Drained`] unwinds
@@ -185,7 +204,10 @@ impl RegionJob {
         DRAINING.with(|d| d.set(false));
         replay::end();
         if let Err(payload) = outcome {
-            if !payload.is::<Drained>() {
+            // `Drained` (contraction) and `ModeSwitch` (live-reshape
+            // escalation) are protocol unwinds, not failures; the master
+            // line carries the mode switch to the launcher.
+            if !payload.is::<Drained>() && !payload.is::<ModeSwitch>() {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())

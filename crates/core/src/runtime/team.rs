@@ -27,7 +27,8 @@ use super::constructs::{
     self, loop_state, reduce_state, single_state, ConstructSpace, ConstructState,
 };
 use super::pool::{
-    install_quiet_drain_hook, mark_draining, Drained, Latch, RegionBody, RegionJob, TeamPool,
+    install_quiet_drain_hook, mark_draining, Drained, Latch, ModeSwitch, RegionBody, RegionJob,
+    TeamPool,
 };
 use crate::ctx::{AdaptHook, CkptHook, Ctx, PointDirective};
 use crate::mode::ExecMode;
@@ -205,10 +206,14 @@ pub trait ParallelEngine: Send + Sync {
     /// The engine's team runtime.
     fn rt(&self) -> &TeamRuntime;
 
-    /// Map a reshape target onto a local team size. Engines that cannot
-    /// honour `mode` in place must panic with a pointer to the launcher
-    /// (adaptation by checkpoint/restart).
-    fn reshape_team_size(&self, mode: ExecMode) -> usize;
+    /// Map a reshape target onto a local team size. `None` means this
+    /// engine cannot honour `mode` in place (wrong engine family, different
+    /// aggregate size); the crossing then **escalates**: with a live
+    /// hand-off armed the state is streamed into memory and every line of
+    /// execution unwinds to the launcher for an in-process relaunch
+    /// ([`ModeSwitch`]), otherwise the run panics with a pointer to the
+    /// launcher (adaptation by checkpoint/restart).
+    fn reshape_team_size(&self, mode: ExecMode) -> Option<usize>;
 
     /// Rank-level plan-driven data updates fired at every announcement of a
     /// point (hybrid/distributed override; identity for pure teams).
@@ -229,6 +234,17 @@ pub trait ParallelEngine: Send + Sync {
         if ctx.worker() == 0 {
             ck.load_snapshot(ctx).expect("checkpoint load failed");
         }
+    }
+
+    /// Collect the live state and stream it into the armed hand-off
+    /// transport (live-reshape escalation). Runs on exactly one line of
+    /// execution per process — the crossing leader, inside the sealed
+    /// barrier generation, so the whole team is quiesced. The default is
+    /// the shared-memory rule (all state is local: stream it); engines
+    /// with rank-level structure override to collect partitioned fields at
+    /// the root first (master-collect rules).
+    fn handoff_collect(&self, ctx: &Ctx, ck: &Arc<dyn CkptHook>) {
+        ck.handoff_snapshot(ctx).expect("live hand-off failed");
     }
 
     /// Fold a team-level reduction result across aggregate elements
@@ -507,7 +523,9 @@ pub trait ParallelEngine: Send + Sync {
     /// `mode`.
     fn pe_reshape(&self, ctx: &Ctx, mode: ExecMode, adapt: &Arc<dyn AdaptHook>) {
         let rt = self.rt();
-        let new = self.reshape_team_size(mode);
+        let Some(new) = self.reshape_team_size(mode) else {
+            self.pe_escalate(ctx, mode);
+        };
         if !rt.in_region() {
             // Between regions only the master runs: take effect at the next
             // fork.
@@ -557,6 +575,38 @@ pub trait ParallelEngine: Send + Sync {
         } else {
             rt.barrier.wait_leader(|_| adapt.confirm(mode));
         }
+    }
+
+    /// Escalate a reshape this engine cannot realise in place (§IV.B meets
+    /// the transport seam). With a live hand-off armed: the crossing leader
+    /// — inside the sealed barrier generation, so the team is quiesced —
+    /// collects the state and streams a full master snapshot into the
+    /// in-memory transport, then *every* line of execution unwinds to the
+    /// launcher with [`ModeSwitch`] for an in-process relaunch in `mode`
+    /// (no process exit, no disk round-trip). The request stays pending;
+    /// the launcher confirms it when relaunching. Without a hand-off the
+    /// old behaviour is preserved: adaptation by checkpoint/restart,
+    /// surfaced as a panic pointing at the launcher.
+    fn pe_escalate(&self, ctx: &Ctx, mode: ExecMode) -> ! {
+        let rt = self.rt();
+        let handoff = ctx.ckpt_hook().filter(|ck| ck.can_handoff()).cloned();
+        let Some(ck) = handoff else {
+            panic!(
+                "engine cannot reshape to {mode} in place and no live hand-off is \
+                 armed; deploy through the ppar-adapt launcher (launch_live for \
+                 in-process reshape, or adaptation by checkpoint/restart)"
+            );
+        };
+        if rt.in_region() {
+            // One leader snapshots while the generation is sealed; everyone
+            // is released into the unwind together.
+            rt.barrier.wait_leader(|_| self.handoff_collect(ctx, &ck));
+            tracking::advance_epoch();
+        } else {
+            self.handoff_collect(ctx, &ck);
+        }
+        mark_draining();
+        std::panic::panic_any(ModeSwitch(mode));
     }
 
     /// Team/aggregate barrier join point.

@@ -31,7 +31,7 @@ use ppar_core::ctx::{CkptHook, Ctx, Engine};
 use ppar_core::mode::ExecMode;
 use ppar_core::partition::{block_owned, block_with_halo, owned_ranges, Partition};
 use ppar_core::plan::{DistCkptStrategy, Plan, ReduceOp, UpdateAction};
-use ppar_core::runtime::drive_point;
+use ppar_core::runtime::{drive_point, mark_draining, ModeSwitch};
 use ppar_core::state::DistCell;
 
 use crate::collective::Endpoint;
@@ -130,6 +130,101 @@ impl DsmEngine {
         let mine = self.ep.scatter(0, payloads);
         let range = block_with_halo(len, n, self.ep.rank(), halo);
         cell.install(range, &mine).expect("halo install failed");
+    }
+
+    /// Gather only the *dirty* (written-since-last-snapshot) parts of a
+    /// block-partitioned field at the root: each element clamps its write
+    /// tracking to the owned block, widens to index boundaries, and ships a
+    /// small framed record (`[nranges][{index off,len}…][bytes]`); the root
+    /// installs the patches, which marks exactly those chunks dirty in its
+    /// own tracking — so the master *delta* that follows scales with the
+    /// aggregate dirty fraction instead of the field size. Falls back to
+    /// the whole-partition gather for non-block partitions and untracked
+    /// cells.
+    pub(crate) fn gather_dirty_field(&self, ctx: &Ctx, field: &str) {
+        let plan = ctx.plan();
+        let partition = self.partition_of(plan, field);
+        let cell = ctx.registry().dist(field).expect("gather field registered");
+        if partition != Partition::Block {
+            return self.gather_field(ctx, field);
+        }
+        let Some(ranges) = cell.dirty_ranges() else {
+            return self.gather_field(ctx, field);
+        };
+        let n = self.ep.nranks();
+        let rank = self.ep.rank();
+        let ib = cell.index_bytes();
+        let owned = block_owned(cell.logical_len(), n, rank);
+        let owned_bytes = owned.start * ib..owned.end * ib;
+
+        // Clamp byte ranges to the owned block, widen to whole indices
+        // (chunk boundaries need not align with index strides, e.g. grid
+        // rows), and coalesce overlaps the widening may introduce.
+        let mut idx_ranges: Vec<Range<usize>> = Vec::new();
+        for r in &ranges {
+            let start = r.start.max(owned_bytes.start);
+            let end = r.end.min(owned_bytes.end);
+            if start >= end {
+                continue;
+            }
+            let is = (start / ib).max(owned.start);
+            let ie = end.div_ceil(ib).min(owned.end);
+            match idx_ranges.last_mut() {
+                Some(last) if is <= last.end => last.end = last.end.max(ie),
+                _ => idx_ranges.push(is..ie),
+            }
+        }
+
+        let payload_len: usize = idx_ranges.iter().map(|r| r.len() * ib).sum();
+        let mut frame = Vec::with_capacity(4 + idx_ranges.len() * 16 + payload_len);
+        frame.extend_from_slice(&(idx_ranges.len() as u32).to_le_bytes());
+        for r in &idx_ranges {
+            frame.extend_from_slice(&(r.start as u64).to_le_bytes());
+            frame.extend_from_slice(&(r.len() as u64).to_le_bytes());
+        }
+        for r in &idx_ranges {
+            cell.extract_into(r.clone(), &mut frame);
+        }
+
+        if let Some(all) = self.ep.gather(0, frame) {
+            for (r, payload) in all.into_iter().enumerate() {
+                if r != 0 {
+                    DsmEngine::install_dirty_frame(&*cell, field, &payload);
+                }
+            }
+        }
+    }
+
+    /// Root-side inverse of the dirty-gather frame: install each patch into
+    /// its index range (marking the root's own write tracking).
+    fn install_dirty_frame(cell: &dyn DistCell, field: &str, frame: &[u8]) {
+        let ib = cell.index_bytes();
+        let header_err = || panic!("malformed dirty-gather frame for field {field:?}");
+        if frame.len() < 4 {
+            header_err();
+        }
+        let nranges = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        let mut spans = Vec::with_capacity(nranges);
+        let mut pos = 4usize;
+        for _ in 0..nranges {
+            if pos + 16 > frame.len() {
+                header_err();
+            }
+            let off = u64::from_le_bytes(frame[pos..pos + 8].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(frame[pos + 8..pos + 16].try_into().unwrap()) as usize;
+            spans.push(off..off + len);
+            pos += 16;
+        }
+        for span in spans {
+            let bytes = span.len() * ib;
+            if pos + bytes > frame.len() {
+                header_err();
+            }
+            cell.install(span, &frame[pos..pos + bytes])
+                .expect("dirty-range install failed");
+            pos += bytes;
+        }
+        assert_eq!(pos, frame.len(), "trailing bytes in dirty-gather frame");
     }
 
     /// Gather `field`'s partitions into the root's full copy.
@@ -252,14 +347,30 @@ impl DsmEngine {
         match plan.dist_ckpt_strategy() {
             DistCkptStrategy::MasterCollect => {
                 // Collect partitioned safe data at the root — no
-                // global barriers (§IV.A, second alternative).
+                // global barriers (§IV.A, second alternative). In
+                // incremental mode, once a base exists only *dirty ranges*
+                // travel: each element ships its touched bytes (clamped to
+                // the owned block) and the root's delta then scales with
+                // the aggregate dirty fraction, not the field size.
+                let dirty_gather =
+                    self.ep.nranks() > 1 && ck.tracks_dirty() && ck.next_snapshot_is_delta();
                 for field in plan.safe_data() {
                     if plan.field_partition(field).is_some() {
-                        self.gather_field(ctx, field);
+                        if dirty_gather {
+                            self.gather_dirty_field(ctx, field);
+                        } else {
+                            self.gather_field(ctx, field);
+                        }
                     }
                 }
                 if self.ep.rank() == 0 {
                     ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
+                } else {
+                    // Mirror the chain bookkeeping and reset local write
+                    // tracking: what was dirty here has been shipped to the
+                    // root (or subsumed by the full gather).
+                    ck.note_peer_snapshot(ctx)
+                        .expect("checkpoint chain mirror failed");
                 }
             }
             DistCkptStrategy::LocalSnapshot => {
@@ -448,11 +559,35 @@ impl Engine for DsmEngine {
         );
         if let Some(ad) = ctx.adapt_hook().cloned() {
             if let Some(mode) = ad.pending(ctx, name) {
-                panic!(
-                    "DsmEngine cannot reshape to {mode} at run time; distributed \
-                     adaptations go through the ppar-adapt launcher \
-                     (checkpoint/restart in the target mode, Fig. 6)"
-                );
+                if mode == self.mode() {
+                    // Already the requested shape: confirm and continue
+                    // (e.g. the first crossing after a live relaunch).
+                    ad.confirm(mode);
+                } else if ctx.ckpt_hook().map(|ck| ck.can_handoff()) == Some(true) {
+                    // Live-reshape escalation: master-collect the state
+                    // into the armed in-memory transport and unwind every
+                    // element to the launcher for an in-process relaunch
+                    // in `mode` — no process exit, no disk round-trip.
+                    let ck = ctx.ckpt_hook().cloned().expect("hand-off checked above");
+                    for field in plan.safe_data() {
+                        if plan.field_partition(field).is_some() {
+                            self.gather_field(ctx, field);
+                        }
+                    }
+                    if self.ep.rank() == 0 {
+                        ck.handoff_snapshot(ctx).expect("live hand-off failed");
+                    }
+                    self.ep.barrier();
+                    mark_draining();
+                    std::panic::panic_any(ModeSwitch(mode));
+                } else {
+                    panic!(
+                        "DsmEngine cannot reshape to {mode} at run time without a live \
+                         hand-off; distributed adaptations go through the ppar-adapt \
+                         launcher (launch_live, or checkpoint/restart in the target \
+                         mode, Fig. 6)"
+                    );
+                }
             }
         }
     }

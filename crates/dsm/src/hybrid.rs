@@ -56,11 +56,20 @@ pub struct HybridEngine {
 }
 
 impl HybridEngine {
-    /// Engine for one aggregate element running a local team of `threads`.
+    /// Engine for one aggregate element running a local team of `threads`
+    /// (no expansion headroom).
     pub fn new(ep: Endpoint, threads: usize) -> Arc<HybridEngine> {
+        HybridEngine::with_headroom(ep, threads, threads)
+    }
+
+    /// Engine whose local team starts at `threads` and can be reshaped in
+    /// place up to `max_threads` (run-time adaptation of the hybrid's
+    /// thread axis, e.g. `hyb2x2 -> hyb2x4`, reusing the §IV.B
+    /// expansion/contraction protocol per element).
+    pub fn with_headroom(ep: Endpoint, threads: usize, max_threads: usize) -> Arc<HybridEngine> {
         Arc::new(HybridEngine {
             dsm: DsmEngine::new(ep),
-            rt: TeamRuntime::new(threads, threads),
+            rt: TeamRuntime::new(threads, max_threads),
             owned_cache: Mutex::new(HashMap::new()),
         })
     }
@@ -91,12 +100,48 @@ impl ParallelEngine for HybridEngine {
         &self.rt
     }
 
-    fn reshape_team_size(&self, mode: ExecMode) -> usize {
-        panic!(
-            "HybridEngine cannot reshape to {mode} at run time; hybrid \
-             adaptations go through the ppar-adapt launcher (adaptation by \
-             checkpoint/restart in the target mode)"
-        );
+    fn reshape_team_size(&self, mode: ExecMode) -> Option<usize> {
+        match mode {
+            // Same aggregate size, different local team within headroom:
+            // resize every element's team in place (the §IV.B
+            // expansion/contraction protocol runs per element over the
+            // shared runtime). A team size beyond the headroom escalates
+            // instead of being silently clamped — a relaunch can honour it.
+            ExecMode::Hybrid {
+                processes,
+                threads_per_process,
+            } if processes == self.ep().nranks()
+                && threads_per_process <= self.rt.max_threads() =>
+            {
+                Some(threads_per_process.max(1))
+            }
+            // hyb -> dist with the same aggregate: local teams contract to
+            // one line of execution per element.
+            ExecMode::Distributed { processes } if processes == self.ep().nranks() => Some(1),
+            // A different aggregate size or engine family escalates (live
+            // hand-off relaunch, or checkpoint/restart without one).
+            _ => None,
+        }
+    }
+
+    fn handoff_collect(&self, ctx: &Ctx, ck: &Arc<dyn CkptHook>) {
+        // Master-collect rules for the hand-off: partitioned safe data
+        // gathers at the root, which streams the one mode-independent
+        // master snapshot into the armed in-memory transport. Exactly one
+        // line per element runs this (the crossing leader), so the rank
+        // collectives pair up across the aggregate.
+        let plan = ctx.plan();
+        for field in plan.safe_data() {
+            if plan.field_partition(field).is_some() {
+                self.dsm.gather_field(ctx, field);
+            }
+        }
+        if self.ep().rank() == 0 {
+            ck.handoff_snapshot(ctx).expect("live hand-off failed");
+        }
+        // Align the aggregate before anyone unwinds: no element may tear
+        // down its run while the root still streams.
+        self.ep().barrier();
     }
 
     fn point_updates(&self, ctx: &Ctx, name: &str) {

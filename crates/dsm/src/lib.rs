@@ -31,5 +31,5 @@ pub use collective::Endpoint;
 pub use engine::DsmEngine;
 pub use hybrid::HybridEngine;
 pub use net::{SimNet, Traffic};
-pub use spmd::{run_hybrid, run_spmd, run_spmd_plain, SpmdConfig};
+pub use spmd::{run_hybrid, run_hybrid_adaptive, run_spmd, run_spmd_plain, SpmdConfig};
 pub use topology::{LinkClass, NetModel, Topology};

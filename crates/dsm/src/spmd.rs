@@ -115,6 +115,22 @@ pub fn run_hybrid<R: Send>(
     auto_finish: bool,
     app: impl Fn(&Ctx) -> R + Sync,
 ) -> Vec<R> {
+    run_hybrid_adaptive(cfg, threads, threads, plan, hooks, auto_finish, app)
+}
+
+/// [`run_hybrid`] with in-place reshape headroom: each element's local team
+/// starts at `threads` and can grow up to `max_threads` when a run-time
+/// adaptation (e.g. `hyb2x2 -> hyb2x4`) lands at a safe-point crossing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid_adaptive<R: Send>(
+    cfg: &SpmdConfig,
+    threads: usize,
+    max_threads: usize,
+    plan: Arc<Plan>,
+    hooks: HookFactory<'_>,
+    auto_finish: bool,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
     assert!(cfg.nranks >= 1, "need at least one rank");
     let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
     let mut out: Vec<Option<R>> = (0..cfg.nranks).map(|_| None).collect();
@@ -127,7 +143,8 @@ pub fn run_hybrid<R: Send>(
                 .name(format!("ppar-hybrid-rank-{rank}"))
                 .spawn_scoped(scope, move || {
                     let ep = Endpoint::new(net, rank);
-                    let engine = crate::hybrid::HybridEngine::new(ep, threads);
+                    let engine =
+                        crate::hybrid::HybridEngine::with_headroom(ep, threads, max_threads);
                     let (ckpt, adapt) = hooks(rank);
                     let shared =
                         RunShared::new(plan, Arc::new(Registry::new()), engine, ckpt, adapt);

@@ -161,9 +161,14 @@ pub fn md_pluggable(ctx: &Ctx, cfg: &MdConfig) -> MdResult {
         ctx.region("simulate", move |ctx| {
             let n = cfg.particles;
             let cutoff2 = cfg.cutoff * cfg.cutoff;
-            let start = steps_done.get() as usize;
             let mut stop = false;
-            for step in start..cfg.steps {
+            // Replay discipline (§IV.A and the §IV.B expansion protocol):
+            // the body's control flow must be deterministic and independent
+            // of live safe data, so a replaying line of execution (restart,
+            // or a worker joining a reshaped team mid-region) counts the
+            // same safe points as the original pass. `steps_done` is
+            // bookkeeping only — never a loop bound.
+            for step in 0..cfg.steps {
                 if stop {
                     break;
                 }

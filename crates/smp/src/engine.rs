@@ -57,14 +57,19 @@ impl ParallelEngine for TeamEngine {
         &self.rt
     }
 
-    fn reshape_team_size(&self, mode: ExecMode) -> usize {
+    fn reshape_team_size(&self, mode: ExecMode) -> Option<usize> {
         match mode {
-            ExecMode::Sequential => 1,
-            ExecMode::SharedMemory { threads } => threads.clamp(1, self.rt.max_threads()),
-            other => panic!(
-                "TeamEngine cannot reshape to {other}; distributed targets require the \
-                 ppar-adapt launcher (adaptation by checkpoint/restart)"
-            ),
+            ExecMode::Sequential => Some(1),
+            // Within headroom: retarget the live team. Beyond it the target
+            // cannot actually be realised here — silently clamping would
+            // confirm a mode the run is not executing — so escalate (a
+            // relaunch can honour the full size).
+            ExecMode::SharedMemory { threads } if threads <= self.rt.max_threads() => {
+                Some(threads.max(1))
+            }
+            // Oversized, distributed and hybrid targets escalate: live
+            // hand-off when one is armed, checkpoint/restart otherwise.
+            _ => None,
         }
     }
 }
