@@ -18,7 +18,8 @@ use ppar_core::ctx::{AdaptHook, CkptHook, Ctx, RunShared, SeqEngine};
 use ppar_core::error::Result;
 use ppar_core::plan::Plan;
 use ppar_core::state::Registry;
-use ppar_dsm::spmd::{run_spmd, SpmdConfig};
+use ppar_dsm::spmd::{run_spmd_on, SpmdConfig};
+use ppar_dsm::{SimNet, Traffic};
 use ppar_smp::TeamEngine;
 
 pub use ppar_ckpt::pcr::AppStatus;
@@ -88,6 +89,11 @@ pub struct LaunchOutcome<R> {
     pub replayed: bool,
     /// Rank-0 checkpoint statistics, when checkpointing was plugged.
     pub stats: Option<CkptStats>,
+    /// Network traffic of the whole launch (distributed and hybrid
+    /// deployments; `None` when no fabric was involved). Counted by the
+    /// same [`Traffic`] type the real TCP fabric reports, so simulated and
+    /// process-backed runs compare directly.
+    pub traffic: Option<Traffic>,
     /// Wall time of the whole launch.
     pub elapsed: Duration,
 }
@@ -145,6 +151,7 @@ pub fn launch<R: Send>(
                 results: vec![(status, result)],
                 replayed,
                 stats: module.map(|m| m.stats()),
+                traffic: None,
                 elapsed: start.elapsed(),
             })
         }
@@ -177,13 +184,16 @@ pub fn launch<R: Send>(
                 }
                 (status, result)
             };
+            // The launcher owns the network so the outcome can report the
+            // run's traffic next to its timing (Fig. 5/7 tables).
+            let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
             let results = match deploy {
                 Deploy::Hybrid {
                     threads,
                     max_threads,
                     ..
-                } => ppar_dsm::run_hybrid_adaptive(
-                    cfg,
+                } => ppar_dsm::run_hybrid_adaptive_on(
+                    net.clone(),
                     *threads,
                     (*max_threads).max(*threads),
                     plan,
@@ -191,12 +201,13 @@ pub fn launch<R: Send>(
                     false,
                     per_rank,
                 ),
-                _ => run_spmd(cfg, plan, &hooks, false, per_rank),
+                _ => run_spmd_on(net.clone(), plan, &hooks, false, per_rank),
             };
             Ok(LaunchOutcome {
                 results,
                 replayed: rank0.as_ref().map(|m| m.will_replay()).unwrap_or(false),
                 stats: rank0.map(|m| m.stats()),
+                traffic: Some(net.traffic()),
                 elapsed: start.elapsed(),
             })
         }

@@ -20,6 +20,11 @@
 //!   an in-memory state hand-off (`ppar_ckpt::MemTransport`) and an
 //!   in-process relaunch — no process exit, no disk round-trip. Restart
 //!   stays available as the fallback behind the unchanged [`launcher`] API.
+//! * [`netrun`] — the **real multi-process deployment** (`tcpN`): each
+//!   rank is an OS process on a `ppar_net::TcpFabric`; rank 0 owns the
+//!   durable checkpoint store and serves it to the workers over the wire;
+//!   the cluster driver's restart loop recovers from genuine process
+//!   death.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,9 +32,11 @@
 pub mod controller;
 pub mod launcher;
 pub mod live;
+pub mod netrun;
 
 pub use controller::{
     AdaptationController, AppliedReshape, RankAdaptView, ReshapeKind, ResourceTimeline,
 };
 pub use launcher::{launch, overdecomposed, run_until_complete, AppStatus, Deploy, LaunchOutcome};
 pub use live::{deploy_for_mode, launch_live, LiveOutcome};
+pub use netrun::{net_tag, run_net_rank, NetRankOutcome};

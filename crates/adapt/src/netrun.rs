@@ -1,0 +1,178 @@
+//! Multi-process deployment: run one rank of a real TCP-connected job.
+//!
+//! This is the process-backed sibling of [`crate::launcher::launch`]'s
+//! `Dist` arm. The launcher cannot ship an application closure to another
+//! OS process, so the deployment splits in two:
+//!
+//! * the **driver** (any process, typically the parent) launches N copies
+//!   of a binary with [`ppar_net::spawn_local_cluster`] and, for crash
+//!   recovery, wraps them in [`ppar_net::run_cluster_until_complete`] —
+//!   the process-level restart path: when any rank dies, the survivors
+//!   fail out of their collectives and exit nonzero, the whole job is
+//!   relaunched, and the checkpoint layer replays it from the last
+//!   durable snapshot;
+//! * each **rank process** calls [`run_net_rank`] with the same plan and
+//!   app closure: it bootstraps a [`TcpFabric`] from the `PPAR_*`
+//!   environment contract, builds the unchanged [`ppar_dsm::DsmEngine`]
+//!   over it, and runs the app exactly as the simulated deployment would
+//!   — bitwise-identical results, mode tag `tcpN`.
+//!
+//! ## Checkpointing across processes
+//!
+//! Rank 0 owns the durable [`ppar_ckpt::CheckpointStore`] directory and
+//! runs the start-up failure-detection pass **once**, then broadcasts
+//! `(detected_failure, replay_target)` over the fabric — re-deriving the
+//! decision per process would race the run marker rank 0 sets, the same
+//! race [`CheckpointModule::create_group`] prevents between threads.
+//! Workers persist through a [`NetTransport`] client; rank 0's
+//! [`CkptService`] receives their shard/delta records (CRC-verified) and
+//! forwards them into the store, so one directory holds the whole job's
+//! chains and a restart can stream state root → rank over the same
+//! frames.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ppar_ckpt::hook::{CheckpointModule, CkptStats};
+use ppar_ckpt::transport::CkptTransport;
+use ppar_core::ctx::{CkptHook, Ctx, RunShared};
+use ppar_core::error::{PparError, Result};
+use ppar_core::plan::Plan;
+use ppar_core::state::Registry;
+use ppar_dsm::{DsmEngine, Endpoint, Fabric, Traffic};
+use ppar_net::{CkptService, NetTransport, TcpFabric};
+
+pub use ppar_net::{
+    free_loopback_addr, run_cluster_until_complete, spawn_local_cluster, ClusterSpec, LocalCluster,
+    NetConfig,
+};
+
+use crate::launcher::AppStatus;
+
+/// The deployment tag of a real multi-process TCP job (`tcp4`), the
+/// process-backed entry in the launcher's deploy vocabulary (`seq`,
+/// `smpN`, `distP`, `hybPxT`, `tcpP`).
+pub fn net_tag(nranks: usize) -> String {
+    format!("tcp{nranks}")
+}
+
+/// Outcome of one rank process of a multi-process launch.
+pub struct NetRankOutcome<R> {
+    /// This process's rank.
+    pub rank: usize,
+    /// Aggregate size.
+    pub nranks: usize,
+    /// The application's exit status for this rank.
+    pub status: AppStatus,
+    /// The application result.
+    pub result: R,
+    /// Did this launch replay a previous failure?
+    pub replayed: bool,
+    /// This rank's checkpoint statistics, when checkpointing was plugged.
+    pub stats: Option<CkptStats>,
+    /// This rank's fabric traffic (sent frames/bytes — aggregate across
+    /// ranks by summing, exactly like the simulated counters).
+    pub traffic: Traffic,
+    /// Wall time of this rank's run.
+    pub elapsed: std::time::Duration,
+}
+
+impl<R> NetRankOutcome<R> {
+    /// The deployment tag (`tcpN`).
+    pub fn tag(&self) -> String {
+        net_tag(self.nranks)
+    }
+}
+
+/// Run this process as one rank of a TCP-connected SPMD job.
+///
+/// `cfg` usually comes from [`NetConfig::from_env`]. `ckpt_dir` plugs
+/// checkpointing; **every rank must pass the same choice** (the directory
+/// itself is only opened on rank 0 — workers reach it through the
+/// fabric). The app returns its status exactly as under
+/// [`crate::launcher::launch`]: `Completed` clears the run marker,
+/// `Crashed` leaves it for the next launch to detect.
+pub fn run_net_rank<R>(
+    cfg: &NetConfig,
+    plan: Plan,
+    ckpt_dir: Option<&Path>,
+    app: impl FnOnce(&Ctx) -> (AppStatus, R),
+) -> Result<NetRankOutcome<R>> {
+    let start = Instant::now();
+    let fabric = TcpFabric::connect(cfg)?;
+    let dyn_fabric: Arc<dyn Fabric> = fabric.clone();
+    let ep = Endpoint::new(dyn_fabric.clone(), cfg.rank);
+
+    // Checkpoint module + one-shot replay-state coordination (root
+    // detects, everyone else hears about it before the first safe point).
+    let mut service: Option<CkptService> = None;
+    let module: Option<Arc<CheckpointModule>> = match ckpt_dir {
+        None => None,
+        Some(dir) if cfg.rank == 0 => {
+            let module = CheckpointModule::create(dir, &plan)?;
+            let mut state = Vec::with_capacity(9);
+            state.push(module.detected_failure() as u8);
+            state.extend_from_slice(&module.replay_target().to_le_bytes());
+            if cfg.nranks > 1 {
+                ep.bcast(0, Some(state));
+                service = Some(NetTransport::serve(
+                    dyn_fabric.clone(),
+                    0,
+                    module.transport().clone(),
+                ));
+            }
+            Some(module)
+        }
+        Some(_) => {
+            let state = ep.bcast(0, None);
+            if state.len() != 9 {
+                return Err(PparError::Network(
+                    "malformed replay-state broadcast from rank 0".into(),
+                ));
+            }
+            let detected = state[0] != 0;
+            let target = u64::from_le_bytes(state[1..9].try_into().expect("8-byte target"));
+            let transport: Arc<dyn CkptTransport> =
+                Arc::new(NetTransport::client(dyn_fabric.clone(), cfg.rank));
+            Some(CheckpointModule::create_worker(
+                transport, &plan, detected, target,
+            ))
+        }
+    };
+    let replayed = module.as_ref().map(|m| m.will_replay()).unwrap_or(false);
+
+    let engine = DsmEngine::new(ep);
+    let shared = RunShared::new(
+        Arc::new(plan),
+        Arc::new(Registry::new()),
+        engine,
+        module.clone().map(|m| m as Arc<dyn CkptHook>),
+        // Run-time adaptation of a process aggregate goes through the
+        // cluster driver's restart path; no controller is installed.
+        None,
+    );
+    let ctx = Ctx::new_root(shared);
+    let (status, result) = app(&ctx);
+    if status == AppStatus::Completed {
+        ctx.finish();
+    }
+    // By the time this rank's app returned, its checkpoint RPCs have all
+    // been acknowledged (puts are synchronous and happen inside quiesced
+    // safe points), so the root's service has nothing of ours in flight.
+    if let Some(service) = service.take() {
+        service.stop();
+    }
+    let traffic = fabric.traffic();
+    fabric.shutdown();
+    Ok(NetRankOutcome {
+        rank: cfg.rank,
+        nranks: cfg.nranks,
+        status,
+        result,
+        replayed,
+        stats: module.map(|m| m.stats()),
+        traffic,
+        elapsed: start.elapsed(),
+    })
+}

@@ -13,7 +13,7 @@ use ppar_adapt::{
 use ppar_core::mode::ExecMode;
 use ppar_core::plan::Plan;
 use ppar_core::run_sequential;
-use ppar_dsm::{NetModel, SpmdConfig, Topology};
+use ppar_dsm::{NetModel, SpmdConfig, Topology, Traffic};
 use ppar_jgf::sor::baseline::{
     sor_dist, sor_dist_invasive, sor_seq_invasive, sor_threads, sor_threads_invasive,
 };
@@ -139,13 +139,15 @@ fn envs(cfg: &ExpConfig) -> Vec<Env> {
 }
 
 /// Run the pluggable SOR in `env` with an optional checkpoint module;
-/// returns `(seconds, stats)`.
+/// returns `(seconds, stats, traffic)`. Traffic comes back through the
+/// same counters a real `TcpFabric` reports, so these columns compare
+/// directly against a multi-process run of the same job.
 fn run_pp(
     env: Env,
     ckpt_every: Option<usize>,
     params: &SorParams,
     dir: Option<&std::path::Path>,
-) -> (f64, Option<ppar_ckpt::CkptStats>) {
+) -> (f64, Option<ppar_ckpt::CkptStats>, Option<Traffic>) {
     let mut plan = env.base_plan();
     if let Some(every) = ckpt_every {
         plan = plan.merge(plan_ckpt(every));
@@ -164,7 +166,7 @@ fn run_pp(
         })
         .expect("launch")
     });
-    (secs, outcome.stats)
+    (secs, outcome.stats, outcome.traffic)
 }
 
 /// Run the hand-written ("original") SOR in `env`. No hand-written hybrid
@@ -240,9 +242,9 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
         let inv0 = run_invasive(env, 0, &params);
         let inv1 = run_invasive(env, cfg.iterations, &params);
         let dir0 = scratch_dir("pp0");
-        let (pp0, _) = run_pp(env, Some(0), &params, Some(&dir0));
+        let (pp0, _, _) = run_pp(env, Some(0), &params, Some(&dir0));
         let dir1 = scratch_dir("pp1");
-        let (pp1, _) = run_pp(env, Some(cfg.iterations), &params, Some(&dir1));
+        let (pp1, _, _) = run_pp(env, Some(cfg.iterations), &params, Some(&dir1));
         let diri = scratch_dir("ppincr");
         let (ppi, incr_stats) = {
             let plan = env.base_plan().merge(plan_ckpt_incremental(incr_every, 3));
@@ -287,7 +289,7 @@ pub fn fig4(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     for env in envs(cfg) {
         let dir = scratch_dir("fig4");
-        let (_, stats) = run_pp(env, Some(cfg.iterations), &params, Some(&dir));
+        let (_, stats, _) = run_pp(env, Some(cfg.iterations), &params, Some(&dir));
         let stats = stats.expect("checkpoint stats");
         t.row(vec![
             env.label(),
@@ -304,11 +306,21 @@ pub fn fig4(cfg: &ExpConfig) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Fig. 5: after a failure at the `iterations`-th safe point, time to
-/// replay the application and to load the checkpoint data, per environment.
+/// replay the application and to load the checkpoint data, per environment
+/// — plus the restart run's **network traffic** (messages / MB), counted
+/// by the same [`Traffic`] type the real `TcpFabric` reports, so the
+/// simulated restart cost lines up against a `tcpN` run of the same job.
 pub fn fig5(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
-        "Fig 5 — restart overhead (seconds)",
-        &["env", "replay", "load", "replayed_points"],
+        "Fig 5 — restart overhead (seconds; restart-run traffic)",
+        &[
+            "env",
+            "replay",
+            "load",
+            "replayed_points",
+            "net_msgs",
+            "net_mb",
+        ],
     );
     for env in envs(cfg) {
         let dir = scratch_dir("fig5");
@@ -317,15 +329,18 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
             fail_after: Some(cfg.iterations),
             ..cfg.params()
         };
-        let (_, _) = run_pp(env, Some(cfg.iterations), &crash_params, Some(&dir));
+        let (_, _, _) = run_pp(env, Some(cfg.iterations), &crash_params, Some(&dir));
         // Run 2: replay to the snapshot and finish.
-        let (_, stats) = run_pp(env, Some(cfg.iterations), &cfg.params(), Some(&dir));
+        let (_, stats, traffic) = run_pp(env, Some(cfg.iterations), &cfg.params(), Some(&dir));
         let stats = stats.expect("stats");
+        let traffic = traffic.unwrap_or_default();
         t.row(vec![
             env.label(),
             Table::f(stats.replay_time.as_secs_f64()),
             Table::f(stats.load_time.as_secs_f64()),
             format!("{}", stats.replayed_points),
+            format!("{}", traffic.msgs()),
+            Table::f(traffic.bytes() as f64 / 1e6),
         ]);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -433,7 +448,11 @@ pub fn fig6(cfg: &ExpConfig) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Fig. 7: starting on {2,4,8} LE and expanding to 16 LE mid-run: fixed
-/// teams vs run-time expansion vs checkpoint/restart expansion.
+/// teams vs run-time expansion vs checkpoint/restart expansion — plus one
+/// **distributed** expansion row (`2P → 4P` by restart) whose `net_mb`
+/// column reports the traffic both launches moved, in the same counters a
+/// real TCP cluster reports (thread rows move no network bytes, shown as
+/// `-`).
 pub fn fig7(cfg: &ExpConfig) -> Table {
     let target = 16usize;
     let switch = (cfg.iterations / 4).max(2);
@@ -445,6 +464,7 @@ pub fn fig7(cfg: &ExpConfig) -> Table {
             "fixed_16",
             "runtime_adapt",
             "restart_adapt",
+            "net_mb",
         ],
     );
     let params = cfg.params();
@@ -519,6 +539,32 @@ pub fn fig7(cfg: &ExpConfig) -> Table {
             Table::f(fixed_16),
             Table::f(runtime_adapt),
             Table::f(t1 + t2),
+            "-".into(),
+        ]);
+    }
+
+    // Distributed expansion by restart (2P → 4P): mode-independent
+    // snapshots let the aggregate grow across the relaunch; the traffic
+    // column is what that costs on the wire.
+    {
+        let dir = scratch_dir("fig7_dist");
+        let crash_params = SorParams {
+            fail_after: Some(switch),
+            ..params.clone()
+        };
+        let (fix2, _, _) = run_pp(Env::P(2), Some(switch), &params, None);
+        let (fix4, _, _) = run_pp(Env::P(4), Some(switch), &params, None);
+        let (t1, _, traffic1) = run_pp(Env::P(2), Some(switch), &crash_params, Some(&dir));
+        let (t2, _, traffic2) = run_pp(Env::P(4), Some(switch), &params, Some(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bytes = traffic1.unwrap_or_default().bytes() + traffic2.unwrap_or_default().bytes();
+        t.row(vec![
+            "2P->4P".into(),
+            Table::f(fix2),
+            Table::f(fix4),
+            "-".into(),
+            Table::f(t1 + t2),
+            Table::f(bytes as f64 / 1e6),
         ]);
     }
     t
@@ -789,9 +835,17 @@ mod tests {
         assert_eq!(t4.rows.len(), 4);
         let t5 = fig5(&tiny());
         assert_eq!(t5.rows.len(), 4);
+        assert_eq!(t5.headers.len(), 6, "traffic columns present");
         for row in &t5.rows {
             assert_eq!(row[3], "6", "replayed to the 6th safe point: {row:?}");
         }
+        // Distributed/hybrid restart rows move real bytes; the sequential
+        // row moves none — sim-vs-real traffic comparability contract.
+        assert_eq!(t5.rows[0][4], "0", "seq restart has no traffic");
+        let dist_msgs: u64 = t5.rows[2][4].parse().expect("dist msgs");
+        assert!(dist_msgs > 0, "distributed restart must move messages");
+        let hyb_msgs: u64 = t5.rows[3][4].parse().expect("hyb msgs");
+        assert!(hyb_msgs > 0, "hybrid restart must move messages");
     }
 
     #[test]
@@ -803,9 +857,16 @@ mod tests {
     }
 
     #[test]
-    fn fig7_rows_cover_start_sizes() {
+    fn fig7_rows_cover_start_sizes_and_dist_expansion() {
         let t = fig7(&tiny());
-        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows.len(), 4, "3 LE starts + the 2P->4P restart row");
+        assert_eq!(t.headers.len(), 6, "net_mb column present");
+        let dist = t.rows.last().unwrap();
+        assert_eq!(dist[0], "2P->4P");
+        assert!(dist[5].parse::<f64>().is_ok(), "traffic reported");
+        for le_row in &t.rows[..3] {
+            assert_eq!(le_row[5], "-", "thread rows move no network bytes");
+        }
     }
 
     #[test]

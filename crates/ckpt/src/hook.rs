@@ -206,6 +206,35 @@ impl CheckpointModule {
         CheckpointModule::build_group(None, transport, plan, n, false, false, 0)
     }
 
+    /// Create the module for one **worker process** of a real
+    /// multi-process job: persistence goes through `transport` (typically
+    /// a network transport reaching the root's durable store), and the
+    /// replay decision is *not* re-derived locally — only the root sees
+    /// the marker and the snapshot chain, runs the start-up
+    /// failure-detection pass once ([`CheckpointModule::create`]), and
+    /// broadcasts `(detected_failure, replay_target)` to the workers
+    /// before any of them reaches a safe point. Re-deriving per process
+    /// would race the marker the root sets, exactly like the per-thread
+    /// race [`CheckpointModule::create_group`] exists to prevent.
+    pub fn create_worker(
+        transport: Arc<dyn CkptTransport>,
+        plan: &Plan,
+        detected_failure: bool,
+        replay_target: u64,
+    ) -> Arc<CheckpointModule> {
+        CheckpointModule::build_group(
+            None,
+            transport,
+            plan,
+            1,
+            detected_failure,
+            replay_target > 0,
+            replay_target,
+        )
+        .pop()
+        .expect("one module")
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn build_group(
         store: Option<CheckpointStore>,

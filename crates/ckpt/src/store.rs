@@ -135,7 +135,12 @@ impl Snapshot {
         out
     }
 
-    pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot> {
+    /// Decode and integrity-check one full snapshot record (the trailing
+    /// CRC-32 is verified). Public because records now also arrive over
+    /// the network fabric: the root's checkpoint service and the
+    /// rank-side restart path both decode wire records with exactly the
+    /// file reader.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(PparError::CorruptCheckpoint("file too short".into()));
         }

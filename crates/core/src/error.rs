@@ -29,6 +29,10 @@ pub enum PparError {
     /// The requested adaptation is not possible (e.g. contracting below one
     /// line of execution, or expanding past the topology size).
     InvalidAdaptation(String),
+    /// A network fabric failure: a peer process died, a stream corrupted,
+    /// or a receive timed out (real multi-process deployments only — the
+    /// simulated fabric never fails).
+    Network(String),
     /// An I/O failure while persisting or loading state.
     Io(io::Error),
     /// Serialization/deserialization failure in the checkpoint codec.
@@ -50,6 +54,7 @@ impl fmt::Display for PparError {
                 write!(f, "format mismatch: expected {expected}, found {found}")
             }
             PparError::InvalidAdaptation(msg) => write!(f, "invalid adaptation: {msg}"),
+            PparError::Network(msg) => write!(f, "network error: {msg}"),
             PparError::Io(e) => write!(f, "i/o error: {e}"),
             PparError::Codec(msg) => write!(f, "codec error: {msg}"),
             PparError::ContractViolation(msg) => write!(f, "contract violation: {msg}"),
@@ -104,6 +109,10 @@ mod tests {
             (
                 PparError::InvalidAdaptation("shrink<1".into()),
                 "invalid adaptation: shrink<1",
+            ),
+            (
+                PparError::Network("peer 2 down".into()),
+                "network error: peer 2 down",
             ),
             (PparError::Codec("eof".into()), "codec error: eof"),
             (

@@ -1,21 +1,30 @@
 //! Rank endpoints and collective operations.
 //!
-//! Collectives are built from the eager point-to-point transport in
-//! [`crate::net`]. Every collective call consumes one slot of the
-//! endpoint's collective-sequence counter; SPMD discipline (all ranks issue
-//! the same collectives in the same order) keeps the counters aligned, and
-//! the sequence number is baked into the message tag so concurrent
-//! collectives can never cross-match.
+//! Collectives are built from the eager point-to-point transport of any
+//! [`Fabric`] — the simulated [`crate::net::SimNet`] or the real
+//! `ppar_net::TcpFabric` — so the same gather/scatter/halo/reduce code
+//! serves thread-backed and process-backed aggregates. Every collective
+//! call consumes one slot of the endpoint's collective-sequence counter;
+//! SPMD discipline (all ranks issue the same collectives in the same
+//! order) keeps the counters aligned, and the sequence number is baked
+//! into the message tag so concurrent collectives can never cross-match.
+//!
+//! A fabric receive can fail on a real network (peer process death). The
+//! collective layer treats that as fatal for the line of execution: it
+//! panics with the fabric's report, the rank process exits nonzero, and
+//! the cluster driver restarts the job from its last durable checkpoint —
+//! there is no way to complete a half-dead collective.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ppar_core::plan::ReduceOp;
 
-use crate::net::{Payload, SimNet};
+use crate::net::{Fabric, Payload};
 
-/// Tag space layout: user messages get the high bit; collective messages
-/// encode (sequence << 4 | op).
+/// Tag space layout: user messages get the high bit; checkpoint service
+/// frames use bit 62 (`ppar_net::transport::CKPT_TAG_BIT`); collective
+/// messages encode (sequence << 4 | op) far below both.
 const USER_TAG_BIT: u64 = 1 << 63;
 
 #[derive(Clone, Copy)]
@@ -29,19 +38,21 @@ enum CollOp {
     Halo = 5,
 }
 
-/// One rank's handle on the simulated interconnect.
+/// One rank's handle on the interconnect (simulated or real).
 pub struct Endpoint {
-    net: Arc<SimNet>,
+    fabric: Arc<dyn Fabric>,
     rank: usize,
     coll_seq: AtomicU64,
 }
 
 impl Endpoint {
-    /// Endpoint for `rank` on `net`.
-    pub fn new(net: Arc<SimNet>, rank: usize) -> Endpoint {
-        assert!(rank < net.nranks(), "rank out of range");
+    /// Endpoint for `rank` on `fabric` (an `Arc<SimNet>` coerces here
+    /// directly; a `TcpFabric` must be handed the rank it bootstrapped
+    /// as).
+    pub fn new(fabric: Arc<dyn Fabric>, rank: usize) -> Endpoint {
+        assert!(rank < fabric.nranks(), "rank out of range");
         Endpoint {
-            net,
+            fabric,
             rank,
             coll_seq: AtomicU64::new(0),
         }
@@ -54,12 +65,12 @@ impl Endpoint {
 
     /// Aggregate size.
     pub fn nranks(&self) -> usize {
-        self.net.nranks()
+        self.fabric.nranks()
     }
 
-    /// The underlying network.
-    pub fn net(&self) -> &Arc<SimNet> {
-        &self.net
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<dyn Fabric> {
+        &self.fabric
     }
 
     fn next_tag(&self, op: CollOp) -> u64 {
@@ -67,17 +78,31 @@ impl Endpoint {
         (seq << 4) | op as u64
     }
 
+    /// Fabric send as this rank.
+    fn fsend(&self, dst: usize, tag: u64, bytes: impl Into<Payload>) {
+        self.fabric.send(self.rank, dst, tag, bytes.into());
+    }
+
+    /// Fabric receive as this rank. A failure (peer process death, stream
+    /// corruption, timeout) aborts this line of execution — see the
+    /// [module docs](self).
+    fn frecv(&self, src: usize, tag: u64) -> Payload {
+        self.fabric
+            .recv(self.rank, src, tag)
+            .unwrap_or_else(|e| panic!("rank {}: collective receive failed: {e}", self.rank))
+    }
+
     // ---- point to point (user tag space) ----
 
     /// Send `bytes` to `dst` under user tag `tag` (zero-copy when handed an
     /// existing [`Payload`]).
     pub fn send(&self, dst: usize, tag: u64, bytes: impl Into<Payload>) {
-        self.net.send(self.rank, dst, USER_TAG_BIT | tag, bytes);
+        self.fsend(dst, USER_TAG_BIT | tag, bytes);
     }
 
     /// Receive from `src` under user tag `tag`.
     pub fn recv(&self, src: usize, tag: u64) -> Payload {
-        self.net.recv(self.rank, src, USER_TAG_BIT | tag)
+        self.frecv(src, USER_TAG_BIT | tag)
     }
 
     // ---- collectives ----
@@ -91,14 +116,14 @@ impl Endpoint {
         }
         if self.rank == 0 {
             for src in 1..n {
-                self.net.recv(0, src, tag);
+                self.frecv(src, tag);
             }
             for dst in 1..n {
-                self.net.send(0, dst, tag, Vec::new());
+                self.fsend(dst, tag, Vec::new());
             }
         } else {
-            self.net.send(self.rank, 0, tag, Vec::new());
-            self.net.recv(self.rank, 0, tag);
+            self.fsend(0, tag, Vec::new());
+            self.frecv(0, tag);
         }
     }
 
@@ -141,12 +166,12 @@ impl Endpoint {
             let payload = bytes.expect("root must provide broadcast payload");
             for dst in 0..self.nranks() {
                 if dst != root {
-                    self.net.send(root, dst, tag, payload.clone());
+                    self.fsend(dst, tag, payload.clone());
                 }
             }
             None
         } else {
-            Some(self.net.recv(self.rank, root, tag))
+            Some(self.frecv(root, tag))
         }
     }
 
@@ -159,12 +184,12 @@ impl Endpoint {
             out[root] = bytes.into();
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    *slot = self.net.recv(root, src, tag);
+                    *slot = self.frecv(src, tag);
                 }
             }
             Some(out)
         } else {
-            self.net.send(self.rank, root, tag, bytes);
+            self.fsend(root, tag, bytes);
             None
         }
     }
@@ -178,12 +203,12 @@ impl Endpoint {
             assert_eq!(payloads.len(), self.nranks(), "one payload per rank");
             for (dst, payload) in payloads.iter_mut().enumerate() {
                 if dst != root {
-                    self.net.send(root, dst, tag, std::mem::take(payload));
+                    self.fsend(dst, tag, std::mem::take(payload));
                 }
             }
             std::mem::take(&mut payloads[root]).into()
         } else {
-            self.net.recv(self.rank, root, tag)
+            self.frecv(root, tag)
         }
     }
 
@@ -197,19 +222,18 @@ impl Endpoint {
         if self.rank == 0 {
             let mut acc = value;
             for src in 1..n {
-                let bytes = self.net.recv(0, src, tag);
+                let bytes = self.frecv(src, tag);
                 let v = f64::from_le_bytes(bytes.as_slice().try_into().expect("8-byte f64"));
                 acc = op.apply_f64(acc, v);
             }
             let combined: Payload = acc.to_le_bytes().to_vec().into();
             for dst in 1..n {
-                self.net.send(0, dst, tag, combined.clone());
+                self.fsend(dst, tag, combined.clone());
             }
             acc
         } else {
-            self.net
-                .send(self.rank, 0, tag, value.to_le_bytes().to_vec());
-            let bytes = self.net.recv(self.rank, 0, tag);
+            self.fsend(0, tag, value.to_le_bytes().to_vec());
+            let bytes = self.frecv(0, tag);
             f64::from_le_bytes(bytes.as_slice().try_into().expect("8-byte f64"))
         }
     }
@@ -230,16 +254,16 @@ impl Endpoint {
         // Eager sends cannot deadlock: deposit both, then receive.
         if rank > 0 {
             if let Some(bytes) = to_prev {
-                self.net.send(rank, rank - 1, tag, bytes);
+                self.fsend(rank - 1, tag, bytes);
             }
         }
         if rank + 1 < n {
             if let Some(bytes) = to_next {
-                self.net.send(rank, rank + 1, tag, bytes);
+                self.fsend(rank + 1, tag, bytes);
             }
         }
-        let from_prev = (rank > 0).then(|| self.net.recv(rank, rank - 1, tag));
-        let from_next = (rank + 1 < n).then(|| self.net.recv(rank, rank + 1, tag));
+        let from_prev = (rank > 0).then(|| self.frecv(rank - 1, tag));
+        let from_next = (rank + 1 < n).then(|| self.frecv(rank + 1, tag));
         (from_prev, from_next)
     }
 }
@@ -247,6 +271,7 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::SimNet;
 
     /// Run `f(rank)` on `n` rank threads over an instant network.
     fn spmd<R: Send>(n: usize, f: impl Fn(&Endpoint) -> R + Sync) -> Vec<R> {

@@ -27,6 +27,8 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use ppar_ckpt::delta::{DeltaMeta, DeltaPayload, DeltaSnapshot};
+use ppar_ckpt::store::SnapshotWriter;
 use ppar_core::ctx::{CkptHook, Ctx, Engine};
 use ppar_core::mode::ExecMode;
 use ppar_core::partition::{block_owned, block_with_halo, owned_ranges, Partition};
@@ -134,12 +136,16 @@ impl DsmEngine {
 
     /// Gather only the *dirty* (written-since-last-snapshot) parts of a
     /// block-partitioned field at the root: each element clamps its write
-    /// tracking to the owned block, widens to index boundaries, and ships a
-    /// small framed record (`[nranges][{index off,len}…][bytes]`); the root
-    /// installs the patches, which marks exactly those chunks dirty in its
-    /// own tracking — so the master *delta* that follows scales with the
-    /// aggregate dirty fraction instead of the field size. Falls back to
-    /// the whole-partition gather for non-block partitions and untracked
+    /// tracking to the owned block, widens to index boundaries, and ships
+    /// one **`PPARDLT1` delta record** — the exact encoding the checkpoint
+    /// store persists, streamed through the shared [`SnapshotWriter`] with
+    /// its running CRC-32, so the rank→root hand-off is integrity-checked
+    /// end to end and rides any fabric (including real TCP) for free. The
+    /// root decodes with the shared delta reader and installs the patches,
+    /// which marks exactly those chunks dirty in its own tracking — so the
+    /// master *delta* that follows scales with the aggregate dirty
+    /// fraction instead of the field size. Falls back to the
+    /// whole-partition gather for non-block partitions and untracked
     /// cells.
     pub(crate) fn gather_dirty_field(&self, ctx: &Ctx, field: &str) {
         let plan = ctx.plan();
@@ -175,56 +181,72 @@ impl DsmEngine {
             }
         }
 
-        let payload_len: usize = idx_ranges.iter().map(|r| r.len() * ib).sum();
-        let mut frame = Vec::with_capacity(4 + idx_ranges.len() * 16 + payload_len);
-        frame.extend_from_slice(&(idx_ranges.len() as u32).to_le_bytes());
-        for r in &idx_ranges {
-            frame.extend_from_slice(&(r.start as u64).to_le_bytes());
-            frame.extend_from_slice(&(r.len() as u64).to_le_bytes());
-        }
-        for r in &idx_ranges {
-            cell.extract_into(r.clone(), &mut frame);
-        }
+        // Index ranges → byte ranges into the field's full encoding
+        // (master-relative offsets: full_len is the whole field, exactly a
+        // master delta's coordinate system).
+        let byte_ranges: Vec<Range<usize>> = idx_ranges
+            .iter()
+            .map(|r| r.start * ib..r.end * ib)
+            .collect();
+        let count = ctx.ckpt_hook().map(|ck| ck.count()).unwrap_or(0);
+        let meta = DeltaMeta {
+            mode_tag: ctx.mode().tag(),
+            count,
+            // A gather record is not part of a persisted chain; base_count
+            // mirrors count and seq is 1 (self-describing single record).
+            base_count: count,
+            seq: 1,
+            rank: Some(rank as u32),
+            nranks: n as u32,
+        };
+        let sc: &dyn ppar_core::state::StateCell = &*cell;
+        let record = (|| -> ppar_core::error::Result<Vec<u8>> {
+            let mut w = SnapshotWriter::new_delta(Vec::new(), &meta, 1)?;
+            w.delta_field_sparse_cell(field, sc, &byte_ranges)?;
+            Ok(w.finish()?.1)
+        })()
+        .expect("dirty-gather delta encoding failed");
 
-        if let Some(all) = self.ep.gather(0, frame) {
+        if let Some(all) = self.ep.gather(0, record) {
             for (r, payload) in all.into_iter().enumerate() {
                 if r != 0 {
-                    DsmEngine::install_dirty_frame(&*cell, field, &payload);
+                    DsmEngine::install_dirty_record(&*cell, field, n, &payload);
                 }
             }
         }
     }
 
-    /// Root-side inverse of the dirty-gather frame: install each patch into
-    /// its index range (marking the root's own write tracking).
-    fn install_dirty_frame(cell: &dyn DistCell, field: &str, frame: &[u8]) {
+    /// Root-side inverse of the dirty gather: decode the `PPARDLT1` record
+    /// (CRC-verified by the shared delta reader) and install each sparse
+    /// patch into its index range (marking the root's own write tracking).
+    fn install_dirty_record(cell: &dyn DistCell, field: &str, nranks: usize, record: &[u8]) {
+        let delta = DeltaSnapshot::decode(record)
+            .unwrap_or_else(|e| panic!("corrupt dirty-gather record for field {field:?}: {e}"));
+        assert_eq!(
+            delta.meta.nranks as usize, nranks,
+            "dirty-gather record from a different aggregate size"
+        );
         let ib = cell.index_bytes();
-        let header_err = || panic!("malformed dirty-gather frame for field {field:?}");
-        if frame.len() < 4 {
-            header_err();
-        }
-        let nranges = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
-        let mut spans = Vec::with_capacity(nranges);
-        let mut pos = 4usize;
-        for _ in 0..nranges {
-            if pos + 16 > frame.len() {
-                header_err();
+        for (name, payload) in &delta.fields {
+            assert_eq!(name, field, "dirty-gather record names a different field");
+            let DeltaPayload::Sparse { full_len, ranges } = payload else {
+                panic!("dirty-gather record for field {field:?} is not sparse");
+            };
+            assert_eq!(
+                *full_len as usize,
+                cell.byte_len(),
+                "dirty-gather record for field {field:?} has a different field size"
+            );
+            for (off, bytes) in ranges {
+                let off = *off as usize;
+                assert!(
+                    off.is_multiple_of(ib) && bytes.len().is_multiple_of(ib),
+                    "dirty-gather range not index-aligned for field {field:?}"
+                );
+                cell.install(off / ib..(off + bytes.len()) / ib, bytes)
+                    .expect("dirty-range install failed");
             }
-            let off = u64::from_le_bytes(frame[pos..pos + 8].try_into().unwrap()) as usize;
-            let len = u64::from_le_bytes(frame[pos + 8..pos + 16].try_into().unwrap()) as usize;
-            spans.push(off..off + len);
-            pos += 16;
         }
-        for span in spans {
-            let bytes = span.len() * ib;
-            if pos + bytes > frame.len() {
-                header_err();
-            }
-            cell.install(span, &frame[pos..pos + bytes])
-                .expect("dirty-range install failed");
-            pos += bytes;
-        }
-        assert_eq!(pos, frame.len(), "trailing bytes in dirty-gather frame");
     }
 
     /// Gather `field`'s partitions into the root's full copy.

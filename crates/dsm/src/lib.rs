@@ -16,6 +16,12 @@
 //! the hybrid engine ([`hybrid::HybridEngine`]: each element runs a local
 //! thread team over the shared `ppar_core::runtime` layer), and the job
 //! runners ([`spmd::run_spmd`], [`spmd::run_hybrid`]).
+//!
+//! Since the `ppar-net` crate landed, every piece here is written against
+//! the [`ppar_net::Fabric`] trait rather than `SimNet` concretely: handing
+//! [`collective::Endpoint::new`] a `ppar_net::TcpFabric` runs the same
+//! engine, collectives and checkpoint strategies over **real OS
+//! processes** connected by TCP (see `ppar_adapt::netrun`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +36,9 @@ pub mod topology;
 pub use collective::Endpoint;
 pub use engine::DsmEngine;
 pub use hybrid::HybridEngine;
-pub use net::{SimNet, Traffic};
-pub use spmd::{run_hybrid, run_hybrid_adaptive, run_spmd, run_spmd_plain, SpmdConfig};
+pub use net::{Fabric, Payload, SimNet, Traffic};
+pub use spmd::{
+    run_hybrid, run_hybrid_adaptive, run_hybrid_adaptive_on, run_spmd, run_spmd_on, run_spmd_plain,
+    SpmdConfig,
+};
 pub use topology::{LinkClass, NetModel, Topology};

@@ -16,6 +16,11 @@
 //! scatter) is shared rather than copied P−1 times. Only the *simulated*
 //! transfer time scales with the byte count; the host-side cost of a send
 //! is O(1) in the payload size.
+//!
+//! `SimNet` is one implementation of the [`ppar_net::Fabric`] trait — the
+//! other is the real TCP mesh, [`ppar_net::TcpFabric`]. Engines and
+//! collectives run against the trait, so the same binary executes over
+//! threads (here) or over real OS processes without change.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,14 +29,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::topology::{LinkClass, NetModel, Topology};
+pub use ppar_net::{Fabric, Payload, Traffic};
 
-/// The wire representation of one message body: reference-counted so
-/// fan-out sends (broadcast, scatter of a shared buffer) are zero-copy,
-/// and `Arc<Vec<u8>>` rather than `Arc<[u8]>` so converting an owned `Vec`
-/// (the unicast case: halo rows, gathered partitions) moves the buffer
-/// instead of copying it.
-pub type Payload = Arc<Vec<u8>>;
+use crate::topology::{LinkClass, NetModel, Topology};
 
 struct Message {
     bytes: Payload,
@@ -50,31 +50,6 @@ struct Mailbox {
     /// Serialising ingress link: the time until which this rank's receive
     /// path is busy.
     ingress_busy_until: Mutex<Instant>,
-}
-
-/// Cumulative traffic counters (per link class).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Traffic {
-    /// Messages over intra-machine links.
-    pub intra_msgs: u64,
-    /// Bytes over intra-machine links.
-    pub intra_bytes: u64,
-    /// Messages over inter-machine links.
-    pub inter_msgs: u64,
-    /// Bytes over inter-machine links.
-    pub inter_bytes: u64,
-}
-
-impl Traffic {
-    /// Total messages.
-    pub fn msgs(&self) -> u64 {
-        self.intra_msgs + self.inter_msgs
-    }
-
-    /// Total bytes.
-    pub fn bytes(&self) -> u64 {
-        self.intra_bytes + self.inter_bytes
-    }
 }
 
 /// The in-process interconnect shared by all ranks of one simulated job.
@@ -192,10 +167,44 @@ impl SimNet {
                 mbox.cv.wait(&mut inner);
             }
         };
-        // Serialise this rank's ingress: concurrent senders overlap their
-        // latency but their bandwidth terms queue on the receiver's link —
-        // so a root gathering P−1 partitions pays ~the sum of transfer
-        // times, as a real NIC would.
+        self.pay_ingress(mbox, &msg);
+        msg.bytes
+    }
+
+    /// Block until a message with `tag` from *any* source is available at
+    /// `dst`; returns `(source, payload)` (lowest ready source first).
+    pub fn recv_any(&self, dst: usize, tag: u64) -> (usize, Payload) {
+        assert!(dst < self.nranks, "rank out of range");
+        let mbox = &self.mailboxes[dst];
+        let (src, msg) = {
+            let mut inner = mbox.inner.lock();
+            loop {
+                let ready = inner
+                    .queues
+                    .iter()
+                    .filter(|((_, t), q)| *t == tag && !q.is_empty())
+                    .map(|((s, _), _)| *s)
+                    .min();
+                if let Some(src) = ready {
+                    let msg = inner
+                        .queues
+                        .get_mut(&(src, tag))
+                        .and_then(|q| q.pop_front())
+                        .expect("non-empty queue just observed");
+                    break (src, msg);
+                }
+                mbox.cv.wait(&mut inner);
+            }
+        };
+        self.pay_ingress(mbox, &msg);
+        (src, msg.bytes)
+    }
+
+    /// Serialise this rank's ingress: concurrent senders overlap their
+    /// latency but their bandwidth terms queue on the receiver's link —
+    /// so a root gathering P−1 partitions pays ~the sum of transfer
+    /// times, as a real NIC would.
+    fn pay_ingress(&self, mbox: &Mailbox, msg: &Message) {
         let release_at = {
             let mut busy = mbox.ingress_busy_until.lock();
             let start = (*busy).max(Instant::now());
@@ -205,7 +214,6 @@ impl SimNet {
             release
         };
         wait_until(release_at);
-        msg.bytes
     }
 
     /// Non-blocking probe: is a `(src, tag)` message queued at `dst`?
@@ -216,6 +224,40 @@ impl SimNet {
             .get(&(src, tag))
             .map(|q| !q.is_empty())
             .unwrap_or(false)
+    }
+}
+
+/// The simulated network is one [`Fabric`]: engines and collectives built
+/// against the trait run identically over `SimNet` (threads, modelled
+/// costs) and [`ppar_net::TcpFabric`] (real processes). `SimNet` links
+/// cannot die, so the fallible trait receives always succeed here.
+impl Fabric for SimNet {
+    fn describe(&self) -> &'static str {
+        "sim"
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&self, src: usize, dst: usize, tag: u64, payload: Payload) {
+        SimNet::send(self, src, dst, tag, payload);
+    }
+
+    fn recv(&self, dst: usize, src: usize, tag: u64) -> ppar_core::error::Result<Payload> {
+        Ok(SimNet::recv(self, dst, src, tag))
+    }
+
+    fn recv_any(&self, dst: usize, tag: u64) -> ppar_core::error::Result<(usize, Payload)> {
+        Ok(SimNet::recv_any(self, dst, tag))
+    }
+
+    fn probe(&self, dst: usize, src: usize, tag: u64) -> bool {
+        SimNet::probe(self, dst, src, tag)
+    }
+
+    fn traffic(&self) -> Traffic {
+        SimNet::traffic(self)
     }
 }
 
@@ -324,6 +366,32 @@ mod tests {
             elapsed < Duration::from_millis(200),
             "transfer should not be wildly slow, got {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn recv_any_matches_tag_across_sources() {
+        let net = SimNet::instant(3);
+        net.send(2, 0, 5, vec![2]);
+        net.send(1, 0, 5, vec![1]);
+        net.send(1, 0, 6, vec![9]); // different tag: must not match
+        let (src_a, a) = net.recv_any(0, 5);
+        let (src_b, b) = net.recv_any(0, 5);
+        let mut got = vec![(src_a, a[0]), (src_b, b[0])];
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 1), (2, 2)]);
+        assert_eq!(&*net.recv(0, 1, 6), &[9]);
+    }
+
+    #[test]
+    fn fabric_trait_dispatch_matches_inherent() {
+        let net = SimNet::instant(2);
+        let fabric: Arc<dyn Fabric> = net.clone();
+        assert_eq!(fabric.describe(), "sim");
+        assert_eq!(fabric.nranks(), 2);
+        fabric.send(0, 1, 3, Arc::new(vec![7]));
+        assert!(fabric.probe(1, 0, 3));
+        assert_eq!(&*fabric.recv(1, 0, 3).unwrap(), &[7]);
+        assert_eq!(fabric.traffic().msgs(), 1);
     }
 
     #[test]

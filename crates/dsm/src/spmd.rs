@@ -63,9 +63,23 @@ pub fn run_spmd<R: Send>(
     auto_finish: bool,
     app: impl Fn(&Ctx) -> R + Sync,
 ) -> Vec<R> {
-    assert!(cfg.nranks >= 1, "need at least one rank");
     let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
-    let mut out: Vec<Option<R>> = (0..cfg.nranks).map(|_| None).collect();
+    run_spmd_on(net, plan, hooks, auto_finish, app)
+}
+
+/// [`run_spmd`] over a caller-built network — the caller keeps the `net`
+/// handle, so traffic counters survive the run (the launcher reports them
+/// alongside timing).
+pub fn run_spmd_on<R: Send>(
+    net: Arc<SimNet>,
+    plan: Arc<Plan>,
+    hooks: HookFactory<'_>,
+    auto_finish: bool,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
+    let nranks = net.nranks();
+    assert!(nranks >= 1, "need at least one rank");
+    let mut out: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (rank, slot) in out.iter_mut().enumerate() {
             let net = net.clone();
@@ -131,9 +145,25 @@ pub fn run_hybrid_adaptive<R: Send>(
     auto_finish: bool,
     app: impl Fn(&Ctx) -> R + Sync,
 ) -> Vec<R> {
-    assert!(cfg.nranks >= 1, "need at least one rank");
     let net = SimNet::new(cfg.topology, cfg.nranks, cfg.model);
-    let mut out: Vec<Option<R>> = (0..cfg.nranks).map(|_| None).collect();
+    run_hybrid_adaptive_on(net, threads, max_threads, plan, hooks, auto_finish, app)
+}
+
+/// [`run_hybrid_adaptive`] over a caller-built network (see
+/// [`run_spmd_on`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid_adaptive_on<R: Send>(
+    net: Arc<SimNet>,
+    threads: usize,
+    max_threads: usize,
+    plan: Arc<Plan>,
+    hooks: HookFactory<'_>,
+    auto_finish: bool,
+    app: impl Fn(&Ctx) -> R + Sync,
+) -> Vec<R> {
+    let nranks = net.nranks();
+    assert!(nranks >= 1, "need at least one rank");
+    let mut out: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (rank, slot) in out.iter_mut().enumerate() {
             let net = net.clone();

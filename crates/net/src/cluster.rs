@@ -1,0 +1,275 @@
+//! The local-cluster driver: launch N copies of a binary as real OS
+//! processes wired to one rendezvous address — the "mpirun" of this repo —
+//! plus the process-level crash/restart loop.
+//!
+//! The driver owns nothing but PIDs: each rank process bootstraps itself
+//! through [`crate::tcp::TcpFabric::connect`] from the environment
+//! contract the driver sets ([`crate::tcp::ENV_RANK`] /
+//! [`crate::tcp::ENV_NRANKS`] / [`crate::tcp::ENV_ROOT`]). When a rank
+//! dies, its peers fail out of their blocked collectives and exit nonzero;
+//! [`run_cluster_until_complete`] then relaunches the whole job, and the
+//! checkpoint layer's start-up failure detection replays it from the last
+//! durable snapshot.
+
+use std::io;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::tcp::{ENV_NRANKS, ENV_RANK, ENV_ROOT};
+
+/// Reserve a fresh loopback `host:port` for a rendezvous listener: bind an
+/// ephemeral port, read the address back, release it.
+///
+/// This is inherently reserve-then-rebind: another process *could* grab
+/// the port in the instant between release and the rank-0 child's bind.
+/// The kernel's ephemeral allocator avoids recently used ports, so the
+/// window is minute; when it does fire, the job fails loudly within the
+/// bootstrap deadline (rank 0 cannot bind, its peers time out of the
+/// rendezvous) and [`run_cluster_until_complete`] retries the next
+/// attempt with a freshly reserved address.
+pub fn free_loopback_addr() -> io::Result<String> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.to_string())
+}
+
+/// What to launch, N times.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of rank processes.
+    pub nranks: usize,
+    /// Binary to execute for every rank.
+    pub exe: PathBuf,
+    /// Arguments passed to every rank.
+    pub args: Vec<String>,
+    /// Extra environment variables set for every rank (on top of the
+    /// `PPAR_*` contract).
+    pub envs: Vec<(String, String)>,
+    /// Silence the children's stdout/stderr (noise control for benches;
+    /// tests keep them inherited for diagnosability).
+    pub quiet: bool,
+}
+
+impl ClusterSpec {
+    /// Launch `nranks` copies of `exe` with `args`.
+    pub fn new(nranks: usize, exe: impl Into<PathBuf>, args: Vec<String>) -> ClusterSpec {
+        ClusterSpec {
+            nranks,
+            exe: exe.into(),
+            args,
+            envs: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Launch `nranks` copies of the *current* binary with `args` — the
+    /// self-spawn pattern tests and benches use to become their own
+    /// workers.
+    pub fn current_exe(nranks: usize, args: Vec<String>) -> io::Result<ClusterSpec> {
+        Ok(ClusterSpec::new(nranks, std::env::current_exe()?, args))
+    }
+
+    /// Add an environment variable for every rank.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> ClusterSpec {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A running cluster of rank processes.
+pub struct LocalCluster {
+    root: String,
+    children: Vec<Option<Child>>,
+}
+
+/// Spawn one process per rank (rank 0 first, so the rendezvous listener
+/// comes up promptly), all pointed at a freshly reserved loopback
+/// rendezvous address.
+pub fn spawn_local_cluster(spec: &ClusterSpec) -> io::Result<LocalCluster> {
+    assert!(spec.nranks >= 1, "need at least one rank");
+    let root = free_loopback_addr()?;
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(spec.nranks);
+    for rank in 0..spec.nranks {
+        let mut cmd = Command::new(&spec.exe);
+        cmd.args(&spec.args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, spec.nranks.to_string())
+            .env(ENV_ROOT, &root);
+        for (k, v) in &spec.envs {
+            cmd.env(k, v);
+        }
+        if spec.quiet {
+            cmd.stdout(Stdio::null()).stderr(Stdio::null());
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(Some(child)),
+            Err(e) => {
+                // Reap what already started before reporting.
+                let mut started = LocalCluster { root, children };
+                started.kill_all();
+                return Err(e);
+            }
+        }
+    }
+    Ok(LocalCluster { root, children })
+}
+
+impl LocalCluster {
+    /// The rendezvous address the ranks were pointed at.
+    pub fn root_addr(&self) -> &str {
+        &self.root
+    }
+
+    /// Number of ranks launched.
+    pub fn nranks(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Kill one rank process (SIGKILL — the crash-recovery scenario's
+    /// "machine loss") and reap it. No-op if it already exited.
+    pub fn kill_rank(&mut self, rank: usize) -> io::Result<()> {
+        if let Some(child) = self.children[rank].as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.children[rank] = None;
+        }
+        Ok(())
+    }
+
+    /// Kill and reap every remaining rank.
+    pub fn kill_all(&mut self) {
+        for rank in 0..self.children.len() {
+            let _ = self.kill_rank(rank);
+        }
+    }
+
+    /// Wait (polling) until every rank exits or `deadline` passes; on
+    /// expiry the stragglers are killed and a `TimedOut` error returns.
+    /// Exit statuses come back rank-indexed; ranks already reaped by
+    /// [`LocalCluster::kill_rank`] report `None`.
+    pub fn wait_all(&mut self, deadline: Duration) -> io::Result<Vec<Option<ExitStatus>>> {
+        let end = Instant::now() + deadline;
+        let mut statuses: Vec<Option<ExitStatus>> = vec![None; self.children.len()];
+        loop {
+            let mut pending = false;
+            for (rank, slot) in self.children.iter_mut().enumerate() {
+                if statuses[rank].is_some() {
+                    continue;
+                }
+                match slot {
+                    None => {}
+                    Some(child) => match child.try_wait()? {
+                        Some(status) => {
+                            statuses[rank] = Some(status);
+                            *slot = None;
+                        }
+                        None => pending = true,
+                    },
+                }
+            }
+            if !pending {
+                return Ok(statuses);
+            }
+            if Instant::now() >= end {
+                self.kill_all();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("cluster did not exit within {deadline:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        // Never leak rank processes past the driver.
+        self.kill_all();
+    }
+}
+
+/// Launch `spec` until every rank exits successfully, relaunching the
+/// whole job after any failure (the process-level restart path: the
+/// checkpoint layer detects the dead run at start-up and replays it from
+/// the last durable snapshot). Returns the number of launches it took.
+pub fn run_cluster_until_complete(
+    spec: &ClusterSpec,
+    attempt_timeout: Duration,
+    max_attempts: usize,
+) -> io::Result<usize> {
+    for attempt in 1..=max_attempts {
+        let mut cluster = spawn_local_cluster(spec)?;
+        match cluster.wait_all(attempt_timeout) {
+            Ok(statuses)
+                if statuses
+                    .iter()
+                    .all(|s| s.map(|s| s.success()).unwrap_or(false)) =>
+            {
+                return Ok(attempt)
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    Err(io::Error::other(format!(
+        "cluster did not complete within {max_attempts} attempts"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_addr_is_loopback_with_port() {
+        let addr = free_loopback_addr().unwrap();
+        assert!(addr.starts_with("127.0.0.1:"), "{addr}");
+        let port: u16 = addr.rsplit_once(':').unwrap().1.parse().unwrap();
+        assert_ne!(port, 0);
+    }
+
+    #[test]
+    fn spec_builder_accumulates_env() {
+        let spec = ClusterSpec::new(2, "/bin/true", vec!["x".into()])
+            .env("A", "1")
+            .env("B", "2");
+        assert_eq!(spec.envs.len(), 2);
+        assert_eq!(spec.nranks, 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn wait_all_reaps_and_reports() {
+        // `true` exits 0 immediately; no fabric involved — this exercises
+        // only the process plumbing.
+        let spec = ClusterSpec::new(3, "/bin/true", vec![]);
+        let mut cluster = spawn_local_cluster(&spec).unwrap();
+        let statuses = cluster.wait_all(Duration::from_secs(10)).unwrap();
+        assert_eq!(statuses.len(), 3);
+        assert!(statuses.iter().all(|s| s.unwrap().success()));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn wait_all_times_out_on_stragglers() {
+        let spec = ClusterSpec::new(1, "/bin/sleep", vec!["30".into()]).env("X", "1");
+        let mut cluster = spawn_local_cluster(&spec).unwrap();
+        let err = cluster.wait_all(Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn restart_driver_counts_attempts() {
+        // `false` always fails: the driver retries to its cap.
+        let spec = ClusterSpec::new(1, "/bin/false", vec![]);
+        let err = run_cluster_until_complete(&spec, Duration::from_secs(5), 2).unwrap_err();
+        assert!(err.to_string().contains("2 attempts"), "{err}");
+        let ok = ClusterSpec::new(2, "/bin/true", vec![]);
+        assert_eq!(
+            run_cluster_until_complete(&ok, Duration::from_secs(5), 3).unwrap(),
+            1
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The wire codec: length-prefixed, CRC-framed messages.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! len     u32  payload length in bytes (≤ MAX_FRAME_PAYLOAD)
+//! tag     u64  fabric tag (user / collective / checkpoint tag space)
+//! crc     u32  CRC-32 of tag_le ++ payload (the checkpoint crate's
+//!              slice-by-8 implementation — one CRC for files and wire)
+//! payload len bytes
+//! ```
+//!
+//! All integers little-endian, matching the snapshot/delta formats. The
+//! CRC covers the tag so a corrupted header cannot silently deliver a
+//! payload to the wrong channel. Checkpoint records framed here carry
+//! *their own* trailing CRC too (they are written by the shared
+//! `SnapshotWriter`), so a record is integrity-checked end to end: once on
+//! the wire, once when the durable medium is read back.
+//!
+//! A short read inside a frame is an `UnexpectedEof` error; a clean EOF at
+//! a frame boundary decodes as `Ok(None)` — that is how a peer's orderly
+//! shutdown is distinguished from a truncated stream.
+
+use std::io::{self, Read, Write};
+
+use ppar_ckpt::crc::Crc32;
+
+/// Bytes of the fixed frame header (`len` + `tag` + `crc`).
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// Sanity bound on a single frame's payload (1 GiB). A length field above
+/// this is treated as stream corruption, not an allocation request.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// CRC-32 of `tag ++ payload` as carried in the frame header.
+pub fn frame_crc(tag: u64, payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&tag.to_le_bytes());
+    c.update(payload);
+    c.finish()
+}
+
+/// Encode one frame into `w` (no flush — callers batch frames and flush
+/// once per burst).
+pub fn write_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the 1 GiB bound",
+                payload.len()
+            ),
+        ));
+    }
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..12].copy_from_slice(&tag.to_le_bytes());
+    header[12..16].copy_from_slice(&frame_crc(tag, payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Read until `buf` is full or EOF; returns the number of bytes read.
+/// (`read_exact` cannot distinguish "EOF before any byte" from "EOF mid
+/// buffer", and that distinction is the clean-shutdown signal.)
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Decode one frame from `r`. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed its connection in an orderly way); any short
+/// read inside a frame, oversized length or CRC mismatch is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u64, Vec<u8>)>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match read_full(r, &mut header)? {
+        0 => return Ok(None),
+        FRAME_HEADER_BYTES => {}
+        n => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "stream truncated inside a frame header ({n} of {FRAME_HEADER_BYTES} bytes)"
+                ),
+            ))
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let tag = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame announces a {len}-byte payload (corrupt length field)"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload)?;
+    if got != len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("stream truncated inside a frame payload ({got} of {len} bytes)"),
+        ));
+    }
+    let computed = frame_crc(tag, &payload);
+    if computed != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch: header {crc:#010x}, computed {computed:#010x}"),
+        ));
+    }
+    Ok(Some((tag, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out at most `chunk` bytes per `read` call —
+    /// models TCP's short reads.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf
+                .len()
+                .min(self.chunk.max(1))
+                .min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn encode(frames: &[(u64, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (tag, payload) in frames {
+            write_frame(&mut out, *tag, payload).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let bytes = encode(&[(7, b"hello fabric")]);
+        let mut r = bytes.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((7, b"hello fabric".to_vec()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after frame");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = encode(&[(u64::MAX, b"")]);
+        let mut r = bytes.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some((u64::MAX, Vec::new())));
+    }
+
+    #[test]
+    fn coalesced_frames_decode_in_order() {
+        // Several frames written into one buffer (one TCP segment carrying
+        // many messages) decode back one at a time.
+        let bytes = encode(&[(1, b"a"), (2, b"bb"), (3, b""), (1 << 62, b"ccc")]);
+        let mut r = bytes.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some((1, b"a".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((2, b"bb".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((3, Vec::new())));
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((1 << 62, b"ccc".to_vec()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let payload: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        let bytes = encode(&[(42, &payload), (43, b"tail")]);
+        for chunk in [1, 2, 3, 7, 16, 64] {
+            let mut r = Trickle {
+                data: &bytes,
+                pos: 0,
+                chunk,
+            };
+            assert_eq!(
+                read_frame(&mut r).unwrap(),
+                Some((42, payload.clone())),
+                "chunk {chunk}"
+            );
+            assert_eq!(read_frame(&mut r).unwrap(), Some((43, b"tail".to_vec())));
+            assert_eq!(read_frame(&mut r).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut bytes = encode(&[(9, b"payload-bytes")]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        // Flipping a tag bit must fail the CRC: otherwise a damaged header
+        // would deliver the payload to the wrong (src, tag) channel.
+        let mut bytes = encode(&[(5, b"x")]);
+        bytes[4] ^= 0x01;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_eof_errors() {
+        let bytes = encode(&[(9, b"0123456789")]);
+        // Inside the header.
+        for cut in 1..FRAME_HEADER_BYTES {
+            let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+        // Inside the payload.
+        let err = read_frame(&mut &bytes[..bytes.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocating() {
+        let mut bytes = encode(&[(1, b"x")]);
+        bytes[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("corrupt length"), "{err}");
+    }
+
+    proptest::proptest! {
+        /// Any batch of frames written back-to-back (coalesced) decodes to
+        /// exactly the same (tag, payload) sequence through a reader that
+        /// returns arbitrarily short reads.
+        #[test]
+        fn prop_roundtrip_split_and_coalesced(
+            frames in proptest::collection::vec(
+                (proptest::prelude::any::<u64>(),
+                 proptest::collection::vec(proptest::prelude::any::<u8>(), 0..200)),
+                0..8,
+            ),
+            chunk in 1usize..32,
+        ) {
+            let mut bytes = Vec::new();
+            for (tag, payload) in &frames {
+                write_frame(&mut bytes, *tag, payload).unwrap();
+            }
+            let mut r = Trickle { data: &bytes, pos: 0, chunk };
+            for (tag, payload) in &frames {
+                let got = read_frame(&mut r).unwrap();
+                proptest::prop_assert_eq!(got, Some((*tag, payload.clone())));
+            }
+            proptest::prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+        }
+
+        /// Flipping any single byte of an encoded frame never yields a
+        /// silently different message: the decode fails, or (for a length
+        /// byte that grows the frame) reports a truncated stream.
+        #[test]
+        fn prop_single_byte_corruption_is_detected(
+            payload in proptest::collection::vec(proptest::prelude::any::<u8>(), 1..100),
+            tag in proptest::prelude::any::<u64>(),
+            flip_bit in 0u8..8,
+        ) {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, tag, &payload).unwrap();
+            for pos in 0..bytes.len() {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << flip_bit;
+                match read_frame(&mut corrupt.as_slice()) {
+                    Err(_) => {}
+                    Ok(decoded) => proptest::prop_assert_eq!(
+                        decoded, None,
+                        "byte {} corrupted yet frame decoded", pos
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,971 @@
+//! The real TCP fabric: one OS process per rank, a full socket mesh, and
+//! the rendezvous bootstrap that builds it.
+//!
+//! ## Bootstrap (the `PPAR_*` environment contract)
+//!
+//! Every rank process is launched with three environment variables (see
+//! [`crate::cluster::spawn_local_cluster`]):
+//!
+//! | variable      | meaning                                             |
+//! |---------------|-----------------------------------------------------|
+//! | `PPAR_RANK`   | this process's rank (0-based)                       |
+//! | `PPAR_NRANKS` | aggregate size                                      |
+//! | `PPAR_ROOT`   | `host:port` of rank 0's rendezvous listener         |
+//!
+//! Rank 0 listens on `PPAR_ROOT`. Every other rank binds its own
+//! ephemeral listener, connects to the root with retry, and sends a HELLO
+//! frame carrying its rank and listener address. Once all ranks have
+//! reported, the root broadcasts the address table and the mesh completes
+//! pairwise: rank *j* connects to every lower rank *i* (`0 < i < j`) and
+//! accepts from every higher one, identifying itself with a MESH frame.
+//! The root↔rank link reuses the HELLO connection. All sockets run with
+//! `TCP_NODELAY` (collective messages are small and latency-bound).
+//!
+//! ## Data plane
+//!
+//! Each peer link gets a dedicated **send thread** (draining an unbounded
+//! queue through a `BufWriter`, coalescing bursts into single flushes) and
+//! a dedicated **receive thread** (decoding [`crate::frame`] frames into
+//! the shared tag-matched mailbox). Sends never block the caller and never
+//! fail; a dead peer surfaces on `recv`.
+//!
+//! ## Failure semantics
+//!
+//! EOF, an I/O error or a corrupt frame on a peer link marks that peer
+//! **down** and wakes every blocked receiver. `recv` first drains messages
+//! that already arrived, then fails with
+//! [`PparError::Network`]. A crashed rank therefore cascades: its peers
+//! fail out of their blocked collectives, exit nonzero, and the cluster
+//! driver restarts the job from the last durable checkpoint.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ppar_core::error::{PparError, Result};
+
+use crate::fabric::{Fabric, Payload, Traffic};
+use crate::frame::{read_frame, write_frame};
+
+/// Environment variable naming this process's rank.
+pub const ENV_RANK: &str = "PPAR_RANK";
+/// Environment variable naming the aggregate size.
+pub const ENV_NRANKS: &str = "PPAR_NRANKS";
+/// Environment variable naming rank 0's rendezvous `host:port`.
+pub const ENV_ROOT: &str = "PPAR_ROOT";
+/// Optional override (seconds) for both bootstrap and receive timeouts.
+pub const ENV_TIMEOUT: &str = "PPAR_NET_TIMEOUT_SECS";
+
+/// Handshake frame tags (used only on the raw streams before the data
+/// plane starts, so they cannot collide with fabric traffic).
+const HELLO_TAG: u64 = 0x7070_6172_0001;
+const TABLE_TAG: u64 = 0x7070_6172_0002;
+const MESH_TAG: u64 = 0x7070_6172_0003;
+
+/// One rank's view of the job, resolved from the environment contract.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// This process's rank.
+    pub rank: usize,
+    /// Aggregate size.
+    pub nranks: usize,
+    /// Rank 0's rendezvous address (`host:port`).
+    pub root: String,
+    /// How long bootstrap connects retry before giving up.
+    pub connect_timeout: Duration,
+    /// How long a `recv` waits without progress before reporting a hang
+    /// (guards CI against silent deadlocks when a peer wedges rather than
+    /// dies).
+    pub recv_timeout: Duration,
+}
+
+impl NetConfig {
+    /// A config with the default timeouts (20 s bootstrap, 120 s receive).
+    pub fn new(rank: usize, nranks: usize, root: impl Into<String>) -> NetConfig {
+        NetConfig {
+            rank,
+            nranks,
+            root: root.into(),
+            connect_timeout: Duration::from_secs(20),
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Resolve the `PPAR_RANK` / `PPAR_NRANKS` / `PPAR_ROOT` contract.
+    /// Returns `Ok(None)` when `PPAR_RANK` is unset (the process was not
+    /// launched as a cluster rank); malformed values are errors.
+    pub fn from_env() -> Result<Option<NetConfig>> {
+        NetConfig::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// [`NetConfig::from_env`] over an injectable variable lookup (reads
+    /// only — tests exercise the contract without mutating the
+    /// process-global environment, which is not thread-safe to write).
+    fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Option<NetConfig>> {
+        let Some(rank) = get(ENV_RANK) else {
+            return Ok(None);
+        };
+        let parse = |name: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| PparError::Network(format!("{name}={v:?} is not a number")))
+        };
+        let rank = parse(ENV_RANK, &rank)?;
+        let nranks = get(ENV_NRANKS)
+            .ok_or_else(|| PparError::Network(format!("{ENV_RANK} set but {ENV_NRANKS} missing")))
+            .and_then(|v| parse(ENV_NRANKS, &v))?;
+        let root = get(ENV_ROOT)
+            .ok_or_else(|| PparError::Network(format!("{ENV_RANK} set but {ENV_ROOT} missing")))?;
+        if rank >= nranks {
+            return Err(PparError::Network(format!(
+                "{ENV_RANK}={rank} out of range for {ENV_NRANKS}={nranks}"
+            )));
+        }
+        let mut cfg = NetConfig::new(rank, nranks, root);
+        if let Some(secs) = get(ENV_TIMEOUT) {
+            let secs = secs.parse::<u64>().map_err(|_| {
+                PparError::Network(format!("{ENV_TIMEOUT}={secs:?} is not a number"))
+            })?;
+            cfg.connect_timeout = Duration::from_secs(secs);
+            cfg.recv_timeout = Duration::from_secs(secs);
+        }
+        Ok(Some(cfg))
+    }
+}
+
+/// Per-peer link state.
+struct Peer {
+    /// Queue into the peer's send thread; `None` for self and after
+    /// shutdown.
+    tx: Mutex<Option<mpsc::Sender<(u64, Payload)>>>,
+    /// The socket, kept so an orderly [`TcpFabric::shutdown`] can
+    /// half-close it (send FIN) once the send thread has flushed — the
+    /// peer's receiver then sees a clean EOF.
+    sock: Mutex<Option<TcpStream>>,
+    /// Set (with a reason) when the link died; receives from this peer
+    /// fail once their queues drain.
+    down: Mutex<Option<String>>,
+    sent_msgs: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+}
+
+impl Peer {
+    fn idle() -> Peer {
+        Peer {
+            tx: Mutex::new(None),
+            sock: Mutex::new(None),
+            down: Mutex::new(None),
+            sent_msgs: AtomicU64::new(0),
+            sent_bytes: AtomicU64::new(0),
+            recv_msgs: AtomicU64::new(0),
+            recv_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-peer traffic counters of a [`TcpFabric`] (this rank's view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Frames sent to this peer.
+    pub sent_msgs: u64,
+    /// Payload bytes sent to this peer.
+    pub sent_bytes: u64,
+    /// Frames received from this peer.
+    pub recv_msgs: u64,
+    /// Payload bytes received from this peer.
+    pub recv_bytes: u64,
+}
+
+/// The real TCP message fabric for one rank process. Build with
+/// [`TcpFabric::connect`]; see the [module docs](self) for the bootstrap
+/// and failure semantics.
+pub struct TcpFabric {
+    rank: usize,
+    nranks: usize,
+    recv_timeout: Duration,
+    mailbox: Mutex<HashMap<(usize, u64), VecDeque<Payload>>>,
+    cv: Condvar,
+    peers: Vec<Peer>,
+    /// Send threads, joined on shutdown so every queued frame flushes.
+    senders: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpFabric {
+    /// Run the rendezvous bootstrap and bring up the data plane. Blocks
+    /// until the full mesh is connected (or `cfg.connect_timeout` expires).
+    pub fn connect(cfg: &NetConfig) -> Result<Arc<TcpFabric>> {
+        if cfg.nranks == 0 || cfg.rank >= cfg.nranks {
+            return Err(PparError::Network(format!(
+                "invalid rank {} for {} ranks",
+                cfg.rank, cfg.nranks
+            )));
+        }
+        let streams = rendezvous(cfg).map_err(|e| {
+            PparError::Network(format!(
+                "rank {} bootstrap via {} failed: {e}",
+                cfg.rank, cfg.root
+            ))
+        })?;
+        let fabric = Arc::new(TcpFabric {
+            rank: cfg.rank,
+            nranks: cfg.nranks,
+            recv_timeout: cfg.recv_timeout,
+            mailbox: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            peers: (0..cfg.nranks).map(|_| Peer::idle()).collect(),
+            senders: Mutex::new(Vec::new()),
+        });
+        let mut senders = Vec::new();
+        for (peer_rank, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let clone_err = |e: std::io::Error| {
+                PparError::Network(format!("rank {}: socket clone failed: {e}", cfg.rank))
+            };
+            let reader = stream.try_clone().map_err(clone_err)?;
+            *fabric.peers[peer_rank].sock.lock() = Some(stream.try_clone().map_err(clone_err)?);
+            let (tx, rx) = mpsc::channel::<(u64, Payload)>();
+            *fabric.peers[peer_rank].tx.lock() = Some(tx);
+            let my_rank = cfg.rank;
+            senders.push(
+                std::thread::Builder::new()
+                    .name(format!("ppar-net-send-{my_rank}-{peer_rank}"))
+                    .spawn(move || sender_loop(rx, stream))
+                    .expect("spawn fabric send thread"),
+            );
+            let weak = Arc::downgrade(&fabric);
+            std::thread::Builder::new()
+                .name(format!("ppar-net-recv-{my_rank}-{peer_rank}"))
+                .spawn(move || receiver_loop(weak, peer_rank, reader))
+                .expect("spawn fabric recv thread");
+        }
+        *fabric.senders.lock() = senders;
+        Ok(fabric)
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Per-peer traffic counters, rank-indexed (the self slot stays zero
+    /// except for loopback self-sends, which count as sent only).
+    pub fn per_peer_traffic(&self) -> Vec<PeerTraffic> {
+        self.peers
+            .iter()
+            .map(|p| PeerTraffic {
+                sent_msgs: p.sent_msgs.load(Ordering::Relaxed),
+                sent_bytes: p.sent_bytes.load(Ordering::Relaxed),
+                recv_msgs: p.recv_msgs.load(Ordering::Relaxed),
+                recv_bytes: p.recv_bytes.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Close every send queue, join the send threads (guaranteeing all
+    /// queued frames reached the kernel), then half-close each socket so
+    /// peers observe a clean EOF. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for peer in &self.peers {
+            *peer.tx.lock() = None;
+        }
+        let handles = std::mem::take(&mut *self.senders.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        for peer in &self.peers {
+            if let Some(sock) = peer.sock.lock().take() {
+                let _ = sock.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+
+    fn deposit(&self, src: usize, tag: u64, payload: Payload) {
+        let mut mbox = self.mailbox.lock();
+        mbox.entry((src, tag)).or_default().push_back(payload);
+        self.cv.notify_all();
+    }
+
+    fn mark_down(&self, peer: usize, reason: String) {
+        let mut down = self.peers[peer].down.lock();
+        if down.is_none() {
+            *down = Some(reason);
+        }
+        drop(down);
+        // Wake blocked receivers so they observe the failure.
+        let _guard = self.mailbox.lock();
+        self.cv.notify_all();
+    }
+
+    fn peer_down(&self, peer: usize) -> Option<String> {
+        self.peers[peer].down.lock().clone()
+    }
+}
+
+impl Drop for TcpFabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Fabric for TcpFabric {
+    fn describe(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&self, src: usize, dst: usize, tag: u64, payload: Payload) {
+        assert_eq!(
+            src, self.rank,
+            "a TCP fabric handle sends only as its own rank"
+        );
+        assert!(dst < self.nranks, "rank out of range");
+        let peer = &self.peers[dst];
+        peer.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        peer.sent_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if dst == self.rank {
+            // Loopback: straight into the mailbox, no socket.
+            self.deposit(src, tag, payload);
+            return;
+        }
+        if let Some(tx) = &*peer.tx.lock() {
+            // A send to a dead peer (send thread gone) is dropped, like a
+            // datagram into a dead NIC: the failure surfaces on receive.
+            let _ = tx.send((tag, payload));
+        }
+    }
+
+    fn recv(&self, dst: usize, src: usize, tag: u64) -> Result<Payload> {
+        assert_eq!(
+            dst, self.rank,
+            "a TCP fabric handle receives only as its own rank"
+        );
+        assert!(src < self.nranks, "rank out of range");
+        let deadline = Instant::now() + self.recv_timeout;
+        let mut mbox = self.mailbox.lock();
+        let mut timed_out = false;
+        loop {
+            // The queue check runs once more *after* a timed-out wait: a
+            // frame deposited in the same instant the deadline expired must
+            // be delivered, not thrown away with a fatal timeout (which
+            // would tear the whole job down for nothing).
+            if let Some(q) = mbox.get_mut(&(src, tag)) {
+                if let Some(payload) = q.pop_front() {
+                    return Ok(payload);
+                }
+            }
+            // Delivered-then-died messages above drain first; only then is
+            // the peer's death observable.
+            if let Some(reason) = self.peer_down(src) {
+                return Err(PparError::Network(format!(
+                    "rank {dst}: peer rank {src} is down ({reason}) while waiting on tag {tag:#x}"
+                )));
+            }
+            if timed_out {
+                return Err(PparError::Network(format!(
+                    "rank {dst}: timed out after {:?} waiting for rank {src} tag {tag:#x}",
+                    self.recv_timeout
+                )));
+            }
+            timed_out = self.cv.wait_until(&mut mbox, deadline).timed_out();
+        }
+    }
+
+    fn recv_any(&self, dst: usize, tag: u64) -> Result<(usize, Payload)> {
+        assert_eq!(
+            dst, self.rank,
+            "a TCP fabric handle receives only as its own rank"
+        );
+        let mut mbox = self.mailbox.lock();
+        loop {
+            // Lowest source first, for determinism under load.
+            let key = mbox
+                .iter()
+                .filter(|((_, t), q)| *t == tag && !q.is_empty())
+                .map(|((s, _), _)| *s)
+                .min();
+            if let Some(src) = key {
+                let payload = mbox
+                    .get_mut(&(src, tag))
+                    .and_then(|q| q.pop_front())
+                    .expect("non-empty queue just observed");
+                return Ok((src, payload));
+            }
+            let all_down = (0..self.nranks)
+                .filter(|&r| r != self.rank)
+                .all(|r| self.peer_down(r).is_some());
+            if self.nranks > 1 && all_down {
+                return Err(PparError::Network(format!(
+                    "rank {dst}: every peer is down while waiting on tag {tag:#x}"
+                )));
+            }
+            // No timeout: this is the service channel — it legitimately
+            // idles between checkpoints and is woken by a stop frame.
+            self.cv.wait(&mut mbox);
+        }
+    }
+
+    fn probe(&self, dst: usize, src: usize, tag: u64) -> bool {
+        assert_eq!(
+            dst, self.rank,
+            "a TCP fabric handle probes only as its own rank"
+        );
+        self.mailbox
+            .lock()
+            .get(&(src, tag))
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn traffic(&self) -> Traffic {
+        // Real network: everything is "inter". Counted at the sender, like
+        // the simulated fabric, so aggregating per-rank counters across a
+        // job never double-counts a message.
+        let mut t = Traffic::default();
+        for p in &self.peers {
+            t.inter_msgs += p.sent_msgs.load(Ordering::Relaxed);
+            t.inter_bytes += p.sent_bytes.load(Ordering::Relaxed);
+        }
+        t
+    }
+}
+
+/// Send-thread body: drain the queue through a buffered writer, coalescing
+/// bursts into one flush. Exits when the queue closes (shutdown) or the
+/// socket dies (the peer's receive side reports that).
+fn sender_loop(rx: mpsc::Receiver<(u64, Payload)>, stream: TcpStream) {
+    let mut w = BufWriter::with_capacity(64 << 10, stream);
+    'outer: while let Ok((tag, payload)) = rx.recv() {
+        if write_frame(&mut w, tag, &payload).is_err() {
+            break;
+        }
+        // Coalesce whatever queued behind this frame before flushing once.
+        loop {
+            match rx.try_recv() {
+                Ok((tag, payload)) => {
+                    if write_frame(&mut w, tag, &payload).is_err() {
+                        break 'outer;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    let _ = w.flush();
+                    return;
+                }
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+}
+
+/// Receive-thread body: decode frames into the mailbox until EOF, error or
+/// fabric teardown; then mark the peer down.
+fn receiver_loop(fabric: Weak<TcpFabric>, peer: usize, stream: TcpStream) {
+    let mut r = BufReader::with_capacity(64 << 10, stream);
+    let reason = loop {
+        match read_frame(&mut r) {
+            Ok(Some((tag, payload))) => {
+                let Some(fabric) = fabric.upgrade() else {
+                    return; // fabric gone: the job is over
+                };
+                let p = &fabric.peers[peer];
+                p.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                p.recv_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                fabric.deposit(peer, tag, Arc::new(payload));
+            }
+            Ok(None) => break "connection closed".to_string(),
+            Err(e) => break format!("stream error: {e}"),
+        }
+    };
+    if let Some(fabric) = fabric.upgrade() {
+        fabric.mark_down(peer, reason);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rendezvous bootstrap
+// ---------------------------------------------------------------------------
+
+/// Establish the full mesh; returns one stream per peer (self slot `None`).
+///
+/// The whole bootstrap is bounded by one `cfg.connect_timeout` deadline:
+/// accepts poll a non-blocking listener against it and every handshake
+/// read carries a socket read timeout, so a rank that dies before (or
+/// during) its HELLO/MESH exchange surfaces as a loud bootstrap error on
+/// every peer instead of an indefinite hang — the same no-hangs property
+/// the data plane's peer-down detection gives after the mesh is up. A
+/// connection that closes before completing its handshake (a port
+/// prober, or a rank that crashed right after `connect`) is skipped, not
+/// fatal. Read timeouts are cleared before the streams are handed to the
+/// data plane, whose receive threads must block indefinitely.
+fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
+    let n = cfg.nranks;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    if n == 1 {
+        return Ok(peers);
+    }
+    if cfg.rank == 0 {
+        let listener = TcpListener::bind(&cfg.root)?;
+        let mut addrs: Vec<String> = vec![String::new(); n];
+        let mut reported = 0;
+        while reported + 1 < n {
+            let mut stream = accept_until(&listener, deadline)?;
+            stream.set_nodelay(true)?;
+            let Some((_, payload)) = handshake_frame(&mut stream, HELLO_TAG, deadline)? else {
+                continue; // closed before HELLO: not one of ours
+            };
+            if payload.len() < 4 {
+                return Err(bad_handshake("short HELLO"));
+            }
+            let rank = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+            if rank == 0 || rank >= n || peers[rank].is_some() {
+                return Err(bad_handshake("HELLO with invalid or duplicate rank"));
+            }
+            addrs[rank] = String::from_utf8(payload[4..].to_vec())
+                .map_err(|_| bad_handshake("HELLO address not UTF-8"))?;
+            peers[rank] = Some(stream);
+            reported += 1;
+        }
+        // Broadcast the address table so ranks can complete the mesh.
+        let mut table = Vec::new();
+        table.extend_from_slice(&(n as u32).to_le_bytes());
+        for addr in &addrs {
+            table.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+            table.extend_from_slice(addr.as_bytes());
+        }
+        for stream in peers.iter_mut().flatten() {
+            write_frame(stream, TABLE_TAG, &table)?;
+            stream.flush()?;
+        }
+    } else {
+        // Bind this rank's own listener on the root's interface.
+        let host = cfg
+            .root
+            .rsplit_once(':')
+            .map(|(h, _)| h)
+            .unwrap_or("127.0.0.1");
+        let listener = TcpListener::bind(format!("{host}:0"))?;
+        let my_addr = listener.local_addr()?.to_string();
+        // Report in at the root (it may still be starting: retry).
+        let mut root = connect_retry(&cfg.root, cfg.connect_timeout)?;
+        root.set_nodelay(true)?;
+        let mut hello = Vec::with_capacity(4 + my_addr.len());
+        hello.extend_from_slice(&(cfg.rank as u32).to_le_bytes());
+        hello.extend_from_slice(my_addr.as_bytes());
+        write_frame(&mut root, HELLO_TAG, &hello)?;
+        root.flush()?;
+        let (_, table) = handshake_frame(&mut root, TABLE_TAG, deadline)?
+            .ok_or_else(|| bad_handshake("root closed before sending the address table"))?;
+        let addrs = parse_table(&table, n)?;
+        peers[0] = Some(root);
+        // Pairwise mesh: connect downward, accept from above.
+        for (j, addr) in addrs.iter().enumerate().take(cfg.rank).skip(1) {
+            let mut s = connect_retry(addr, cfg.connect_timeout)?;
+            s.set_nodelay(true)?;
+            write_frame(&mut s, MESH_TAG, &(cfg.rank as u32).to_le_bytes())?;
+            s.flush()?;
+            peers[j] = Some(s);
+        }
+        let mut accepted = 0;
+        while accepted < n - 1 - cfg.rank {
+            let mut s = accept_until(&listener, deadline)?;
+            s.set_nodelay(true)?;
+            let Some((_, payload)) = handshake_frame(&mut s, MESH_TAG, deadline)? else {
+                continue; // closed before MESH: not one of ours
+            };
+            if payload.len() != 4 {
+                return Err(bad_handshake("short MESH"));
+            }
+            let j = u32::from_le_bytes(payload.as_slice().try_into().unwrap()) as usize;
+            if j <= cfg.rank || j >= n || peers[j].is_some() {
+                return Err(bad_handshake("MESH with invalid or duplicate rank"));
+            }
+            peers[j] = Some(s);
+            accepted += 1;
+        }
+    }
+    // Hand indefinitely-blocking streams to the data plane.
+    for stream in peers.iter().flatten() {
+        stream.set_read_timeout(None)?;
+    }
+    Ok(peers)
+}
+
+/// Accept one connection, polling a non-blocking listener against the
+/// bootstrap deadline.
+fn accept_until(listener: &TcpListener, deadline: Instant) -> std::io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "bootstrap deadline passed while waiting for a peer to connect",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read one handshake frame under the bootstrap deadline. `Ok(None)` means
+/// the peer closed before completing the handshake (skippable); a wrong
+/// tag, a timeout or a corrupt frame is an error.
+fn handshake_frame(
+    stream: &mut TcpStream,
+    want: u64,
+    deadline: Instant,
+) -> std::io::Result<Option<(u64, Vec<u8>)>> {
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "bootstrap deadline passed mid-handshake",
+            )
+        })?;
+    stream.set_read_timeout(Some(remaining))?;
+    match read_frame(stream) {
+        Ok(Some((tag, payload))) if tag == want => Ok(Some((tag, payload))),
+        Ok(Some((tag, _))) => Err(bad_handshake(&format!(
+            "expected frame tag {want:#x}, got {tag:#x}"
+        ))),
+        Ok(None) => Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "bootstrap deadline passed mid-handshake",
+        )),
+        Err(e) => Err(e),
+    }
+}
+
+fn bad_handshake(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("handshake: {msg}"))
+}
+
+fn parse_table(table: &[u8], n: usize) -> std::io::Result<Vec<String>> {
+    let mut pos = 4usize;
+    if table.len() < 4 || u32::from_le_bytes(table[0..4].try_into().unwrap()) as usize != n {
+        return Err(bad_handshake("address table size mismatch"));
+    }
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        if pos + 4 > table.len() {
+            return Err(bad_handshake("truncated address table"));
+        }
+        let len = u32::from_le_bytes(table[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + len > table.len() {
+            return Err(bad_handshake("truncated address table entry"));
+        }
+        addrs.push(
+            String::from_utf8(table[pos..pos + len].to_vec())
+                .map_err(|_| bad_handshake("address not UTF-8"))?,
+        );
+        pos += len;
+    }
+    Ok(addrs)
+}
+
+fn connect_retry(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("connect to {addr} failed after {timeout:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::free_loopback_addr;
+
+    /// Bring up an n-rank mesh inside one process (one thread per rank —
+    /// exactly what the bootstrap does across processes) and run `f` per
+    /// rank.
+    fn mesh<R: Send>(n: usize, f: impl Fn(Arc<TcpFabric>) -> R + Sync) -> Vec<R> {
+        let root = free_loopback_addr().unwrap();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (rank, slot) in out.iter_mut().enumerate() {
+                let root = root.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let mut cfg = NetConfig::new(rank, n, root);
+                    cfg.recv_timeout = Duration::from_secs(10);
+                    let fabric = TcpFabric::connect(&cfg).unwrap();
+                    *slot = Some(f(fabric));
+                });
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn two_rank_roundtrip_and_tags() {
+        mesh(2, |fabric| {
+            let me = fabric.rank();
+            let other = 1 - me;
+            fabric.send(me, other, 7, Arc::new(vec![me as u8; 3]));
+            fabric.send(me, other, 9, Arc::new(vec![0xEE]));
+            // Tag-matched: tag 9 first, then 7, regardless of send order.
+            assert_eq!(&*fabric.recv(me, other, 9).unwrap(), &[0xEE]);
+            assert_eq!(&*fabric.recv(me, other, 7).unwrap(), &[other as u8; 3]);
+        });
+    }
+
+    #[test]
+    fn per_channel_fifo_under_burst() {
+        mesh(2, |fabric| {
+            let me = fabric.rank();
+            let other = 1 - me;
+            if me == 0 {
+                for i in 0..200u32 {
+                    fabric.send(0, 1, 5, Arc::new(i.to_le_bytes().to_vec()));
+                }
+                assert_eq!(&*fabric.recv(0, 1, 6).unwrap(), b"done");
+            } else {
+                for i in 0..200u32 {
+                    let p = fabric.recv(1, 0, 5).unwrap();
+                    assert_eq!(u32::from_le_bytes(p.as_slice().try_into().unwrap()), i);
+                }
+                fabric.send(1, other, 6, Arc::new(b"done".to_vec()));
+            }
+        });
+    }
+
+    #[test]
+    fn four_rank_mesh_all_pairs() {
+        let results = mesh(4, |fabric| {
+            let me = fabric.rank();
+            for dst in 0..4 {
+                if dst != me {
+                    fabric.send(me, dst, 11, Arc::new(vec![me as u8]));
+                }
+            }
+            let mut got = Vec::new();
+            for src in 0..4 {
+                if src != me {
+                    got.push(fabric.recv(me, src, 11).unwrap()[0]);
+                }
+            }
+            got
+        });
+        for (rank, got) in results.iter().enumerate() {
+            let expected: Vec<u8> = (0..4u8).filter(|&r| r as usize != rank).collect();
+            assert_eq!(got, &expected);
+        }
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        mesh(1, |fabric| {
+            fabric.send(0, 0, 3, Arc::new(vec![1, 2]));
+            assert_eq!(&*fabric.recv(0, 0, 3).unwrap(), &[1, 2]);
+        });
+    }
+
+    #[test]
+    fn traffic_counts_sent_frames() {
+        let traffic = mesh(2, |fabric| {
+            let me = fabric.rank();
+            if me == 0 {
+                fabric.send(0, 1, 1, Arc::new(vec![0; 100]));
+                fabric.send(0, 1, 1, Arc::new(vec![0; 28]));
+            }
+            // Both ranks must see the data before counters are read.
+            if me == 1 {
+                fabric.recv(1, 0, 1).unwrap();
+                fabric.recv(1, 0, 1).unwrap();
+            }
+            (fabric.traffic(), fabric.per_peer_traffic())
+        });
+        let (t0, _) = &traffic[0];
+        assert_eq!(t0.msgs(), 2);
+        assert_eq!(t0.bytes(), 128);
+        assert_eq!(t0.intra_msgs, 0, "tcp counts as inter");
+        let (_, per1) = &traffic[1];
+        assert_eq!(per1[0].recv_msgs, 2);
+        assert_eq!(per1[0].recv_bytes, 128);
+    }
+
+    #[test]
+    fn peer_death_fails_blocked_recv_but_drains_delivered_messages() {
+        let root = free_loopback_addr().unwrap();
+        let root2 = root.clone();
+        let survivor = std::thread::spawn(move || {
+            let mut cfg = NetConfig::new(0, 2, root2);
+            cfg.recv_timeout = Duration::from_secs(10);
+            let fabric = TcpFabric::connect(&cfg).unwrap();
+            // The message sent before death must still be deliverable...
+            assert_eq!(&*fabric.recv(0, 1, 1).unwrap(), &[42]);
+            // ...then the death becomes observable.
+            let err = fabric.recv(0, 1, 2).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("down"), "unexpected error: {msg}");
+        });
+        {
+            let mut cfg = NetConfig::new(1, 2, root);
+            cfg.recv_timeout = Duration::from_secs(10);
+            let fabric = TcpFabric::connect(&cfg).unwrap();
+            fabric.send(1, 0, 1, Arc::new(vec![42]));
+            fabric.shutdown();
+            // Dropping the fabric closes the sockets: a simulated process
+            // death as far as rank 0 can observe.
+        }
+        survivor.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_reports_instead_of_hanging() {
+        mesh(2, |fabric| {
+            let me = fabric.rank();
+            if me == 0 {
+                let mut cfg_err = fabric.recv(0, 1, 999);
+                // The peer never sends on tag 999; once it exits the link
+                // drops, so we accept either a timeout or a down report —
+                // both are loud failures, never a hang.
+                let msg = loop {
+                    match cfg_err {
+                        Err(e) => break e.to_string(),
+                        Ok(_) => cfg_err = fabric.recv(0, 1, 999),
+                    }
+                };
+                assert!(msg.contains("down") || msg.contains("timed out"), "{msg}");
+            }
+        });
+    }
+
+    #[test]
+    fn bootstrap_times_out_loudly_when_a_rank_never_reports() {
+        // Rank 0 of a "2-rank" job whose worker never starts: the
+        // rendezvous must fail within the bootstrap deadline, not hang.
+        let root = free_loopback_addr().unwrap();
+        let mut cfg = NetConfig::new(0, 2, root);
+        cfg.connect_timeout = Duration::from_millis(300);
+        let t0 = std::time::Instant::now();
+        let err = match TcpFabric::connect(&cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("bootstrap must fail with no worker"),
+        };
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(err.to_string().contains("bootstrap"), "{err}");
+    }
+
+    #[test]
+    fn bootstrap_skips_connections_that_close_before_hello() {
+        // A port prober (or a rank that died right after connect) must not
+        // poison the rendezvous: the root skips it and still completes.
+        let root = free_loopback_addr().unwrap();
+        let probe_addr = root.clone();
+        let prober = std::thread::spawn(move || {
+            // Poke the rendezvous port until it exists, then hang up
+            // without sending anything.
+            loop {
+                match std::net::TcpStream::connect(&probe_addr) {
+                    Ok(s) => {
+                        drop(s);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        let results = {
+            let root0 = root.clone();
+            let h0 = std::thread::spawn(move || {
+                let cfg = NetConfig::new(0, 2, root0);
+                TcpFabric::connect(&cfg).map(|f| f.nranks())
+            });
+            let h1 = std::thread::spawn(move || {
+                // Give the prober a head start at the listener.
+                std::thread::sleep(Duration::from_millis(50));
+                let cfg = NetConfig::new(1, 2, root);
+                TcpFabric::connect(&cfg).map(|f| f.nranks())
+            });
+            (h0.join().unwrap(), h1.join().unwrap())
+        };
+        prober.join().unwrap();
+        assert_eq!(results.0.unwrap(), 2);
+        assert_eq!(results.1.unwrap(), 2);
+    }
+
+    #[test]
+    fn config_from_env_contract() {
+        // Exercised through the injectable lookup: writing the real
+        // process environment from a test would race sibling tests that
+        // spawn processes (concurrent setenv/getenv is UB on glibc).
+        let vars = |pairs: &[(&str, &str)]| {
+            let owned: Vec<(String, String)> = pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            move |name: &str| {
+                owned
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.clone())
+            }
+        };
+        // Not launched as a rank: None.
+        assert!(NetConfig::from_lookup(vars(&[])).unwrap().is_none());
+        let cfg = NetConfig::from_lookup(vars(&[
+            (ENV_RANK, "1"),
+            (ENV_NRANKS, "4"),
+            (ENV_ROOT, "127.0.0.1:9"),
+            (ENV_TIMEOUT, "3"),
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!((cfg.rank, cfg.nranks), (1, 4));
+        assert_eq!(cfg.root, "127.0.0.1:9");
+        assert_eq!(cfg.recv_timeout, Duration::from_secs(3));
+        assert_eq!(cfg.connect_timeout, Duration::from_secs(3));
+        // Malformed contracts are loud errors, not silent non-worker mode.
+        assert!(
+            NetConfig::from_lookup(vars(&[
+                (ENV_RANK, "9"),
+                (ENV_NRANKS, "4"),
+                (ENV_ROOT, "127.0.0.1:9"),
+            ]))
+            .is_err(),
+            "rank out of range"
+        );
+        assert!(NetConfig::from_lookup(vars(&[(ENV_RANK, "0")])).is_err());
+        assert!(NetConfig::from_lookup(vars(&[(ENV_RANK, "zero"), (ENV_NRANKS, "2")])).is_err());
+    }
+}

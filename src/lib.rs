@@ -12,4 +12,5 @@ pub use ppar_dsm as dsm;
 pub use ppar_evo as evo;
 pub use ppar_jgf as jgf;
 pub use ppar_md as md;
+pub use ppar_net as net;
 pub use ppar_smp as smp;

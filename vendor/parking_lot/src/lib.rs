@@ -199,6 +199,36 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// Atomically release the guard's lock and block until notified or
+    /// `timeout` elapses; the lock is re-acquired before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// [`Condvar::wait_for`] against an absolute deadline. A deadline in
+    /// the past reports an immediate timeout without releasing the lock.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let now = std::time::Instant::now();
+        if deadline <= now {
+            return WaitTimeoutResult(true);
+        }
+        self.wait_for(guard, deadline - now)
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -213,6 +243,17 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Whether a timed [`Condvar`] wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -247,6 +288,23 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_timed_waits() {
+        use std::time::{Duration, Instant};
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        let t0 = Instant::now();
+        assert!(pair
+            .1
+            .wait_for(&mut g, Duration::from_millis(20))
+            .timed_out());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert!(pair
+            .1
+            .wait_until(&mut g, Instant::now() - Duration::from_millis(1))
+            .timed_out());
     }
 
     #[test]
