@@ -76,9 +76,10 @@ pub mod serde_cell;
 pub mod store;
 pub mod transport;
 
+pub use crc::TrailingCrc;
 pub use delta::{DeltaMeta, DeltaPayload, DeltaSnapshot};
 pub use hook::{CheckpointModule, CkptStats};
 pub use pcr::{launch_seq, AppStatus, RunReport};
 pub use serde_cell::{alloc_serde, SerdeCell};
 pub use store::{CheckpointStore, Snapshot, SnapshotView};
-pub use transport::{CkptTransport, MemTransport};
+pub use transport::{CkptTransport, MemTransport, RawRecordKind, RawRecordSink};

@@ -155,14 +155,16 @@ impl Snapshot {
         Snapshot::decode_body(body)
     }
 
-    /// Decode a record whose bytes never left this process (the in-memory
-    /// transport): structural validation only, the trailing CRC is stripped
-    /// but not re-verified. Integrity checking guards the durable medium —
-    /// a disk file written by one process generation and read by another —
-    /// not a buffer handed across a reshape within one address space, and
-    /// skipping the extra full pass is a measurable part of the live
-    /// reshape's latency win.
-    pub(crate) fn decode_trusted(bytes: &[u8]) -> Result<Snapshot> {
+    /// Decode a record whose integrity has *already* been established:
+    /// structural validation only, the trailing CRC is stripped but not
+    /// re-verified. Two callers qualify — the in-memory transport (bytes
+    /// never left this process; integrity checking guards the durable
+    /// medium, not a buffer handed across a reshape within one address
+    /// space) and the streaming network restore path, which verifies the
+    /// record's running CRC as the chunks arrive and must not pay a
+    /// second full pass. Anything read from disk or an unverified source
+    /// goes through [`Snapshot::decode`] instead.
+    pub fn decode_trusted(bytes: &[u8]) -> Result<Snapshot> {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(PparError::CorruptCheckpoint("record too short".into()));
         }
@@ -338,8 +340,17 @@ struct CrcTee<'a, W: Write> {
     written: &'a mut u64,
 }
 
+/// Block size for interleaving the CRC pass with the copy on large
+/// payloads: each block is checksummed while still cache-hot from the
+/// write (or vice versa), saving a second trip to RAM per multi-MiB
+/// field.
+const CRC_COPY_BLOCK: usize = 256 << 10;
+
 impl<W: Write> Write for CrcTee<'_, W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // Cap each write at one cache block; callers' `write_all` loops
+        // re-enter, giving the interleaved CRC+copy pattern for free.
+        let buf = &buf[..buf.len().min(CRC_COPY_BLOCK)];
         let n = self.sink.write(buf)?;
         if let Some(crc) = self.crc.as_deref_mut() {
             crc.update(&buf[..n]);
@@ -413,10 +424,20 @@ impl<W: Write> SnapshotWriter<W> {
     }
 
     fn put(&mut self, bytes: &[u8]) -> Result<()> {
-        if self.checksum {
-            self.crc.update(bytes);
+        if self.checksum && bytes.len() > CRC_COPY_BLOCK {
+            // Interleave CRC and copy in cache-sized blocks (see
+            // [`CRC_COPY_BLOCK`]) instead of two full passes over a
+            // multi-MiB payload.
+            for block in bytes.chunks(CRC_COPY_BLOCK) {
+                self.crc.update(block);
+                self.sink.write_all(block)?;
+            }
+        } else {
+            if self.checksum {
+                self.crc.update(bytes);
+            }
+            self.sink.write_all(bytes)?;
         }
-        self.sink.write_all(bytes)?;
         self.written += bytes.len() as u64;
         Ok(())
     }
@@ -750,6 +771,93 @@ impl crate::transport::CkptTransport for CheckpointStore {
 
     fn clear_all_deltas(&self) -> Result<()> {
         CheckpointStore::clear_all_deltas(self)
+    }
+
+    fn begin_raw<'a>(
+        &'a self,
+        kind: crate::transport::RawRecordKind,
+        _len_hint: u64,
+    ) -> Result<Box<dyn crate::transport::RawRecordSink + 'a>> {
+        use crate::transport::RawRecordKind;
+        let dst = match kind {
+            RawRecordKind::Master => self.master_path(),
+            RawRecordKind::Shard(rank) => self.shard_path(rank),
+            RawRecordKind::MasterDelta { seq } => self.delta_path(None, seq),
+            RawRecordKind::ShardDelta { rank, seq } => self.delta_path(Some(rank), seq),
+        };
+        // Unique temp name per in-flight install: parallel per-rank
+        // pipelines may stream into the same directory concurrently.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dst.with_extension(format!("tmp{n}"));
+        let file = fs::File::create(&tmp)?;
+        Ok(Box::new(FileRawSink {
+            tmp,
+            dst,
+            w: Some(BufWriter::new(file)),
+        }))
+    }
+
+    fn write_merged_record(&self, rank: Option<u32>, out: &mut dyn Write) -> Result<Option<u64>> {
+        // Fast path: no delta chain pending — the base file *is* the
+        // checksummed merged record, so copy it straight through without
+        // decoding (the receiving end verifies the trailing CRC).
+        if !self.delta_path(rank, 1).exists() {
+            let path = match rank {
+                None => self.master_path(),
+                Some(r) => self.shard_path(r),
+            };
+            let mut file = match fs::File::open(&path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => return Err(e.into()),
+            };
+            return Ok(Some(std::io::copy(&mut file, out)?));
+        }
+        crate::transport::write_merged_fallback(self, rank, out)
+    }
+}
+
+/// Raw streamed install straight to a temp file, finalized with the same
+/// atomic-rename discipline as every other snapshot write: a crash (or an
+/// abort) mid-stream never leaves a partial record under the final name.
+struct FileRawSink {
+    tmp: PathBuf,
+    dst: PathBuf,
+    w: Option<BufWriter<fs::File>>,
+}
+
+impl crate::transport::RawRecordSink for FileRawSink {
+    fn write_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        self.w
+            .as_mut()
+            .expect("sink used after finish")
+            .write_all(chunk)?;
+        Ok(())
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<u64> {
+        let mut w = self.w.take().expect("sink used after finish");
+        w.flush()?;
+        let written = w.get_ref().metadata()?.len();
+        drop(w);
+        fs::rename(&self.tmp, &self.dst)?;
+        Ok(written)
+    }
+
+    fn abort(self: Box<Self>) {
+        // Drop cleans up the temp file.
+    }
+}
+
+impl Drop for FileRawSink {
+    fn drop(&mut self) {
+        // Reached with the writer still live only on abort or a panicked
+        // install: discard the partial temp file (commit already took the
+        // writer and renamed).
+        if self.w.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
     }
 }
 

@@ -200,8 +200,12 @@ impl DsmEngine {
             nranks: n as u32,
         };
         let sc: &dyn ppar_core::state::StateCell = &*cell;
+        // Pre-size for the dirty bytes plus range map so a large gather
+        // record does not pay growth reallocs on its encode pass.
+        let dirty_bytes: usize = byte_ranges.iter().map(|r| r.len()).sum();
+        let hint = dirty_bytes + byte_ranges.len() * 16 + field.len() + 128;
         let record = (|| -> ppar_core::error::Result<Vec<u8>> {
-            let mut w = SnapshotWriter::new_delta(Vec::new(), &meta, 1)?;
+            let mut w = SnapshotWriter::new_delta(Vec::with_capacity(hint), &meta, 1)?;
             w.delta_field_sparse_cell(field, sc, &byte_ranges)?;
             Ok(w.finish()?.1)
         })()

@@ -24,9 +24,13 @@
 //!   this repo), plus a process-level crash/restart driver;
 //! * [`transport`] — [`transport::NetTransport`], a
 //!   `ppar_ckpt::CkptTransport` that streams full/delta checkpoint records
-//!   rank → root (and root → rank on restart) over the same CRC frames, so
-//!   per-rank shard persistence and rank-state migration work when ranks
-//!   no longer share an address space (or a disk).
+//!   rank → root (and root → rank on restart) as bounded-window chunk
+//!   streams: the encoder writes straight into wire frames, the root's
+//!   per-rank service lanes install records *while they arrive*, and no
+//!   whole-record buffer exists anywhere on the path — so per-rank shard
+//!   persistence and gigabyte-scale rank-state migration work when ranks
+//!   no longer share an address space (or a disk), in memory bounded by
+//!   the stream window rather than the record.
 //!
 //! Process death is a first-class event: a closed or corrupted peer
 //! connection marks the peer *down*, every receive blocked on it fails

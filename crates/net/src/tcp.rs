@@ -51,7 +51,7 @@ use parking_lot::{Condvar, Mutex};
 use ppar_core::error::{PparError, Result};
 
 use crate::fabric::{Fabric, Payload, Traffic};
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, write_frame_vectored};
 
 /// Environment variable naming this process's rank.
 pub const ENV_RANK: &str = "PPAR_RANK";
@@ -443,17 +443,34 @@ impl Fabric for TcpFabric {
 /// Send-thread body: drain the queue through a buffered writer, coalescing
 /// bursts into one flush. Exits when the queue closes (shutdown) or the
 /// socket dies (the peer's receive side reports that).
+/// Payloads at or above this size bypass the sender's `BufWriter`: the
+/// buffered path would memcpy the whole payload into the 64 KiB buffer in
+/// slices; instead we flush what is pending and hand header + payload to
+/// the kernel as one scatter-gather `writev`. Below it, small frames still
+/// coalesce into single flushes.
+const VECTORED_SEND_MIN: usize = 32 << 10;
+
+/// Write one frame, choosing the buffered or scatter-gather path by size.
+fn send_frame(w: &mut BufWriter<TcpStream>, tag: u64, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() >= VECTORED_SEND_MIN {
+        w.flush()?;
+        write_frame_vectored(w.get_mut(), tag, payload)
+    } else {
+        write_frame(w, tag, payload)
+    }
+}
+
 fn sender_loop(rx: mpsc::Receiver<(u64, Payload)>, stream: TcpStream) {
     let mut w = BufWriter::with_capacity(64 << 10, stream);
     'outer: while let Ok((tag, payload)) = rx.recv() {
-        if write_frame(&mut w, tag, &payload).is_err() {
+        if send_frame(&mut w, tag, &payload).is_err() {
             break;
         }
         // Coalesce whatever queued behind this frame before flushing once.
         loop {
             match rx.try_recv() {
                 Ok((tag, payload)) => {
-                    if write_frame(&mut w, tag, &payload).is_err() {
+                    if send_frame(&mut w, tag, &payload).is_err() {
                         break 'outer;
                     }
                 }

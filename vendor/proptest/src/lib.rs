@@ -60,6 +60,28 @@ pub mod strategy {
         type Value;
         /// Generate one case.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f` (the real crate's combinator;
+        /// the shim generates eagerly, so no shrinking nuance applies).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -322,6 +344,11 @@ mod tests {
         fn tuples_generate(pair in (any::<u32>(), collection::vec(any::<f32>(), 0..3))) {
             let (_n, v) = pair;
             prop_assert!(v.len() < 3);
+        }
+
+        #[test]
+        fn prop_map_applies_function(masked in any::<u64>().prop_map(|v| v & 0xFF)) {
+            prop_assert!(masked <= 0xFF);
         }
     }
 
