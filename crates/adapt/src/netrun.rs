@@ -6,11 +6,11 @@
 //!
 //! * the **driver** (any process, typically the parent) launches N copies
 //!   of a binary with [`ppar_net::spawn_local_cluster`] and, for crash
-//!   recovery, wraps them in [`ppar_net::run_cluster_until_complete`] —
-//!   the process-level restart path: when any rank dies, the survivors
-//!   fail out of their collectives and exit nonzero, the whole job is
-//!   relaunched, and the checkpoint layer replays it from the last
-//!   durable snapshot;
+//!   recovery, wraps them in [`ppar_net::run_cluster_until_complete`]
+//!   (whole-job relaunch) or [`ppar_net::run_cluster_supervised`] (the
+//!   **self-healing** driver: a dead non-root rank is respawned alone and
+//!   rejoins the live mesh; whole-job relaunch stays as the escalation
+//!   fallback);
 //! * each **rank process** calls [`run_net_rank`] with the same plan and
 //!   app closure: it bootstraps a [`TcpFabric`] from the `PPAR_*`
 //!   environment contract, builds the unchanged [`ppar_dsm::DsmEngine`]
@@ -29,6 +29,21 @@
 //! forwards them into the store, so one directory holds the whole job's
 //! chains and a restart can stream state root → rank over the same
 //! frames.
+//!
+//! ## In-job recovery (resilient mode)
+//!
+//! Under a resilient fabric (`PPAR_NET_RESILIENT=1`, set by the
+//! supervisor) a peer death no longer kills this process. The engine's
+//! safe-point fault poll unwinds the attempt; [`run_net_rank`] catches
+//! the unwind, synchronises with the survivors and the respawned rank
+//! through [`TcpFabric::recover`], and re-runs the app in-process: rank 0
+//! re-detects the (uncleared) run marker and everyone replays to the last
+//! group-committed safe point. The [`CkptService`] and each worker's
+//! checkpoint client survive across attempts — in particular the
+//! [`MirrorTransport`], whose locally-held shard generations make a
+//! survivor's rollback restore a memory read instead of a root
+//! round-trip. Any failure *of recovery itself* escalates: the process
+//! exits nonzero and the supervisor falls back to a whole-job relaunch.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -41,14 +56,49 @@ use ppar_core::error::{PparError, Result};
 use ppar_core::plan::Plan;
 use ppar_core::state::Registry;
 use ppar_dsm::{DsmEngine, Endpoint, Fabric, Traffic};
-use ppar_net::{CkptService, NetTransport, TcpFabric};
+use ppar_net::{ChaosConfig, ChaosFabric, CkptService, MirrorTransport, NetTransport, TcpFabric};
 
 pub use ppar_net::{
-    free_loopback_addr, run_cluster_until_complete, spawn_local_cluster, ClusterSpec, LocalCluster,
-    NetConfig,
+    free_loopback_addr, run_cluster_supervised, run_cluster_until_complete, spawn_local_cluster,
+    ClusterSpec, LocalCluster, NetConfig, SupervisorConfig, SupervisorReport,
 };
 
 use crate::launcher::AppStatus;
+
+/// In-process recovery attempts before this rank gives up and escalates
+/// to the supervisor's whole-job relaunch (a fault storm this deep means
+/// the failure is not confined to single ranks).
+const MAX_RECOVERIES: usize = 8;
+
+/// Tag of the resilient completion round (see [`confirm_completion`]).
+/// A plain (non-user, non-checkpoint, non-control) tag: stale frames are
+/// swept by the recovery purge and the waits fail fast under a pending
+/// fault — which is the whole point.
+const DONE_TAG: u64 = 1 << 59;
+
+/// Confirm job-wide completion before a resilient rank retires.
+///
+/// The final collect is a send-only gather for workers, so without this
+/// round a fast worker could finish its attempt and exit in the window
+/// between a peer's death and the fault flag reaching this process —
+/// leaving the survivors' recovery waiting forever on a rank that
+/// already left. The round (workers → root, root → workers) fails fast
+/// when a fault is pending, throwing the completed-but-needed rank back
+/// into the recovery loop with everyone else.
+fn confirm_completion(fabric: &Arc<dyn Fabric>, rank: usize, nranks: usize) -> Result<()> {
+    if rank == 0 {
+        for src in 1..nranks {
+            fabric.recv(0, src, DONE_TAG)?;
+        }
+        for dst in 1..nranks {
+            fabric.send(0, dst, DONE_TAG, Vec::new().into());
+        }
+    } else {
+        fabric.send(rank, 0, DONE_TAG, Vec::new().into());
+        fabric.recv(rank, 0, DONE_TAG)?;
+    }
+    Ok(())
+}
 
 /// The deployment tag of a real multi-process TCP job (`tcp4`), the
 /// process-backed entry in the launcher's deploy vocabulary (`seq`,
@@ -67,8 +117,11 @@ pub struct NetRankOutcome<R> {
     pub status: AppStatus,
     /// The application result.
     pub result: R,
-    /// Did this launch replay a previous failure?
+    /// Did this launch replay a previous failure (process restart or
+    /// in-job recovery)?
     pub replayed: bool,
+    /// In-process recovery rounds this rank went through (0 = fault-free).
+    pub recoveries: usize,
     /// This rank's checkpoint statistics, when checkpointing was plugged.
     pub stats: Option<CkptStats>,
     /// This rank's fabric traffic (sent frames/bytes — aggregate across
@@ -85,42 +138,44 @@ impl<R> NetRankOutcome<R> {
     }
 }
 
-/// Run this process as one rank of a TCP-connected SPMD job.
-///
-/// `cfg` usually comes from [`NetConfig::from_env`]. `ckpt_dir` plugs
-/// checkpointing; **every rank must pass the same choice** (the directory
-/// itself is only opened on rank 0 — workers reach it through the
-/// fabric). The app returns its status exactly as under
-/// [`crate::launcher::launch`]: `Completed` clears the run marker,
-/// `Crashed` leaves it for the next launch to detect.
-pub fn run_net_rank<R>(
+/// One execution attempt: build the per-attempt engine stack (endpoint,
+/// checkpoint module, context) and run the app. On rank 0 the first
+/// attempt also starts the checkpoint service; later attempts reuse it
+/// (the service is attempt-agnostic — its lanes key on source rank).
+#[allow(clippy::too_many_arguments)]
+fn run_attempt<R>(
     cfg: &NetConfig,
-    plan: Plan,
+    plan: &Arc<Plan>,
     ckpt_dir: Option<&Path>,
-    app: impl FnOnce(&Ctx) -> (AppStatus, R),
-) -> Result<NetRankOutcome<R>> {
-    let start = Instant::now();
-    let fabric = TcpFabric::connect(cfg)?;
-    let dyn_fabric: Arc<dyn Fabric> = fabric.clone();
+    worker_transport: &Option<Arc<dyn CkptTransport>>,
+    dyn_fabric: &Arc<dyn Fabric>,
+    service: &mut Option<CkptService>,
+    confirm: bool,
+    app: &impl Fn(&Ctx) -> (AppStatus, R),
+) -> Result<(AppStatus, R, Option<Arc<CheckpointModule>>)> {
     let ep = Endpoint::new(dyn_fabric.clone(), cfg.rank);
 
     // Checkpoint module + one-shot replay-state coordination (root
     // detects, everyone else hears about it before the first safe point).
-    let mut service: Option<CkptService> = None;
+    // On a recovery attempt the run marker is still set — rank 0
+    // re-detects it and the whole aggregate replays to the last
+    // group-committed safe point.
     let module: Option<Arc<CheckpointModule>> = match ckpt_dir {
         None => None,
         Some(dir) if cfg.rank == 0 => {
-            let module = CheckpointModule::create(dir, &plan)?;
+            let module = CheckpointModule::create(dir, plan)?;
             let mut state = Vec::with_capacity(9);
             state.push(module.detected_failure() as u8);
             state.extend_from_slice(&module.replay_target().to_le_bytes());
             if cfg.nranks > 1 {
                 ep.bcast(0, Some(state));
-                service = Some(NetTransport::serve(
-                    dyn_fabric.clone(),
-                    0,
-                    module.transport().clone(),
-                ));
+                if service.is_none() {
+                    *service = Some(NetTransport::serve(
+                        dyn_fabric.clone(),
+                        0,
+                        module.transport().clone(),
+                    ));
+                }
             }
             Some(module)
         }
@@ -133,18 +188,18 @@ pub fn run_net_rank<R>(
             }
             let detected = state[0] != 0;
             let target = u64::from_le_bytes(state[1..9].try_into().expect("8-byte target"));
-            let transport: Arc<dyn CkptTransport> =
-                Arc::new(NetTransport::client(dyn_fabric.clone(), cfg.rank));
+            let transport = worker_transport
+                .clone()
+                .expect("worker checkpoint transport exists when ckpt_dir is set");
             Some(CheckpointModule::create_worker(
-                transport, &plan, detected, target,
+                transport, plan, detected, target,
             ))
         }
     };
-    let replayed = module.as_ref().map(|m| m.will_replay()).unwrap_or(false);
 
     let engine = DsmEngine::new(ep);
     let shared = RunShared::new(
-        Arc::new(plan),
+        plan.clone(),
         Arc::new(Registry::new()),
         engine,
         module.clone().map(|m| m as Arc<dyn CkptHook>),
@@ -155,14 +210,119 @@ pub fn run_net_rank<R>(
     let ctx = Ctx::new_root(shared);
     let (status, result) = app(&ctx);
     if status == AppStatus::Completed {
+        // Resilient ranks confirm the *whole job* completed before the
+        // run marker is cleared and anyone retires; a failure here means
+        // a peer died late and this rank is still needed for recovery.
+        if confirm {
+            confirm_completion(dyn_fabric, cfg.rank, cfg.nranks)?;
+        }
         ctx.finish();
     }
+    Ok((status, result, module))
+}
+
+/// Run this process as one rank of a TCP-connected SPMD job.
+///
+/// `cfg` usually comes from [`NetConfig::from_env`]. `ckpt_dir` plugs
+/// checkpointing; **every rank must pass the same choice** (the directory
+/// itself is only opened on rank 0 — workers reach it through the
+/// fabric). The app returns its status exactly as under
+/// [`crate::launcher::launch`]: `Completed` clears the run marker,
+/// `Crashed` leaves it for the next launch to detect.
+///
+/// `app` is `Fn` (not `FnOnce`): under a resilient fabric it re-runs
+/// after in-job recovery, replaying from the last durable checkpoint
+/// (see the [module docs](self)).
+pub fn run_net_rank<R>(
+    cfg: &NetConfig,
+    plan: Plan,
+    ckpt_dir: Option<&Path>,
+    app: impl Fn(&Ctx) -> (AppStatus, R),
+) -> Result<NetRankOutcome<R>> {
+    let start = Instant::now();
+    let fabric = TcpFabric::connect(cfg)?;
+    let base_fabric: Arc<dyn Fabric> = fabric.clone();
+    // Deterministic fault injection wraps the real fabric when the
+    // PPAR_CHAOS_* contract is armed (chaos soaks and the recovery bench).
+    let dyn_fabric: Arc<dyn Fabric> = match ChaosConfig::from_env() {
+        Some(chaos) => Arc::new(ChaosFabric::new(base_fabric, cfg.rank, chaos)),
+        None => base_fabric,
+    };
+    let plan = Arc::new(plan);
+
+    // Worker-side checkpoint client, created once and kept across
+    // recovery attempts. Resilient workers mirror their full shard saves
+    // locally: after a rollback the survivor's count-pinned restore is a
+    // local memory read, so recovery traffic scales with the one lost
+    // shard instead of the whole aggregate.
+    let worker_transport: Option<Arc<dyn CkptTransport>> = match ckpt_dir {
+        Some(_) if cfg.rank != 0 => {
+            let net: Arc<dyn CkptTransport> =
+                Arc::new(NetTransport::client(dyn_fabric.clone(), cfg.rank));
+            Some(if cfg.resilient {
+                Arc::new(MirrorTransport::new(net))
+            } else {
+                net
+            })
+        }
+        _ => None,
+    };
+
+    let mut service: Option<CkptService> = None;
+    let mut recoveries = 0usize;
+    // A respawned rank arrives with the mesh already re-armed around it;
+    // it still owes the survivors its READY/GO round before anyone
+    // resumes.
+    let mut need_recovery = cfg.rejoin;
+
+    let (status, result, module) = loop {
+        if std::mem::take(&mut need_recovery) {
+            // A recovery failure (second death mid-recovery, deadline)
+            // escalates: this process exits nonzero and the supervisor
+            // falls back to a whole-job relaunch.
+            fabric.recover(cfg.recv_timeout)?;
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_attempt(
+                cfg,
+                &plan,
+                ckpt_dir,
+                &worker_transport,
+                &dyn_fabric,
+                &mut service,
+                fabric.resilient() && cfg.nranks > 1,
+                &app,
+            )
+        }));
+        // Only a peer fault on a resilient fabric is recoverable here —
+        // anything else (an app panic, a checkpoint error with the mesh
+        // healthy) propagates exactly as before.
+        let fault = fabric.resilient() && fabric.fault_pending();
+        match attempt {
+            Ok(Ok(done)) => break done,
+            Ok(Err(e)) if !fault => return Err(e),
+            Err(payload) if !fault => std::panic::resume_unwind(payload),
+            _ => {
+                recoveries += 1;
+                if recoveries > MAX_RECOVERIES {
+                    return Err(PparError::Network(format!(
+                        "rank {}: giving up after {MAX_RECOVERIES} in-job recoveries; \
+                         escalating to full relaunch",
+                        cfg.rank
+                    )));
+                }
+                need_recovery = true;
+            }
+        }
+    };
+
     // By the time this rank's app returned, its checkpoint RPCs have all
     // been acknowledged (puts are synchronous and happen inside quiesced
     // safe points), so the root's service has nothing of ours in flight.
     if let Some(service) = service.take() {
         service.stop();
     }
+    let replayed = module.as_ref().map(|m| m.will_replay()).unwrap_or(false);
     let traffic = fabric.traffic();
     fabric.shutdown();
     Ok(NetRankOutcome {
@@ -171,6 +331,7 @@ pub fn run_net_rank<R>(
         status,
         result,
         replayed,
+        recoveries,
         stats: module.map(|m| m.stats()),
         traffic,
         elapsed: start.elapsed(),

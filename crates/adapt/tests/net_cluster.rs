@@ -75,7 +75,9 @@ fn net_worker_entry() {
     let abort_at: Option<usize> = envf(ABORT_AT_ENV).map(|v| v.parse().unwrap());
     let aborting = abort_rank == Some(cfg.rank);
 
-    type WorkerApp = Box<dyn FnOnce(&ppar_core::ctx::Ctx) -> (AppStatus, f64)>;
+    // `Fn`, not `FnOnce`: under a resilient fabric the app re-runs after
+    // in-job recovery.
+    type WorkerApp = Box<dyn Fn(&ppar_core::ctx::Ctx) -> (AppStatus, f64)>;
     let (plan, run): (Plan, WorkerApp) = match app.as_str() {
         "sor" => {
             let plan = if ckpt_dir.is_some() {

@@ -755,10 +755,12 @@ impl CkptHook for CheckpointModule {
             }
         } else if nranks > 1 && strategy == DistCkptStrategy::LocalSnapshot {
             // Every element loads its own shard (base + delta chain folded
-            // into the complete owned block).
+            // into the complete owned block) — pinned to the safe point
+            // being restored, so a shard generation that outran the group
+            // commit (torn save) rolls back with everyone else.
             let snap = self
                 .transport
-                .read_merged_shard(ctx.rank() as u32)?
+                .read_shard_at(ctx.rank() as u32, self.clock_get())?
                 .ok_or_else(|| {
                     PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
                 })?;
@@ -799,6 +801,15 @@ impl CkptHook for CheckpointModule {
 
     fn note_load_extra(&self, extra: Duration) {
         self.stats.lock().load_time += extra;
+    }
+
+    fn group_commit(&self, ctx: &Ctx) -> Result<()> {
+        let sharded = ctx.num_ranks() > 1
+            && ctx.plan().dist_ckpt_strategy() == DistCkptStrategy::LocalSnapshot;
+        if sharded {
+            self.transport.commit_group(self.clock_get())?;
+        }
+        Ok(())
     }
 
     fn finish(&self, _ctx: &Ctx) -> Result<()> {

@@ -761,8 +761,16 @@ impl crate::transport::CkptTransport for CheckpointStore {
         CheckpointStore::read_merged_shard(self, rank)
     }
 
+    fn read_shard_at(&self, rank: u32, count: u64) -> Result<Option<Snapshot>> {
+        CheckpointStore::read_shard_at(self, rank, count)
+    }
+
     fn restart_count(&self) -> Result<Option<u64>> {
         CheckpointStore::restart_count(self)
+    }
+
+    fn commit_group(&self, count: u64) -> Result<()> {
+        CheckpointStore::commit_group(self, count)
     }
 
     fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
@@ -791,11 +799,30 @@ impl crate::transport::CkptTransport for CheckpointStore {
         let n = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = dst.with_extension(format!("tmp{n}"));
         let file = fs::File::create(&tmp)?;
+        let rotate = match kind {
+            RawRecordKind::Shard(rank) => Some((self, rank)),
+            _ => None,
+        };
         Ok(Box::new(FileRawSink {
             tmp,
             dst,
             w: Some(BufWriter::new(file)),
+            rotate,
         }))
+    }
+
+    fn write_merged_record_at(
+        &self,
+        rank: Option<u32>,
+        count: u64,
+        out: &mut dyn Write,
+    ) -> Result<Option<u64>> {
+        match rank {
+            // Master records are single-writer and atomic: the merged tip
+            // is always group-consistent.
+            None => self.write_merged_record(None, out),
+            Some(r) => CheckpointStore::write_merged_shard_at(self, r, count, out),
+        }
     }
 
     fn write_merged_record(&self, rank: Option<u32>, out: &mut dyn Write) -> Result<Option<u64>> {
@@ -821,13 +848,17 @@ impl crate::transport::CkptTransport for CheckpointStore {
 /// Raw streamed install straight to a temp file, finalized with the same
 /// atomic-rename discipline as every other snapshot write: a crash (or an
 /// abort) mid-stream never leaves a partial record under the final name.
-struct FileRawSink {
+struct FileRawSink<'a> {
     tmp: PathBuf,
     dst: PathBuf,
     w: Option<BufWriter<fs::File>>,
+    /// Shard installs rotate the committed previous generation aside
+    /// before the rename lands (see
+    /// [`CheckpointStore::rotate_shard_generation`]).
+    rotate: Option<(&'a CheckpointStore, u32)>,
 }
 
-impl crate::transport::RawRecordSink for FileRawSink {
+impl crate::transport::RawRecordSink for FileRawSink<'_> {
     fn write_chunk(&mut self, chunk: &[u8]) -> Result<()> {
         self.w
             .as_mut()
@@ -841,6 +872,9 @@ impl crate::transport::RawRecordSink for FileRawSink {
         w.flush()?;
         let written = w.get_ref().metadata()?.len();
         drop(w);
+        if let Some((store, rank)) = self.rotate {
+            store.rotate_shard_generation(rank)?;
+        }
         fs::rename(&self.tmp, &self.dst)?;
         Ok(written)
     }
@@ -850,7 +884,7 @@ impl crate::transport::RawRecordSink for FileRawSink {
     }
 }
 
-impl Drop for FileRawSink {
+impl Drop for FileRawSink<'_> {
     fn drop(&mut self) {
         // Reached with the writer still live only on abort or a panicked
         // install: discard the partial temp file (commit already took the
@@ -923,6 +957,18 @@ impl CheckpointStore {
         self.dir.join(format!("ckpt_rank_{rank}.bin"))
     }
 
+    /// The retained previous generation of a shard. Shard writes rotate the
+    /// committed generation here instead of overwriting it, so a save torn
+    /// by a rank death (some shards already advanced, the dying rank's did
+    /// not) can still restore the whole group at the last *commit* point.
+    fn prev_shard_path(&self, rank: u32) -> PathBuf {
+        self.dir.join(format!("ckpt_rank_{rank}_prev.bin"))
+    }
+
+    fn commit_path(&self) -> PathBuf {
+        self.dir.join("ckpt_commit")
+    }
+
     fn marker_path(&self) -> PathBuf {
         self.dir.join("RUNNING")
     }
@@ -943,13 +989,15 @@ impl CheckpointStore {
 
     /// Stream one snapshot atomically: temp file → [`SnapshotWriter`] over a
     /// [`BufWriter`] → flush → rename. No whole-snapshot buffer exists at
-    /// any point.
+    /// any point. `rotate_rank` (shard writes) preserves the committed
+    /// previous generation before the rename lands.
     fn stream_atomic(
         &self,
         path: &Path,
         meta: &SnapshotMeta,
         fields: &[(&str, FieldSource<'_>)],
         scratch: &mut Vec<u8>,
+        rotate_rank: Option<u32>,
     ) -> Result<u64> {
         let tmp = path.with_extension("tmp");
         let file = fs::File::create(&tmp)?;
@@ -959,8 +1007,88 @@ impl CheckpointStore {
         }
         let (written, sink) = w.finish()?;
         drop(sink);
+        if let Some(rank) = rotate_rank {
+            self.rotate_shard_generation(rank)?;
+        }
         fs::rename(&tmp, path)?;
         Ok(written)
+    }
+
+    /// Peek the safe-point count in a record's header without materializing
+    /// the payload. `None` when the file is missing or its header does not
+    /// parse (a peek never hard-fails: the caller falls back to the full,
+    /// CRC-checked read path).
+    fn peek_record_count(path: &Path) -> Option<u64> {
+        use std::io::Read;
+        // MAGIC(8) + mode-tag length(8) + tag bytes + count(8): mode tags
+        // are short strings, so the count lives comfortably inside 4 KiB.
+        let mut head = [0u8; 4096];
+        let mut file = fs::File::open(path).ok()?;
+        let mut got = 0;
+        while got < head.len() {
+            match file.read(&mut head[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(_) => return None,
+            }
+        }
+        let mut r = Reader {
+            buf: &head[..got],
+            pos: 0,
+        };
+        if r.take(8).ok()? != MAGIC {
+            return None;
+        }
+        r.take_str().ok()?;
+        r.take_u64().ok()
+    }
+
+    /// Preserve the committed generation of shard `rank` before a new base
+    /// record replaces it: rotate `dst → prev` unless `dst` has already
+    /// diverged from the commit point (then `prev` still holds the committed
+    /// generation and must survive — a torn save retried after recovery must
+    /// not evict the only restorable record).
+    fn rotate_shard_generation(&self, rank: u32) -> Result<()> {
+        let dst = self.shard_path(rank);
+        if !dst.exists() {
+            return Ok(());
+        }
+        let keep = match self.committed_count()? {
+            Some(c) => CheckpointStore::peek_record_count(&dst) == Some(c),
+            // No commit point yet: one generation of history is still
+            // better than none.
+            None => true,
+        };
+        if keep {
+            fs::rename(&dst, self.prev_shard_path(rank))?;
+        }
+        Ok(())
+    }
+
+    /// The group-commit point: the newest safe point at which *every* shard
+    /// of the group is durable. `None` before the first commit.
+    pub fn committed_count(&self) -> Result<Option<u64>> {
+        match fs::read(self.commit_path()) {
+            Ok(bytes) => {
+                let arr: [u8; 8] = bytes.as_slice().try_into().map_err(|_| {
+                    PparError::CorruptCheckpoint(format!(
+                        "group-commit record holds {} bytes, expected 8",
+                        bytes.len()
+                    ))
+                })?;
+                Ok(Some(u64::from_le_bytes(arr)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Advance the group-commit point (atomically) to safe point `count`.
+    pub fn commit_group(&self, count: u64) -> Result<()> {
+        let tmp = self.commit_path().with_extension("tmp");
+        fs::write(&tmp, count.to_le_bytes())?;
+        fs::rename(&tmp, self.commit_path())?;
+        Ok(())
     }
 
     /// Stream a master snapshot from live field sources; returns bytes
@@ -973,7 +1101,7 @@ impl CheckpointStore {
         scratch: &mut Vec<u8>,
     ) -> Result<u64> {
         debug_assert!(meta.rank.is_none(), "master snapshot must have rank None");
-        self.stream_atomic(&self.master_path(), meta, fields, scratch)
+        self.stream_atomic(&self.master_path(), meta, fields, scratch, None)
     }
 
     /// Stream one element's shard from live field sources; returns bytes
@@ -987,7 +1115,7 @@ impl CheckpointStore {
         let rank = meta
             .rank
             .ok_or_else(|| PparError::InvalidPlan("shard snapshot needs a rank".into()))?;
-        self.stream_atomic(&self.shard_path(rank), meta, fields, scratch)
+        self.stream_atomic(&self.shard_path(rank), meta, fields, scratch, Some(rank))
     }
 
     /// Persist a materialized master snapshot; returns bytes written.
@@ -1130,6 +1258,64 @@ impl CheckpointStore {
         }
     }
 
+    /// Load rank `rank`'s shard *at exactly* safe point `count`: serve the
+    /// current generation when its (count-bounded) merge lands on `count`,
+    /// else fall back to the retained previous generation. This is how a
+    /// restore survives a torn group save — shards that already advanced
+    /// past the commit point roll back to their preserved older record.
+    pub fn read_shard_at(&self, rank: u32, count: u64) -> Result<Option<Snapshot>> {
+        let mut seen = Vec::new();
+        for path in [self.shard_path(rank), self.prev_shard_path(rank)] {
+            let Some(base) = self.read(&path)? else {
+                continue;
+            };
+            if base.count > count {
+                seen.push(base.count);
+                continue;
+            }
+            let merged =
+                crate::transport::merge_chain_to(base, count, |r, s| self.read_delta(r, s))?;
+            if merged.count == count {
+                return Ok(Some(merged));
+            }
+            seen.push(merged.count);
+        }
+        if seen.is_empty() {
+            Ok(None)
+        } else {
+            Err(PparError::CorruptCheckpoint(format!(
+                "no generation of shard {rank} can serve safe point {count} \
+                 (available: {seen:?})"
+            )))
+        }
+    }
+
+    /// Stream the merged record of shard `rank` at exactly safe point
+    /// `count` into `out`. Raw copy-through when a retained base generation
+    /// is the record verbatim; otherwise materialize via
+    /// [`CheckpointStore::read_shard_at`] and re-encode.
+    pub fn write_merged_shard_at(
+        &self,
+        rank: u32,
+        count: u64,
+        out: &mut dyn Write,
+    ) -> Result<Option<u64>> {
+        for path in [self.shard_path(rank), self.prev_shard_path(rank)] {
+            if CheckpointStore::peek_record_count(&path) == Some(count) {
+                let mut file = match fs::File::open(&path) {
+                    Ok(f) => f,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(e.into()),
+                };
+                return Ok(Some(std::io::copy(&mut file, out)?));
+            }
+        }
+        match self.read_shard_at(rank, count)? {
+            Some(snap) => crate::transport::write_snapshot_record(&snap, out).map(Some),
+            None => Ok(None),
+        }
+    }
+
     // Tolerate a concurrent remover (several modules of one group purging
     // at start-up): losing the race to delete is success.
     fn remove_if_present(path: PathBuf) -> Result<()> {
@@ -1203,6 +1389,12 @@ impl CheckpointStore {
     /// when no usable snapshot exists. Delta chains count: a restart
     /// replays to the *last delta's* safe point, not the base's.
     pub fn restart_count(&self) -> Result<Option<u64>> {
+        // A group-commit point is authoritative when present (sharded
+        // strategies write one after every post-save barrier): individual
+        // shard tips may have outrun it if a save was torn by a rank death.
+        if let Some(c) = self.committed_count()? {
+            return Ok(Some(c));
+        }
         if let Some(s) = self.read_master()? {
             return Ok(Some(self.chain_tip_count(s.count, None)?));
         }

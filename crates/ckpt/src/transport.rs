@@ -148,9 +148,37 @@ pub trait CkptTransport: Send + Sync {
     /// Load rank `rank`'s shard with its delta chain folded in.
     fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>>;
 
+    /// Load rank `rank`'s shard *at exactly* safe-point `count`. Restores
+    /// pass the replay target here so a torn group checkpoint (one rank
+    /// died mid-save, its peers already committed a newer generation) is
+    /// detected instead of silently installing inconsistent state. The
+    /// default serves the merged chain tip and errors on a count mismatch;
+    /// transports that retain a previous shard generation override it to
+    /// fall back to the older record.
+    fn read_shard_at(&self, rank: u32, count: u64) -> Result<Option<Snapshot>> {
+        match self.read_merged_shard(rank)? {
+            None => Ok(None),
+            Some(snap) if snap.count == count => Ok(Some(snap)),
+            Some(snap) => Err(PparError::CorruptCheckpoint(format!(
+                "shard {rank} holds safe point {} but the restore targets {count} \
+                 (torn group checkpoint and no older generation retained)",
+                snap.count
+            ))),
+        }
+    }
+
     /// The safe-point count a restart/resume should replay to (chain tips
     /// count); `None` when no usable snapshot exists.
     fn restart_count(&self) -> Result<Option<u64>>;
+
+    /// Advance the group-commit point to safe point `count`: every shard of
+    /// the group is durable at `count` (the engine's post-save barrier has
+    /// completed). Transports whose [`CkptTransport::restart_count`] honours
+    /// a commit point override this; the default is a no-op (single-writer
+    /// transports commit atomically on every put).
+    fn commit_group(&self, _count: u64) -> Result<()> {
+        Ok(())
+    }
 
     /// Delete every delta of one chain (base-promotion GC).
     fn clear_deltas(&self, rank: Option<u32>) -> Result<()>;
@@ -189,6 +217,44 @@ pub trait CkptTransport: Send + Sync {
     fn write_merged_record(&self, rank: Option<u32>, out: &mut dyn Write) -> Result<Option<u64>> {
         write_merged_fallback(self, rank, out)
     }
+
+    /// Stream the merged record for `rank` at exactly safe point `count`
+    /// into `out` (the count-pinned restore direction — see
+    /// [`CkptTransport::read_shard_at`]). The default re-encodes the
+    /// materialized count-pinned shard; the master side has no torn-group
+    /// problem (single atomic writer) and delegates to
+    /// [`CkptTransport::write_merged_record`].
+    fn write_merged_record_at(
+        &self,
+        rank: Option<u32>,
+        count: u64,
+        out: &mut dyn Write,
+    ) -> Result<Option<u64>> {
+        let Some(rank) = rank else {
+            return self.write_merged_record(None, out);
+        };
+        let Some(snap) = self.read_shard_at(rank, count)? else {
+            return Ok(None);
+        };
+        write_snapshot_record(&snap, out).map(Some)
+    }
+}
+
+/// Stream one materialized snapshot through the golden checksummed encoder
+/// (shared by the count-pinned restore fallbacks).
+pub(crate) fn write_snapshot_record(snap: &Snapshot, out: &mut dyn Write) -> Result<u64> {
+    let fields: Vec<(&str, FieldSource<'_>)> = snap
+        .fields
+        .iter()
+        .map(|(n, b)| (n.as_str(), FieldSource::Bytes(b)))
+        .collect();
+    let mut w = SnapshotWriter::new(out, &snap.meta(), fields.len() as u32)?;
+    let mut scratch = Vec::new();
+    for (name, source) in &fields {
+        w.field(name, source, &mut scratch)?;
+    }
+    let (written, _) = w.finish()?;
+    Ok(written)
 }
 
 /// Cap a sender-supplied record-size hint before using it as an
@@ -398,6 +464,33 @@ pub(crate) fn merge_chain_with(
     let mut seq = 1u32;
     while let Some(delta) = read_delta(snap.rank, seq)? {
         if !chain_step_is_live(&delta.meta, base_count, seq, snap.count)? {
+            break;
+        }
+        delta.apply_to(&mut snap)?;
+        seq += 1;
+    }
+    Ok(snap)
+}
+
+/// Fold a delta chain onto `snap`, stopping *before* any delta that would
+/// advance the merged state past safe point `target` (the count-pinned
+/// restore: a torn chain whose tip outruns the group commit serves the
+/// committed prefix instead). Terminates like [`merge_chain_with`] on the
+/// first missing or stale record.
+pub(crate) fn merge_chain_to(
+    mut snap: Snapshot,
+    target: u64,
+    read_delta: impl Fn(Option<u32>, u32) -> Result<Option<DeltaSnapshot>>,
+) -> Result<Snapshot> {
+    let base_count = snap.count;
+    let mut seq = 1u32;
+    while snap.count < target {
+        let Some(delta) = read_delta(snap.rank, seq)? else {
+            break;
+        };
+        if !chain_step_is_live(&delta.meta, base_count, seq, snap.count)?
+            || delta.meta.count > target
+        {
             break;
         }
         delta.apply_to(&mut snap)?;

@@ -123,6 +123,15 @@ pub trait CkptHook: Send + Sync {
         Ok(())
     }
 
+    /// All elements of a distributed group have durably persisted their
+    /// shard for the safe point that just saved (the engine has crossed the
+    /// post-save barrier). The root calls this to advance the group-commit
+    /// point: a restart never targets a checkpoint newer than the last
+    /// commit, so a rank dying mid-save can not tear the restore.
+    fn group_commit(&self, _ctx: &Ctx) -> Result<()> {
+        Ok(())
+    }
+
     /// The run completed normally: clear the failure marker.
     fn finish(&self, ctx: &Ctx) -> Result<()>;
 }

@@ -118,11 +118,17 @@ impl Endpoint {
             for src in 1..n {
                 self.frecv(src, tag);
             }
+            ppar_net::chaos::kill_point("barrier");
             for dst in 1..n {
                 self.fsend(dst, tag, Vec::new());
             }
         } else {
             self.fsend(0, tag, Vec::new());
+            // Deterministic fault injection: a chaos kill-point armed at
+            // "barrier" dies here — contribution sent, release not yet
+            // received — the half-dead-collective case recovery must
+            // handle.
+            ppar_net::chaos::kill_point("barrier");
             self.frecv(0, tag);
         }
     }

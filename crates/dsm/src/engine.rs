@@ -405,6 +405,14 @@ impl DsmEngine {
                 self.ep.barrier();
                 ck.take_snapshot(ctx).expect("checkpoint snapshot failed");
                 self.ep.barrier();
+                // Past the barrier every shard is durable: the root
+                // advances the group-commit point, pinning the newest
+                // safe point a restart may target. A rank dying mid-save
+                // can therefore never tear the restored group.
+                if self.ep.rank() == 0 {
+                    ck.group_commit(ctx)
+                        .expect("checkpoint group commit failed");
+                }
             }
         }
     }
@@ -564,6 +572,20 @@ impl Engine for DsmEngine {
     }
 
     fn point(&self, ctx: &Ctx, name: &str) {
+        // Failure-detector poll: a compute-bound element may not touch the
+        // fabric for a long stretch, so a peer death it has not personally
+        // observed is surfaced here, at the next safe point — the element
+        // unwinds promptly for recovery instead of discovering the fault
+        // deep inside its next collective. Only a resilient fabric ever
+        // reports a pending fault (plain runs keep the fail-at-collective
+        // behaviour).
+        if self.ep.fabric().fault_pending() {
+            panic!(
+                "rank {}: peer failure pending at safe point {name:?}; \
+                 unwinding for recovery",
+                self.ep.rank()
+            );
+        }
         let plan = ctx.plan();
         let replaying = ctx.ckpt_hook().map(|ck| ck.replaying()).unwrap_or(false);
         if !replaying {

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus, Stdio};
 use std::time::{Duration, Instant};
 
-use crate::tcp::{ENV_NRANKS, ENV_RANK, ENV_ROOT};
+use crate::tcp::{ENV_NRANKS, ENV_RANK, ENV_REJOIN, ENV_RESILIENT, ENV_ROOT};
 
 /// Reserve a fresh loopback `host:port` for a rendezvous listener: bind an
 /// ephemeral port, read the address back, release it.
@@ -126,6 +126,56 @@ impl LocalCluster {
         self.children.len()
     }
 
+    /// Current OS PID of each rank process (`None` once reaped).
+    pub fn pids(&self) -> Vec<Option<u32>> {
+        self.children
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.id()))
+            .collect()
+    }
+
+    /// Relaunch one (dead, already-reaped) rank into the existing mesh:
+    /// same binary, same contract, same rendezvous address, plus
+    /// [`ENV_REJOIN`] so the newcomer takes the rejoin bootstrap path
+    /// instead of the full rendezvous. Returns the new PID.
+    pub fn respawn_rank(&mut self, spec: &ClusterSpec, rank: usize) -> io::Result<u32> {
+        assert!(rank != 0, "rank 0 owns the rendezvous and cannot rejoin");
+        let mut cmd = Command::new(&spec.exe);
+        cmd.args(&spec.args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, self.children.len().to_string())
+            .env(ENV_ROOT, &self.root)
+            .env(ENV_RESILIENT, "1")
+            .env(ENV_REJOIN, "1");
+        for (k, v) in &spec.envs {
+            cmd.env(k, v);
+        }
+        if spec.quiet {
+            cmd.stdout(Stdio::null()).stderr(Stdio::null());
+        }
+        let child = cmd.spawn()?;
+        let pid = child.id();
+        self.children[rank] = Some(child);
+        Ok(pid)
+    }
+
+    /// Poll one rank: reaps and returns the exit status if the process
+    /// has exited, `None` while it is still running (or was already
+    /// reaped). External supervisors — e.g. the recovery bench, which
+    /// timestamps the death it is about to heal — build on this.
+    pub fn try_wait_rank(&mut self, rank: usize) -> io::Result<Option<ExitStatus>> {
+        let Some(child) = self.children[rank].as_mut() else {
+            return Ok(None);
+        };
+        match child.try_wait()? {
+            Some(status) => {
+                self.children[rank] = None;
+                Ok(Some(status))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Kill one rank process (SIGKILL — the crash-recovery scenario's
     /// "machine loss") and reap it. No-op if it already exited.
     pub fn kill_rank(&mut self, rank: usize) -> io::Result<()> {
@@ -214,6 +264,113 @@ pub fn run_cluster_until_complete(
     }
     Err(io::Error::other(format!(
         "cluster did not complete within {max_attempts} attempts"
+    )))
+}
+
+/// Knobs for [`run_cluster_supervised`] — the self-healing driver.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Wall-clock budget for one launch (including any respawns inside
+    /// it); on expiry the launch is killed and escalates to a relaunch.
+    pub attempt_timeout: Duration,
+    /// Full-job launches before giving up (the escalation ladder's last
+    /// rung, matching [`run_cluster_until_complete`]'s `max_attempts`).
+    pub max_launches: usize,
+    /// Single-rank respawns allowed within one launch before the
+    /// supervisor escalates to a full relaunch.
+    pub max_respawns: usize,
+    /// Child poll interval.
+    pub poll: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            attempt_timeout: Duration::from_secs(120),
+            max_launches: 3,
+            max_respawns: 4,
+            poll: Duration::from_millis(15),
+        }
+    }
+}
+
+/// What [`run_cluster_supervised`] did to finish the job.
+#[derive(Debug, Clone)]
+pub struct SupervisorReport {
+    /// Full-job launches used (1 = no escalation).
+    pub launches: usize,
+    /// Single-rank respawns across all launches.
+    pub single_respawns: usize,
+    /// Every PID each rank ran under during the final (successful)
+    /// launch, in spawn order — a survivor has exactly one entry, a
+    /// recovered rank two or more. This is how tests prove recovery did
+    /// *not* relaunch the survivors.
+    pub pid_history: Vec<Vec<u32>>,
+}
+
+/// Launch `spec` under the **self-healing supervisor**: every rank runs
+/// resilient ([`ENV_RESILIENT`]), and when a non-root rank dies the
+/// supervisor respawns *only that rank* ([`LocalCluster::respawn_rank`])
+/// while the survivors hold at their next safe point and re-admit it
+/// (the in-job recovery path). Rank-0 death, respawn-budget exhaustion,
+/// or a launch timeout escalate to a full relaunch (the
+/// [`run_cluster_until_complete`] path); `max_launches` bounds those.
+pub fn run_cluster_supervised(
+    spec: &ClusterSpec,
+    cfg: &SupervisorConfig,
+) -> io::Result<SupervisorReport> {
+    let resilient_spec = spec.clone().env(ENV_RESILIENT, "1");
+    let mut single_respawns = 0usize;
+    for launch in 1..=cfg.max_launches {
+        let mut cluster = spawn_local_cluster(&resilient_spec)?;
+        let mut pid_history: Vec<Vec<u32>> = cluster
+            .pids()
+            .into_iter()
+            .map(|p| p.into_iter().collect())
+            .collect();
+        let mut statuses: Vec<Option<ExitStatus>> = vec![None; cluster.nranks()];
+        let mut respawns_left = cfg.max_respawns;
+        let deadline = Instant::now() + cfg.attempt_timeout;
+        'poll: loop {
+            for rank in 0..cluster.nranks() {
+                if statuses[rank].is_some() {
+                    continue;
+                }
+                let Some(status) = cluster.try_wait_rank(rank)? else {
+                    continue;
+                };
+                if status.success() {
+                    statuses[rank] = Some(status);
+                } else if rank == 0 || respawns_left == 0 {
+                    // Rank 0 owns the rendezvous (nobody to rejoin
+                    // through), and a respawn budget run dry means the
+                    // failure is not confined to one rank: relaunch.
+                    break 'poll;
+                } else {
+                    respawns_left -= 1;
+                    single_respawns += 1;
+                    let pid = cluster.respawn_rank(&resilient_spec, rank)?;
+                    pid_history[rank].push(pid);
+                }
+            }
+            if statuses.iter().all(|s| s.is_some()) {
+                return Ok(SupervisorReport {
+                    launches: launch,
+                    single_respawns,
+                    pid_history,
+                });
+            }
+            if Instant::now() >= deadline {
+                break 'poll;
+            }
+            std::thread::sleep(cfg.poll);
+        }
+        // Escalation: this launch is unrecoverable in place.
+        cluster.kill_all();
+    }
+    Err(io::Error::other(format!(
+        "supervised cluster did not complete within {} launches",
+        cfg.max_launches
     )))
 }
 

@@ -84,4 +84,15 @@ pub trait Fabric: Send + Sync {
     /// Traffic counters so far (sends observed by this fabric handle; for
     /// the per-process TCP fabric that means this rank's traffic).
     fn traffic(&self) -> Traffic;
+
+    /// Has a peer failure been detected that the application has not yet
+    /// recovered from? Only resilient fabrics (the TCP fabric under a
+    /// supervisor, see `tcp`) ever return `true`; the default covers
+    /// fabrics where peers cannot die (simulation) or where death is
+    /// terminal (fail-fast mode). The engine polls this at every safe
+    /// point so survivors unwind promptly instead of wedging on a
+    /// collective involving the dead rank.
+    fn fault_pending(&self) -> bool {
+        false
+    }
 }

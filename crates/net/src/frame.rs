@@ -205,9 +205,12 @@ fn read_frame_bounded(r: &mut impl Read, max: usize) -> io::Result<Option<(u64, 
             ))
         }
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-    let tag = u64::from_le_bytes(header[4..12].try_into().unwrap());
-    let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    // Destructure the fixed-size header instead of slicing: no fallible
+    // conversion, no panic path on this untrusted-input parse.
+    let [l0, l1, l2, l3, t0, t1, t2, t3, t4, t5, t6, t7, c0, c1, c2, c3] = header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+    let tag = u64::from_le_bytes([t0, t1, t2, t3, t4, t5, t6, t7]);
+    let crc = u32::from_le_bytes([c0, c1, c2, c3]);
     if len > max {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -41,15 +41,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod fabric;
 pub mod frame;
+pub mod mirror;
+pub mod retry;
 pub mod tcp;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosFabric};
 pub use cluster::{
-    free_loopback_addr, run_cluster_until_complete, spawn_local_cluster, ClusterSpec, LocalCluster,
+    free_loopback_addr, run_cluster_supervised, run_cluster_until_complete, spawn_local_cluster,
+    ClusterSpec, LocalCluster, SupervisorConfig, SupervisorReport,
 };
 pub use fabric::{Fabric, Payload, Traffic};
+pub use mirror::MirrorTransport;
+pub use retry::RetryPolicy;
 pub use tcp::{NetConfig, TcpFabric, ENV_NRANKS, ENV_RANK, ENV_ROOT};
 pub use transport::{CkptService, NetTransport};

@@ -1,0 +1,366 @@
+//! Survivor-local checkpoint mirror: the fast restore lane of single-rank
+//! recovery.
+//!
+//! When a rank dies mid-run, *every* rank rolls back to the last
+//! group-committed safe point — the rejoined newcomer restores its shard
+//! over the network from the root's durable store, but the survivors
+//! already streamed that exact shard generation out of their own memory
+//! moments ago. [`MirrorTransport`] keeps the last two full shard records
+//! a rank saved in local [`MemTransport`] slots (two, because a rank can
+//! have saved generation `N+1` while the group commit still points at
+//! `N` — the torn-checkpoint case), so a survivor's count-pinned restore
+//! ([`CkptTransport::read_shard_at`]) is a local memory read instead of a
+//! root round-trip. Recovery traffic then scales with the *one* lost
+//! shard, not the whole aggregate.
+//!
+//! The network transport stays the durability authority: every put is
+//! forwarded first and its result is what the caller sees; the local tee
+//! is opportunistic. A failed network put wipes the mirror — after a
+//! fault the local generations can no longer be trusted to match what the
+//! root will serve, and a stale hit here would restore state diverging
+//! from the group. Delta records are not mirrored (the mirror serves only
+//! exact-count full-snapshot hits and falls through to the network for
+//! everything else).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ppar_ckpt::delta::DeltaMeta;
+use ppar_ckpt::store::{DeltaSource, FieldSource, Snapshot, SnapshotMeta};
+use ppar_ckpt::transport::{CkptTransport, RawRecordKind, RawRecordSink};
+use ppar_ckpt::MemTransport;
+use ppar_core::error::Result;
+
+/// Which local slot holds which shard generation (see module docs).
+#[derive(Default)]
+struct MirrorState {
+    /// Safe-point count held by each slot (`None` = slot empty/stale).
+    counts: [Option<u64>; 2],
+    /// Slot the next full-shard save overwrites (the older generation).
+    next: usize,
+}
+
+/// A [`CkptTransport`] that forwards everything to an inner (network)
+/// transport while teeing full shard saves into two alternating local
+/// in-memory generations, serving count-pinned shard restores locally
+/// when a generation matches. See the [module docs](self).
+pub struct MirrorTransport {
+    net: Arc<dyn CkptTransport>,
+    slots: [MemTransport; 2],
+    state: Mutex<MirrorState>,
+    local_hits: AtomicU64,
+}
+
+impl MirrorTransport {
+    /// Wrap `net`, mirroring full shard saves locally.
+    pub fn new(net: Arc<dyn CkptTransport>) -> MirrorTransport {
+        MirrorTransport {
+            net,
+            slots: [MemTransport::new(), MemTransport::new()],
+            state: Mutex::new(MirrorState::default()),
+            local_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Count-pinned restores served from the local mirror so far (the
+    /// recovery bench asserts survivor restores stay off the network).
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    /// Drop both local generations (a fault boundary: the network store
+    /// is the only trusted source until the next successful save).
+    fn wipe(&self) {
+        let mut st = self.state.lock();
+        st.counts = [None, None];
+        st.next = 0;
+        for slot in &self.slots {
+            slot.clear();
+        }
+    }
+}
+
+impl CkptTransport for MirrorTransport {
+    fn describe(&self) -> &'static str {
+        "mirror"
+    }
+
+    fn put_master(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.net.put_master(meta, fields, scratch)
+    }
+
+    fn put_shard(
+        &self,
+        meta: &SnapshotMeta,
+        fields: &[(&str, FieldSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        let written = match self.net.put_shard(meta, fields, scratch) {
+            Ok(w) => w,
+            Err(e) => {
+                self.wipe();
+                return Err(e);
+            }
+        };
+        let mut st = self.state.lock();
+        let slot = st.next;
+        match self.slots[slot].put_shard(meta, fields, scratch) {
+            Ok(_) => {
+                st.counts[slot] = Some(meta.count);
+                st.next = slot ^ 1;
+            }
+            Err(_) => {
+                // Local tee failure only disables the fast lane.
+                st.counts[slot] = None;
+                self.slots[slot].clear();
+            }
+        }
+        Ok(written)
+    }
+
+    fn put_master_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        self.net.put_master_delta(meta, fields, scratch)
+    }
+
+    fn put_shard_delta(
+        &self,
+        meta: &DeltaMeta,
+        fields: &[(&str, DeltaSource<'_>)],
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64> {
+        // Deltas are not mirrored: a chain over a mirrored base would make
+        // the local generation's merged count drift from its slot key.
+        // Fail the mirror closed instead and let restores fall through.
+        match self.net.put_shard_delta(meta, fields, scratch) {
+            Ok(w) => {
+                self.wipe();
+                Ok(w)
+            }
+            Err(e) => {
+                self.wipe();
+                Err(e)
+            }
+        }
+    }
+
+    fn read_merged_master(&self) -> Result<Option<Snapshot>> {
+        self.net.read_merged_master()
+    }
+
+    fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+        self.net.read_merged_shard(rank)
+    }
+
+    fn read_shard_at(&self, rank: u32, count: u64) -> Result<Option<Snapshot>> {
+        let slot = {
+            let st = self.state.lock();
+            st.counts.iter().position(|c| *c == Some(count))
+        };
+        if let Some(i) = slot {
+            if let Some(snap) = self.slots[i].read_merged_shard(rank)? {
+                if snap.count == count {
+                    self.local_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(snap));
+                }
+            }
+        }
+        self.net.read_shard_at(rank, count)
+    }
+
+    fn restart_count(&self) -> Result<Option<u64>> {
+        self.net.restart_count()
+    }
+
+    fn commit_group(&self, count: u64) -> Result<()> {
+        self.net.commit_group(count)
+    }
+
+    fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
+        self.net.clear_deltas(rank)
+    }
+
+    fn clear_all_deltas(&self) -> Result<()> {
+        self.net.clear_all_deltas()
+    }
+
+    fn begin_raw<'a>(
+        &'a self,
+        kind: RawRecordKind,
+        len_hint: u64,
+    ) -> Result<Box<dyn RawRecordSink + 'a>> {
+        self.net.begin_raw(kind, len_hint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppar_ckpt::store::SnapshotMeta;
+    use ppar_core::error::PparError;
+
+    fn shard_meta(count: u64, rank: u32) -> SnapshotMeta {
+        SnapshotMeta {
+            mode_tag: "tcp4".into(),
+            count,
+            rank: Some(rank),
+            nranks: 4,
+        }
+    }
+
+    fn put(t: &MirrorTransport, count: u64, rank: u32, payload: &[u8]) {
+        t.put_shard(
+            &shard_meta(count, rank),
+            &[("G", FieldSource::Bytes(payload))],
+            &mut Vec::new(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn serves_last_two_generations_locally() {
+        let net = Arc::new(MemTransport::new());
+        let mirror = MirrorTransport::new(net.clone());
+        put(&mirror, 10, 2, &[1u8; 64]);
+        put(&mirror, 20, 2, &[2u8; 64]);
+        put(&mirror, 30, 2, &[3u8; 64]);
+
+        // The two newest generations hit the mirror...
+        assert_eq!(
+            mirror.read_shard_at(2, 30).unwrap().unwrap().field("G"),
+            Some(&[3u8; 64][..])
+        );
+        assert_eq!(
+            mirror.read_shard_at(2, 20).unwrap().unwrap().field("G"),
+            Some(&[2u8; 64][..])
+        );
+        assert_eq!(mirror.local_hits(), 2);
+
+        // ...the evicted one falls through to the network store, whose
+        // chain tip (30) no longer matches — the count pin catches it.
+        assert!(mirror.read_shard_at(2, 10).is_err());
+        assert_eq!(mirror.local_hits(), 2);
+    }
+
+    #[test]
+    fn network_put_failure_wipes_the_mirror() {
+        struct FailNext {
+            inner: MemTransport,
+            fail: std::sync::atomic::AtomicBool,
+        }
+        impl CkptTransport for FailNext {
+            fn describe(&self) -> &'static str {
+                "failnext"
+            }
+            fn put_master(
+                &self,
+                m: &SnapshotMeta,
+                f: &[(&str, FieldSource<'_>)],
+                s: &mut Vec<u8>,
+            ) -> Result<u64> {
+                self.inner.put_master(m, f, s)
+            }
+            fn put_shard(
+                &self,
+                m: &SnapshotMeta,
+                f: &[(&str, FieldSource<'_>)],
+                s: &mut Vec<u8>,
+            ) -> Result<u64> {
+                if self.fail.swap(false, Ordering::SeqCst) {
+                    return Err(PparError::Network("peer rank 0 is down".into()));
+                }
+                self.inner.put_shard(m, f, s)
+            }
+            fn put_master_delta(
+                &self,
+                m: &DeltaMeta,
+                f: &[(&str, DeltaSource<'_>)],
+                s: &mut Vec<u8>,
+            ) -> Result<u64> {
+                self.inner.put_master_delta(m, f, s)
+            }
+            fn put_shard_delta(
+                &self,
+                m: &DeltaMeta,
+                f: &[(&str, DeltaSource<'_>)],
+                s: &mut Vec<u8>,
+            ) -> Result<u64> {
+                self.inner.put_shard_delta(m, f, s)
+            }
+            fn read_merged_master(&self) -> Result<Option<Snapshot>> {
+                self.inner.read_merged_master()
+            }
+            fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
+                self.inner.read_merged_shard(rank)
+            }
+            fn restart_count(&self) -> Result<Option<u64>> {
+                self.inner.restart_count()
+            }
+            fn clear_deltas(&self, rank: Option<u32>) -> Result<()> {
+                self.inner.clear_deltas(rank)
+            }
+            fn clear_all_deltas(&self) -> Result<()> {
+                self.inner.clear_all_deltas()
+            }
+        }
+
+        let net = Arc::new(FailNext {
+            inner: MemTransport::new(),
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mirror = MirrorTransport::new(net.clone());
+        put(&mirror, 10, 1, &[7u8; 32]);
+        assert_eq!(mirror.read_shard_at(1, 10).unwrap().unwrap().count, 10);
+        assert_eq!(mirror.local_hits(), 1);
+
+        net.fail.store(true, Ordering::SeqCst);
+        let err = mirror.put_shard(
+            &shard_meta(20, 1),
+            &[("G", FieldSource::Bytes(&[8u8; 32]))],
+            &mut Vec::new(),
+        );
+        assert!(err.is_err());
+
+        // The mirror is gone; the restore goes to the network store
+        // (which still holds generation 10 from the first save).
+        assert_eq!(mirror.read_shard_at(1, 10).unwrap().unwrap().count, 10);
+        assert_eq!(mirror.local_hits(), 1, "no further local hits");
+    }
+
+    #[test]
+    fn delta_saves_disable_the_mirror() {
+        let net = Arc::new(MemTransport::new());
+        let mirror = MirrorTransport::new(net);
+        put(&mirror, 10, 3, &[1u8; 16]);
+        let dm = DeltaMeta {
+            mode_tag: "tcp4".into(),
+            count: 20,
+            base_count: 10,
+            seq: 1,
+            rank: Some(3),
+            nranks: 4,
+        };
+        mirror
+            .put_shard_delta(
+                &dm,
+                &[("G", DeltaSource::Full(FieldSource::Bytes(&[2u8; 16])))],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        // Count 10 would now under-serve the merged chain: the mirror
+        // must not answer.
+        assert_eq!(mirror.read_shard_at(3, 20).unwrap().unwrap().count, 20);
+        assert_eq!(mirror.local_hits(), 0);
+    }
+}

@@ -34,14 +34,34 @@
 //! EOF, an I/O error or a corrupt frame on a peer link marks that peer
 //! **down** and wakes every blocked receiver. `recv` first drains messages
 //! that already arrived, then fails with
-//! [`PparError::Network`]. A crashed rank therefore cascades: its peers
-//! fail out of their blocked collectives, exit nonzero, and the cluster
-//! driver restarts the job from the last durable checkpoint.
+//! [`PparError::Network`]. In the default (fail-fast) mode a crashed rank
+//! therefore cascades: its peers fail out of their blocked collectives,
+//! exit nonzero, and the cluster driver restarts the job from the last
+//! durable checkpoint.
+//!
+//! ## Resilient mode (`PPAR_NET_RESILIENT=1`)
+//!
+//! Under [`crate::cluster::run_cluster_supervised`] the fabric instead
+//! *contains* a failure: every rank keeps its bootstrap listener alive,
+//! runs a heartbeat failure detector, and distinguishes a clean peer
+//! shutdown (a BYE control frame precedes the FIN) from a crash (EOF with
+//! no BYE). A crash raises the rank-local **fault flag** —
+//! [`Fabric::fault_pending`] — which the engine polls at every safe point
+//! so survivors unwind their current attempt instead of wedging. The
+//! supervisor respawns only the dead rank with `PPAR_REJOIN=1`; the
+//! newcomer re-rendezvouses into the existing mesh (REJOIN at the root's
+//! retained listener, REJOIN_MESH at every survivor's), each survivor
+//! **re-arms** the peer link in place — purging stale frames and bumping
+//! the link generation so receives blocked on the dead incarnation fail
+//! with "restarted" instead of wedging — and everyone meets in
+//! [`TcpFabric::recover`]: a two-round READY/GO barrier that flushes
+//! in-flight traffic of the aborted attempt, after which the job resumes
+//! from its last durable checkpoint with the surviving processes intact.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -52,6 +72,8 @@ use ppar_core::error::{PparError, Result};
 
 use crate::fabric::{Fabric, Payload, Traffic};
 use crate::frame::{read_frame, write_frame, write_frame_vectored};
+use crate::retry::RetryPolicy;
+use crate::transport::CKPT_TAG_BIT;
 
 /// Environment variable naming this process's rank.
 pub const ENV_RANK: &str = "PPAR_RANK";
@@ -61,12 +83,42 @@ pub const ENV_NRANKS: &str = "PPAR_NRANKS";
 pub const ENV_ROOT: &str = "PPAR_ROOT";
 /// Optional override (seconds) for both bootstrap and receive timeouts.
 pub const ENV_TIMEOUT: &str = "PPAR_NET_TIMEOUT_SECS";
+/// Set (to `1`) by the supervisor: run the fabric in resilient mode
+/// (retained listeners, failure detector, single-rank rejoin).
+pub const ENV_RESILIENT: &str = "PPAR_NET_RESILIENT";
+/// Set (to `1`) on a respawned rank: rejoin the existing mesh instead of
+/// bootstrapping a fresh one (also disarms [`crate::chaos::kill_point`]).
+pub const ENV_REJOIN: &str = "PPAR_REJOIN";
 
 /// Handshake frame tags (used only on the raw streams before the data
 /// plane starts, so they cannot collide with fabric traffic).
 const HELLO_TAG: u64 = 0x7070_6172_0001;
 const TABLE_TAG: u64 = 0x7070_6172_0002;
 const MESH_TAG: u64 = 0x7070_6172_0003;
+/// Rejoin handshakes (resilient mode): a respawned rank reporting in at
+/// the root's retained listener, and at each survivor's.
+const REJOIN_TAG: u64 = 0x7070_6172_0004;
+const REJOIN_MESH_TAG: u64 = 0x7070_6172_0005;
+
+/// Control frames own tag bit 60 (user traffic owns 63, checkpoint
+/// traffic 62/61): heartbeats and clean-shutdown markers are intercepted
+/// by the receive threads, READY/GO recovery-barrier frames flow through
+/// the mailbox but are exempt from the recovery purge and from fail-fast.
+const CTRL_TAG_BIT: u64 = 1 << 60;
+const HB_TAG: u64 = CTRL_TAG_BIT | 1;
+const READY_TAG: u64 = CTRL_TAG_BIT | 2;
+const GO_TAG: u64 = CTRL_TAG_BIT | 3;
+const BYE_TAG: u64 = CTRL_TAG_BIT | 4;
+
+/// Tags allowed to keep flowing while a fault is pending: checkpoint
+/// streams (recovery reads them) and the recovery barrier itself.
+const FAULT_EXEMPT_MASK: u64 = CKPT_TAG_BIT | CTRL_TAG_BIT;
+
+/// Heartbeat cadence and the silence threshold that declares a peer dead.
+/// EOF detection catches clean crashes instantly; the detector covers
+/// wedged links (a partition, a SIGSTOPped peer) where no FIN ever comes.
+const HB_PERIOD: Duration = Duration::from_millis(200);
+const HB_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One rank's view of the job, resolved from the environment contract.
 #[derive(Debug, Clone)]
@@ -83,6 +135,11 @@ pub struct NetConfig {
     /// (guards CI against silent deadlocks when a peer wedges rather than
     /// dies).
     pub recv_timeout: Duration,
+    /// Resilient mode: keep listeners alive, run the failure detector,
+    /// accept rejoining ranks (see the [module docs](self)).
+    pub resilient: bool,
+    /// This process is a respawned rank rejoining an existing mesh.
+    pub rejoin: bool,
 }
 
 impl NetConfig {
@@ -94,6 +151,8 @@ impl NetConfig {
             root: root.into(),
             connect_timeout: Duration::from_secs(20),
             recv_timeout: Duration::from_secs(120),
+            resilient: false,
+            rejoin: false,
         }
     }
 
@@ -134,6 +193,13 @@ impl NetConfig {
             cfg.connect_timeout = Duration::from_secs(secs);
             cfg.recv_timeout = Duration::from_secs(secs);
         }
+        let flag = |name: &str| get(name).is_some_and(|v| v == "1" || v == "true");
+        cfg.resilient = flag(ENV_RESILIENT);
+        cfg.rejoin = flag(ENV_REJOIN);
+        if cfg.rejoin {
+            // A rejoining rank only makes sense inside a resilient job.
+            cfg.resilient = true;
+        }
         Ok(Some(cfg))
     }
 }
@@ -150,6 +216,12 @@ struct Peer {
     /// Set (with a reason) when the link died; receives from this peer
     /// fail once their queues drain.
     down: Mutex<Option<String>>,
+    /// Link incarnation, bumped on every re-arm. Receive threads and
+    /// blocked receives capture it at entry: a bump tells them the peer
+    /// they were talking to is gone (even though a new one took its slot).
+    generation: AtomicU64,
+    /// Last time any frame arrived from this peer (failure detector).
+    last_rx: Mutex<Instant>,
     sent_msgs: AtomicU64,
     sent_bytes: AtomicU64,
     recv_msgs: AtomicU64,
@@ -162,6 +234,8 @@ impl Peer {
             tx: Mutex::new(None),
             sock: Mutex::new(None),
             down: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            last_rx: Mutex::new(Instant::now()),
             sent_msgs: AtomicU64::new(0),
             sent_bytes: AtomicU64::new(0),
             recv_msgs: AtomicU64::new(0),
@@ -190,6 +264,13 @@ pub struct TcpFabric {
     rank: usize,
     nranks: usize,
     recv_timeout: Duration,
+    resilient: bool,
+    /// A peer crashed (EOF with no BYE, heartbeat silence, or a rejoin
+    /// arrived) and the application has not yet run [`TcpFabric::recover`].
+    fault: AtomicBool,
+    /// Current listener address of every rank (maintained by the root in
+    /// resilient mode so it can hand rejoining ranks a fresh table).
+    addrs: Mutex<Vec<String>>,
     mailbox: Mutex<HashMap<(usize, u64), VecDeque<Payload>>>,
     cv: Condvar,
     peers: Vec<Peer>,
@@ -200,6 +281,8 @@ pub struct TcpFabric {
 impl TcpFabric {
     /// Run the rendezvous bootstrap and bring up the data plane. Blocks
     /// until the full mesh is connected (or `cfg.connect_timeout` expires).
+    /// With `cfg.rejoin` the process instead re-rendezvouses into an
+    /// already-running mesh through the peers' retained listeners.
     pub fn connect(cfg: &NetConfig) -> Result<Arc<TcpFabric>> {
         if cfg.nranks == 0 || cfg.rank >= cfg.nranks {
             return Err(PparError::Network(format!(
@@ -207,7 +290,12 @@ impl TcpFabric {
                 cfg.rank, cfg.nranks
             )));
         }
-        let streams = rendezvous(cfg).map_err(|e| {
+        let boot = if cfg.rejoin {
+            rejoin_rendezvous(cfg)
+        } else {
+            rendezvous(cfg)
+        }
+        .map_err(|e| {
             PparError::Network(format!(
                 "rank {} bootstrap via {} failed: {e}",
                 cfg.rank, cfg.root
@@ -217,41 +305,44 @@ impl TcpFabric {
             rank: cfg.rank,
             nranks: cfg.nranks,
             recv_timeout: cfg.recv_timeout,
+            resilient: cfg.resilient,
+            fault: AtomicBool::new(false),
+            addrs: Mutex::new(boot.addrs),
             mailbox: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             peers: (0..cfg.nranks).map(|_| Peer::idle()).collect(),
             senders: Mutex::new(Vec::new()),
         });
-        let mut senders = Vec::new();
-        for (peer_rank, stream) in streams.into_iter().enumerate() {
+        for (peer_rank, stream) in boot.streams.into_iter().enumerate() {
             let Some(stream) = stream else { continue };
-            let clone_err = |e: std::io::Error| {
-                PparError::Network(format!("rank {}: socket clone failed: {e}", cfg.rank))
-            };
-            let reader = stream.try_clone().map_err(clone_err)?;
-            *fabric.peers[peer_rank].sock.lock() = Some(stream.try_clone().map_err(clone_err)?);
-            let (tx, rx) = mpsc::channel::<(u64, Payload)>();
-            *fabric.peers[peer_rank].tx.lock() = Some(tx);
-            let my_rank = cfg.rank;
-            senders.push(
+            fabric.arm_link(peer_rank, stream)?;
+        }
+        if cfg.resilient {
+            if let Some(listener) = boot.listener {
+                let weak = Arc::downgrade(&fabric);
+                let root = cfg.root.clone();
                 std::thread::Builder::new()
-                    .name(format!("ppar-net-send-{my_rank}-{peer_rank}"))
-                    .spawn(move || sender_loop(rx, stream))
-                    .expect("spawn fabric send thread"),
-            );
+                    .name(format!("ppar-net-accept-{}", cfg.rank))
+                    .spawn(move || acceptor_loop(weak, listener, root))
+                    .map_err(|e| PparError::Network(format!("spawn acceptor: {e}")))?;
+            }
             let weak = Arc::downgrade(&fabric);
             std::thread::Builder::new()
-                .name(format!("ppar-net-recv-{my_rank}-{peer_rank}"))
-                .spawn(move || receiver_loop(weak, peer_rank, reader))
-                .expect("spawn fabric recv thread");
+                .name(format!("ppar-net-hb-{}", cfg.rank))
+                .spawn(move || heartbeat_loop(weak))
+                .map_err(|e| PparError::Network(format!("spawn heartbeat: {e}")))?;
         }
-        *fabric.senders.lock() = senders;
         Ok(fabric)
     }
 
     /// This process's rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Is the fabric running resiliently (supervised, rejoinable)?
+    pub fn resilient(&self) -> bool {
+        self.resilient
     }
 
     /// Per-peer traffic counters, rank-indexed (the self slot stays zero
@@ -270,10 +361,16 @@ impl TcpFabric {
 
     /// Close every send queue, join the send threads (guaranteeing all
     /// queued frames reached the kernel), then half-close each socket so
-    /// peers observe a clean EOF. Idempotent; also runs on drop.
+    /// peers observe a clean EOF. A BYE control frame precedes the FIN so
+    /// resilient peers classify this as a finished rank, not a crash.
+    /// Idempotent; also runs on drop.
     pub fn shutdown(&self) {
-        for peer in &self.peers {
-            *peer.tx.lock() = None;
+        for peer in self.peers.iter() {
+            let mut tx = peer.tx.lock();
+            if let Some(q) = &*tx {
+                let _ = q.send((BYE_TAG, Arc::new(Vec::new())));
+            }
+            *tx = None;
         }
         let handles = std::mem::take(&mut *self.senders.lock());
         for h in handles {
@@ -281,7 +378,7 @@ impl TcpFabric {
         }
         for peer in &self.peers {
             if let Some(sock) = peer.sock.lock().take() {
-                let _ = sock.shutdown(std::net::Shutdown::Write);
+                let _ = sock.shutdown(Shutdown::Write);
             }
         }
     }
@@ -292,10 +389,20 @@ impl TcpFabric {
         self.cv.notify_all();
     }
 
-    fn mark_down(&self, peer: usize, reason: String) {
+    /// Mark a peer dead. `clean` distinguishes an announced shutdown (BYE
+    /// received) from a crash; only a crash raises the fault flag that
+    /// triggers recovery. `gen` guards against a superseded receive thread
+    /// (one whose link was re-armed underneath it) poisoning the new link.
+    fn mark_down(&self, peer: usize, gen: u64, reason: String, clean: bool) {
+        if self.peers[peer].generation.load(Ordering::SeqCst) != gen {
+            return;
+        }
         let mut down = self.peers[peer].down.lock();
         if down.is_none() {
             *down = Some(reason);
+            if !clean {
+                self.fault.store(true, Ordering::SeqCst);
+            }
         }
         drop(down);
         // Wake blocked receivers so they observe the failure.
@@ -305,6 +412,130 @@ impl TcpFabric {
 
     fn peer_down(&self, peer: usize) -> Option<String> {
         self.peers[peer].down.lock().clone()
+    }
+
+    /// Attach a connected stream as the live link to `peer_rank`: clone it
+    /// for the dedicated send and receive threads and register the queue.
+    fn arm_link(self: &Arc<TcpFabric>, peer_rank: usize, stream: TcpStream) -> Result<()> {
+        let my_rank = self.rank;
+        let clone_err = |e: std::io::Error| {
+            PparError::Network(format!("rank {my_rank}: socket clone failed: {e}"))
+        };
+        stream.set_read_timeout(None).map_err(clone_err)?;
+        let reader = stream.try_clone().map_err(clone_err)?;
+        let peer = &self.peers[peer_rank];
+        let gen = peer.generation.load(Ordering::SeqCst);
+        *peer.sock.lock() = Some(stream.try_clone().map_err(clone_err)?);
+        let (tx, rx) = mpsc::channel::<(u64, Payload)>();
+        *peer.tx.lock() = Some(tx);
+        *peer.last_rx.lock() = Instant::now();
+        let sender = std::thread::Builder::new()
+            .name(format!("ppar-net-send-{my_rank}-{peer_rank}"))
+            .spawn(move || sender_loop(rx, stream))
+            .map_err(|e| PparError::Network(format!("spawn fabric send thread: {e}")))?;
+        self.senders.lock().push(sender);
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name(format!("ppar-net-recv-{my_rank}-{peer_rank}"))
+            .spawn(move || receiver_loop(weak, peer_rank, reader, gen))
+            .map_err(|e| PparError::Network(format!("spawn fabric recv thread: {e}")))?;
+        Ok(())
+    }
+
+    /// Replace the link to `rank` with a fresh connection from its respawn
+    /// (resilient mode). Purges every stale frame of the dead incarnation
+    /// (its streams and tags would collide with the newcomer's), bumps the
+    /// link generation so anything still blocked on the old link fails
+    /// loudly, and raises the fault flag: a rejoin *implies* a failure,
+    /// and the application must run [`TcpFabric::recover`] even if it
+    /// never observed the death itself.
+    fn rearm_peer(self: &Arc<TcpFabric>, rank: usize, stream: TcpStream) -> Result<()> {
+        let peer = &self.peers[rank];
+        peer.generation.fetch_add(1, Ordering::SeqCst);
+        self.fault.store(true, Ordering::SeqCst);
+        {
+            let mut mbox = self.mailbox.lock();
+            mbox.retain(|(src, _), _| *src != rank);
+        }
+        if let Some(old) = peer.sock.lock().take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        *peer.tx.lock() = None; // the old send thread drains out and exits
+        stream
+            .set_nodelay(true)
+            .map_err(|e| PparError::Network(format!("rejoin nodelay: {e}")))?;
+        self.arm_link(rank, stream)?;
+        *peer.down.lock() = None;
+        let _guard = self.mailbox.lock();
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Synchronise the surviving ranks (and any rejoined newcomer) after a
+    /// failure, then clear the fault flag. Two rounds over every live
+    /// link:
+    ///
+    /// 1. **READY** — once a peer's READY arrives, per-link FIFO
+    ///    guarantees every frame of its aborted attempt has arrived too,
+    ///    so the mailbox purge below removes *all* stale collective/user
+    ///    traffic (checkpoint streams and control frames are exempt:
+    ///    recovery is about to read the former).
+    /// 2. **GO** — no rank starts its next attempt until every other rank
+    ///    has purged, so no new-attempt frame can be swept by a straggling
+    ///    purge.
+    ///
+    /// Blocks until every peer marked down has been re-armed by a rejoin,
+    /// up to `deadline`; any error (a second failure mid-recovery, the
+    /// deadline passing) aborts recovery — the caller exits and the
+    /// supervisor escalates to a full relaunch.
+    pub fn recover(&self, deadline: Duration) -> Result<()> {
+        let end = Instant::now() + deadline;
+        {
+            let mut mbox = self.mailbox.lock();
+            loop {
+                let down: Vec<usize> = (0..self.nranks)
+                    .filter(|&r| r != self.rank && self.peer_down(r).is_some())
+                    .collect();
+                if down.is_empty() {
+                    break;
+                }
+                if self.cv.wait_until(&mut mbox, end).timed_out() {
+                    return Err(PparError::Network(format!(
+                        "rank {}: peers {down:?} still down after {deadline:?}; \
+                         escalating to full relaunch",
+                        self.rank
+                    )));
+                }
+            }
+        }
+        let others: Vec<usize> = (0..self.nranks).filter(|&r| r != self.rank).collect();
+        for &r in &others {
+            self.ctrl_send(r, READY_TAG);
+        }
+        for &r in &others {
+            self.recv(self.rank, r, READY_TAG)?;
+        }
+        {
+            let mut mbox = self.mailbox.lock();
+            mbox.retain(|(_, tag), _| tag & FAULT_EXEMPT_MASK != 0);
+        }
+        for &r in &others {
+            self.ctrl_send(r, GO_TAG);
+        }
+        for &r in &others {
+            self.recv(self.rank, r, GO_TAG)?;
+        }
+        self.fault.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Enqueue a control frame, bypassing the traffic counters (control
+    /// traffic would skew the sim-vs-real comparison the counters exist
+    /// for).
+    fn ctrl_send(&self, dst: usize, tag: u64) {
+        if let Some(tx) = &*self.peers[dst].tx.lock() {
+            let _ = tx.send((tag, Arc::new(Vec::new())));
+        }
     }
 }
 
@@ -352,6 +583,7 @@ impl Fabric for TcpFabric {
         );
         assert!(src < self.nranks, "rank out of range");
         let deadline = Instant::now() + self.recv_timeout;
+        let entry_gen = self.peers[src].generation.load(Ordering::SeqCst);
         let mut mbox = self.mailbox.lock();
         let mut timed_out = false;
         loop {
@@ -369,6 +601,23 @@ impl Fabric for TcpFabric {
             if let Some(reason) = self.peer_down(src) {
                 return Err(PparError::Network(format!(
                     "rank {dst}: peer rank {src} is down ({reason}) while waiting on tag {tag:#x}"
+                )));
+            }
+            // A re-arm swept this channel: whatever the old incarnation
+            // was going to send is never coming.
+            if self.peers[src].generation.load(Ordering::SeqCst) != entry_gen {
+                return Err(PparError::Network(format!(
+                    "rank {dst}: peer rank {src} restarted while waiting on tag {tag:#x}"
+                )));
+            }
+            // In resilient mode, application traffic stops flowing the
+            // moment a fault is pending: the attempt is doomed, and a
+            // survivor blocked on a *live* peer (that has already unwound)
+            // must not sit out the full receive timeout.
+            if self.resilient && tag & FAULT_EXEMPT_MASK == 0 && self.fault.load(Ordering::SeqCst) {
+                return Err(PparError::Network(format!(
+                    "rank {dst}: peer failure pending; abandoning wait for rank {src} \
+                     tag {tag:#x} until recovery"
                 )));
             }
             if timed_out {
@@ -404,7 +653,9 @@ impl Fabric for TcpFabric {
             let all_down = (0..self.nranks)
                 .filter(|&r| r != self.rank)
                 .all(|r| self.peer_down(r).is_some());
-            if self.nranks > 1 && all_down {
+            if self.nranks > 1 && all_down && !self.resilient {
+                // Resilient mode keeps waiting: a down peer may rejoin,
+                // and the service channel must survive the outage.
                 return Err(PparError::Network(format!(
                     "rank {dst}: every peer is down while waiting on tag {tag:#x}"
                 )));
@@ -437,6 +688,10 @@ impl Fabric for TcpFabric {
             t.inter_bytes += p.sent_bytes.load(Ordering::Relaxed);
         }
         t
+    }
+
+    fn fault_pending(&self) -> bool {
+        self.resilient && self.fault.load(Ordering::SeqCst)
     }
 }
 
@@ -489,9 +744,12 @@ fn sender_loop(rx: mpsc::Receiver<(u64, Payload)>, stream: TcpStream) {
 }
 
 /// Receive-thread body: decode frames into the mailbox until EOF, error or
-/// fabric teardown; then mark the peer down.
-fn receiver_loop(fabric: Weak<TcpFabric>, peer: usize, stream: TcpStream) {
+/// fabric teardown; then mark the peer down. `my_gen` is the link
+/// generation this thread serves: once a re-arm bumps it, the thread is
+/// superseded and must neither deposit nor mark anything.
+fn receiver_loop(fabric: Weak<TcpFabric>, peer: usize, stream: TcpStream, my_gen: u64) {
     let mut r = BufReader::with_capacity(64 << 10, stream);
+    let mut clean = false;
     let reason = loop {
         match read_frame(&mut r) {
             Ok(Some((tag, payload))) => {
@@ -499,23 +757,206 @@ fn receiver_loop(fabric: Weak<TcpFabric>, peer: usize, stream: TcpStream) {
                     return; // fabric gone: the job is over
                 };
                 let p = &fabric.peers[peer];
-                p.recv_msgs.fetch_add(1, Ordering::Relaxed);
-                p.recv_bytes
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                if p.generation.load(Ordering::SeqCst) != my_gen {
+                    return; // superseded by a re-arm
+                }
+                *p.last_rx.lock() = Instant::now();
+                match tag {
+                    HB_TAG => continue, // failure-detector keepalive
+                    BYE_TAG => {
+                        // Announced shutdown: the EOF that follows is not
+                        // a crash.
+                        clean = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+                if tag & CTRL_TAG_BIT == 0 {
+                    p.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    p.recv_bytes
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                }
                 fabric.deposit(peer, tag, Arc::new(payload));
             }
-            Ok(None) => break "connection closed".to_string(),
+            Ok(None) => {
+                break if clean {
+                    "finished and shut down".to_string()
+                } else {
+                    "connection closed".to_string()
+                }
+            }
             Err(e) => break format!("stream error: {e}"),
         }
     };
     if let Some(fabric) = fabric.upgrade() {
-        fabric.mark_down(peer, reason);
+        fabric.mark_down(peer, my_gen, reason, clean);
+    }
+}
+
+/// Failure-detector body (resilient mode): heartbeat every live link and
+/// declare a peer down after [`HB_TIMEOUT`] of silence. EOF detection
+/// handles ordinary crashes; this catches wedges where no FIN arrives.
+fn heartbeat_loop(fabric: Weak<TcpFabric>) {
+    loop {
+        std::thread::sleep(HB_PERIOD);
+        let Some(fabric) = fabric.upgrade() else {
+            return;
+        };
+        let now = Instant::now();
+        for (r, peer) in fabric.peers.iter().enumerate() {
+            if r == fabric.rank || peer.down.lock().is_some() {
+                continue;
+            }
+            let armed = {
+                if let Some(tx) = &*peer.tx.lock() {
+                    let _ = tx.send((HB_TAG, Arc::new(Vec::new())));
+                    true
+                } else {
+                    false
+                }
+            };
+            if !armed {
+                continue; // shutdown in progress
+            }
+            let silent = now.saturating_duration_since(*peer.last_rx.lock());
+            if silent > HB_TIMEOUT {
+                let gen = peer.generation.load(Ordering::SeqCst);
+                fabric.mark_down(
+                    r,
+                    gen,
+                    format!("no traffic for {silent:?} (failure detector)"),
+                    false,
+                );
+            }
+        }
+    }
+}
+
+/// Rejoin acceptor body (resilient mode): every rank keeps its bootstrap
+/// listener and accepts respawned ranks for the rest of the job. The root
+/// additionally answers REJOIN with the current address table (updating it
+/// with the newcomer's fresh listener first). Junk connections — port
+/// probers, a rank that died mid-dial — are skipped, never fatal.
+fn acceptor_loop(fabric: Weak<TcpFabric>, listener: TcpListener, root_addr: String) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        let Some(fabric) = fabric.upgrade() else {
+            return;
+        };
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                drop(fabric);
+                // A short poll: a rejoining rank dials every survivor in
+                // turn, so this interval is paid ~once per survivor on
+                // the recovery critical path.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let _ = handle_rejoin(&fabric, stream, &root_addr);
+    }
+}
+
+/// Admit one connection on a retained listener: validate the rejoin
+/// handshake and re-arm the peer's link. Any error just drops the
+/// connection (the dialer retries with backoff).
+fn handle_rejoin(
+    fabric: &Arc<TcpFabric>,
+    stream: TcpStream,
+    root_addr: &str,
+) -> std::io::Result<()> {
+    let mut stream = stream;
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let Some((tag, payload)) = handshake_frame_any(&mut stream, deadline)? else {
+        return Ok(()); // closed before identifying itself: not one of ours
+    };
+    let n = fabric.nranks;
+    match tag {
+        REJOIN_TAG if fabric.rank == 0 => {
+            // A respawned rank reporting in at the root.
+            if payload.len() < 4 {
+                return Err(bad_handshake("short REJOIN"));
+            }
+            let rank = u32::from_le_bytes(
+                payload[0..4]
+                    .try_into()
+                    .map_err(|_| bad_handshake("short REJOIN"))?,
+            ) as usize;
+            if rank == 0 || rank >= n {
+                return Err(bad_handshake("REJOIN with invalid rank"));
+            }
+            let addr = String::from_utf8(payload[4..].to_vec())
+                .map_err(|_| bad_handshake("REJOIN address not UTF-8"))?;
+            let table = {
+                let mut addrs = fabric.addrs.lock();
+                if addrs.len() != n {
+                    *addrs = vec![String::new(); n];
+                }
+                addrs[0] = root_addr.to_string();
+                addrs[rank] = addr;
+                let mut table = Vec::new();
+                table.extend_from_slice(&(n as u32).to_le_bytes());
+                for a in addrs.iter() {
+                    table.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                    table.extend_from_slice(a.as_bytes());
+                }
+                table
+            };
+            // The table goes out on the raw stream *before* the link is
+            // re-armed: once armed, the send thread owns the socket.
+            write_frame(&mut stream, TABLE_TAG, &table)?;
+            stream.flush()?;
+            fabric
+                .rearm_peer(rank, stream)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Ok(())
+        }
+        REJOIN_MESH_TAG => {
+            // A respawned rank completing its mesh with a survivor.
+            if payload.len() != 4 {
+                return Err(bad_handshake("short REJOIN_MESH"));
+            }
+            let rank = u32::from_le_bytes(
+                payload
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| bad_handshake("short REJOIN_MESH"))?,
+            ) as usize;
+            if rank == fabric.rank || rank >= n {
+                return Err(bad_handshake("REJOIN_MESH with invalid rank"));
+            }
+            fabric
+                .rearm_peer(rank, stream)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Ok(())
+        }
+        _ => Err(bad_handshake(&format!(
+            "unexpected frame tag {tag:#x} on retained listener"
+        ))),
     }
 }
 
 // ---------------------------------------------------------------------------
 // rendezvous bootstrap
 // ---------------------------------------------------------------------------
+
+/// What bootstrap hands to the data plane: one stream per peer (self slot
+/// `None`), the listener to retain in resilient mode, and the address
+/// table (maintained by the root for rejoin handshakes).
+struct Bootstrap {
+    streams: Vec<Option<TcpStream>>,
+    listener: Option<TcpListener>,
+    addrs: Vec<String>,
+}
 
 /// Establish the full mesh; returns one stream per peer (self slot `None`).
 ///
@@ -529,16 +970,21 @@ fn receiver_loop(fabric: Weak<TcpFabric>, peer: usize, stream: TcpStream) {
 /// prober, or a rank that crashed right after `connect`) is skipped, not
 /// fatal. Read timeouts are cleared before the streams are handed to the
 /// data plane, whose receive threads must block indefinitely.
-fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
+fn rendezvous(cfg: &NetConfig) -> std::io::Result<Bootstrap> {
     let n = cfg.nranks;
     let deadline = Instant::now() + cfg.connect_timeout;
     let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
     if n == 1 {
-        return Ok(peers);
+        return Ok(Bootstrap {
+            streams: peers,
+            listener: None,
+            addrs: vec![cfg.root.clone()],
+        });
     }
     if cfg.rank == 0 {
         let listener = TcpListener::bind(&cfg.root)?;
         let mut addrs: Vec<String> = vec![String::new(); n];
+        addrs[0] = cfg.root.clone();
         let mut reported = 0;
         while reported + 1 < n {
             let mut stream = accept_until(&listener, deadline)?;
@@ -549,7 +995,11 @@ fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
             if payload.len() < 4 {
                 return Err(bad_handshake("short HELLO"));
             }
-            let rank = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+            let rank = u32::from_le_bytes(
+                payload[0..4]
+                    .try_into()
+                    .map_err(|_| bad_handshake("short HELLO"))?,
+            ) as usize;
             if rank == 0 || rank >= n || peers[rank].is_some() {
                 return Err(bad_handshake("HELLO with invalid or duplicate rank"));
             }
@@ -569,6 +1019,14 @@ fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
             write_frame(stream, TABLE_TAG, &table)?;
             stream.flush()?;
         }
+        for stream in peers.iter().flatten() {
+            stream.set_read_timeout(None)?;
+        }
+        Ok(Bootstrap {
+            streams: peers,
+            listener: Some(listener),
+            addrs,
+        })
     } else {
         // Bind this rank's own listener on the root's interface.
         let host = cfg
@@ -578,21 +1036,23 @@ fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
             .unwrap_or("127.0.0.1");
         let listener = TcpListener::bind(format!("{host}:0"))?;
         let my_addr = listener.local_addr()?.to_string();
-        // Report in at the root (it may still be starting: retry).
-        let mut root = connect_retry(&cfg.root, cfg.connect_timeout)?;
+        // Report in at the root (it may still be starting: retry with
+        // backoff rather than burning the deadline on one blocking dial).
+        let mut root = connect_retry(&cfg.root, cfg.connect_timeout, cfg.rank as u64)?;
         root.set_nodelay(true)?;
         let mut hello = Vec::with_capacity(4 + my_addr.len());
         hello.extend_from_slice(&(cfg.rank as u32).to_le_bytes());
         hello.extend_from_slice(my_addr.as_bytes());
         write_frame(&mut root, HELLO_TAG, &hello)?;
         root.flush()?;
+        crate::chaos::kill_point("rendezvous");
         let (_, table) = handshake_frame(&mut root, TABLE_TAG, deadline)?
             .ok_or_else(|| bad_handshake("root closed before sending the address table"))?;
         let addrs = parse_table(&table, n)?;
         peers[0] = Some(root);
         // Pairwise mesh: connect downward, accept from above.
         for (j, addr) in addrs.iter().enumerate().take(cfg.rank).skip(1) {
-            let mut s = connect_retry(addr, cfg.connect_timeout)?;
+            let mut s = connect_retry(addr, cfg.connect_timeout, cfg.rank as u64)?;
             s.set_nodelay(true)?;
             write_frame(&mut s, MESH_TAG, &(cfg.rank as u32).to_le_bytes())?;
             s.flush()?;
@@ -608,19 +1068,85 @@ fn rendezvous(cfg: &NetConfig) -> std::io::Result<Vec<Option<TcpStream>>> {
             if payload.len() != 4 {
                 return Err(bad_handshake("short MESH"));
             }
-            let j = u32::from_le_bytes(payload.as_slice().try_into().unwrap()) as usize;
+            let j = u32::from_le_bytes(
+                payload
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| bad_handshake("short MESH"))?,
+            ) as usize;
             if j <= cfg.rank || j >= n || peers[j].is_some() {
                 return Err(bad_handshake("MESH with invalid or duplicate rank"));
             }
             peers[j] = Some(s);
             accepted += 1;
         }
+        // Hand indefinitely-blocking streams to the data plane.
+        for stream in peers.iter().flatten() {
+            stream.set_read_timeout(None)?;
+        }
+        Ok(Bootstrap {
+            streams: peers,
+            listener: Some(listener),
+            addrs,
+        })
     }
-    // Hand indefinitely-blocking streams to the data plane.
+}
+
+/// Re-rendezvous a respawned rank into a running mesh (resilient mode):
+/// bind a fresh listener, report in at the root's retained listener with
+/// REJOIN (getting the current address table back), then dial every
+/// survivor's retained listener with REJOIN_MESH. The survivors re-arm
+/// their side of each link as the dials land.
+fn rejoin_rendezvous(cfg: &NetConfig) -> std::io::Result<Bootstrap> {
+    let n = cfg.nranks;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    if cfg.rank == 0 {
+        return Err(bad_handshake(
+            "rank 0 cannot rejoin: the root's death escalates to a full relaunch",
+        ));
+    }
+    let host = cfg
+        .root
+        .rsplit_once(':')
+        .map(|(h, _)| h)
+        .unwrap_or("127.0.0.1");
+    let listener = TcpListener::bind(format!("{host}:0"))?;
+    let my_addr = listener.local_addr()?.to_string();
+    let mut root = connect_retry(&cfg.root, cfg.connect_timeout, cfg.rank as u64)?;
+    root.set_nodelay(true)?;
+    let mut hello = Vec::with_capacity(4 + my_addr.len());
+    hello.extend_from_slice(&(cfg.rank as u32).to_le_bytes());
+    hello.extend_from_slice(my_addr.as_bytes());
+    write_frame(&mut root, REJOIN_TAG, &hello)?;
+    root.flush()?;
+    let (_, table) = handshake_frame(&mut root, TABLE_TAG, deadline)?
+        .ok_or_else(|| bad_handshake("root closed before answering REJOIN"))?;
+    let addrs = parse_table(&table, n)?;
+    peers[0] = Some(root);
+    for (j, addr) in addrs.iter().enumerate() {
+        if j == 0 || j == cfg.rank {
+            continue;
+        }
+        if addr.is_empty() {
+            return Err(bad_handshake(&format!(
+                "rejoin table has no address for rank {j}"
+            )));
+        }
+        let mut s = connect_retry(addr, cfg.connect_timeout, cfg.rank as u64)?;
+        s.set_nodelay(true)?;
+        write_frame(&mut s, REJOIN_MESH_TAG, &(cfg.rank as u32).to_le_bytes())?;
+        s.flush()?;
+        peers[j] = Some(s);
+    }
     for stream in peers.iter().flatten() {
         stream.set_read_timeout(None)?;
     }
-    Ok(peers)
+    Ok(Bootstrap {
+        streams: peers,
+        listener: Some(listener),
+        addrs,
+    })
 }
 
 /// Accept one connection, polling a non-blocking listener against the
@@ -656,6 +1182,21 @@ fn handshake_frame(
     want: u64,
     deadline: Instant,
 ) -> std::io::Result<Option<(u64, Vec<u8>)>> {
+    match handshake_frame_any(stream, deadline)? {
+        Some((tag, payload)) if tag == want => Ok(Some((tag, payload))),
+        Some((tag, _)) => Err(bad_handshake(&format!(
+            "expected frame tag {want:#x}, got {tag:#x}"
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// [`handshake_frame`] without the tag expectation (the retained-listener
+/// acceptor dispatches on the tag itself).
+fn handshake_frame_any(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> std::io::Result<Option<(u64, Vec<u8>)>> {
     let remaining = deadline
         .checked_duration_since(Instant::now())
         .filter(|d| !d.is_zero())
@@ -667,11 +1208,7 @@ fn handshake_frame(
         })?;
     stream.set_read_timeout(Some(remaining))?;
     match read_frame(stream) {
-        Ok(Some((tag, payload))) if tag == want => Ok(Some((tag, payload))),
-        Ok(Some((tag, _))) => Err(bad_handshake(&format!(
-            "expected frame tag {want:#x}, got {tag:#x}"
-        ))),
-        Ok(None) => Ok(None),
+        Ok(frame) => Ok(frame),
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Err(std::io::Error::new(
             std::io::ErrorKind::TimedOut,
             "bootstrap deadline passed mid-handshake",
@@ -686,41 +1223,58 @@ fn bad_handshake(msg: &str) -> std::io::Error {
 
 fn parse_table(table: &[u8], n: usize) -> std::io::Result<Vec<String>> {
     let mut pos = 4usize;
-    if table.len() < 4 || u32::from_le_bytes(table[0..4].try_into().unwrap()) as usize != n {
+    let header: [u8; 4] = table
+        .get(0..4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| bad_handshake("address table size mismatch"))?;
+    if u32::from_le_bytes(header) as usize != n {
         return Err(bad_handshake("address table size mismatch"));
     }
     let mut addrs = Vec::with_capacity(n);
     for _ in 0..n {
-        if pos + 4 > table.len() {
-            return Err(bad_handshake("truncated address table"));
-        }
-        let len = u32::from_le_bytes(table[pos..pos + 4].try_into().unwrap()) as usize;
+        let len: [u8; 4] = table
+            .get(pos..pos + 4)
+            .and_then(|b| b.try_into().ok())
+            .ok_or_else(|| bad_handshake("truncated address table"))?;
+        let len = u32::from_le_bytes(len) as usize;
         pos += 4;
-        if pos + len > table.len() {
-            return Err(bad_handshake("truncated address table entry"));
-        }
+        let entry = table
+            .get(pos..pos + len)
+            .ok_or_else(|| bad_handshake("truncated address table entry"))?;
         addrs.push(
-            String::from_utf8(table[pos..pos + len].to_vec())
-                .map_err(|_| bad_handshake("address not UTF-8"))?,
+            String::from_utf8(entry.to_vec()).map_err(|_| bad_handshake("address not UTF-8"))?,
         );
         pos += len;
     }
     Ok(addrs)
 }
 
-fn connect_retry(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
-    let deadline = Instant::now() + timeout;
+/// Dial `addr` until it answers or `timeout` passes. Each attempt uses a
+/// bounded `connect_timeout` (a blackholed SYN must not consume the whole
+/// deadline in one dial — the original failure mode of workers racing the
+/// root's listener) and failed attempts back off with deterministic
+/// jitter via [`RetryPolicy::connect`], seeded per rank so a respawn
+/// storm does not dial in lockstep.
+fn connect_retry(addr: &str, timeout: Duration, seed: u64) -> std::io::Result<TcpStream> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad_handshake(&format!("{addr} resolves to no address")))?;
+    let mut policy = RetryPolicy::connect(timeout, seed);
     loop {
-        match TcpStream::connect(addr) {
+        let per_attempt = policy
+            .remaining()
+            .min(Duration::from_secs(2))
+            .max(Duration::from_millis(10));
+        match TcpStream::connect_timeout(&target, per_attempt) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() >= deadline {
+                if !policy.backoff() {
                     return Err(std::io::Error::new(
                         e.kind(),
                         format!("connect to {addr} failed after {timeout:?}: {e}"),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(20));
             }
         }
     }
@@ -735,6 +1289,14 @@ mod tests {
     /// exactly what the bootstrap does across processes) and run `f` per
     /// rank.
     fn mesh<R: Send>(n: usize, f: impl Fn(Arc<TcpFabric>) -> R + Sync) -> Vec<R> {
+        mesh_cfg(n, false, f)
+    }
+
+    fn mesh_cfg<R: Send>(
+        n: usize,
+        resilient: bool,
+        f: impl Fn(Arc<TcpFabric>) -> R + Sync,
+    ) -> Vec<R> {
         let root = free_loopback_addr().unwrap();
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -744,6 +1306,7 @@ mod tests {
                 scope.spawn(move || {
                     let mut cfg = NetConfig::new(rank, n, root);
                     cfg.recv_timeout = Duration::from_secs(10);
+                    cfg.resilient = resilient;
                     let fabric = TcpFabric::connect(&cfg).unwrap();
                     *slot = Some(f(fabric));
                 });
@@ -942,6 +1505,109 @@ mod tests {
     }
 
     #[test]
+    fn clean_shutdown_does_not_raise_fault() {
+        // A finished rank announces itself with BYE: resilient survivors
+        // must classify the EOF as completion, not a crash.
+        let done = mesh_cfg(2, true, |fabric| {
+            let me = fabric.rank();
+            fabric.send(me, 1 - me, 4, Arc::new(vec![me as u8]));
+            fabric.recv(me, 1 - me, 4).unwrap();
+            if me == 1 {
+                fabric.shutdown();
+                return true;
+            }
+            // Wait until rank 1's shutdown is observed as a *clean* down.
+            let t0 = Instant::now();
+            while fabric.peer_down(1).is_none() {
+                assert!(t0.elapsed() < Duration::from_secs(5), "down never observed");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert!(
+                !fabric.fault_pending(),
+                "clean shutdown must not raise the fault flag"
+            );
+            true
+        });
+        assert_eq!(done, vec![true, true]);
+    }
+
+    /// The in-process version of the supervised recovery path: rank 2 of a
+    /// resilient 3-rank mesh "crashes" (its sockets are torn down with no
+    /// BYE), the survivors observe a pending fault, a fresh fabric rejoins
+    /// as rank 2 through the retained listeners, everyone meets in
+    /// `recover`, and post-recovery traffic flows on all links.
+    #[test]
+    fn resilient_mesh_survives_single_rank_rejoin() {
+        let root = free_loopback_addr().unwrap();
+        let mk = |rank: usize, root: &str, rejoin: bool| {
+            let mut cfg = NetConfig::new(rank, 3, root.to_string());
+            cfg.recv_timeout = Duration::from_secs(15);
+            cfg.connect_timeout = Duration::from_secs(15);
+            cfg.resilient = true;
+            cfg.rejoin = rejoin;
+            TcpFabric::connect(&cfg).unwrap()
+        };
+        let exchange = |fabric: &Arc<TcpFabric>, tag: u64| {
+            let me = fabric.rank();
+            for dst in 0..3 {
+                if dst != me {
+                    fabric.send(me, dst, tag, Arc::new(vec![me as u8]));
+                }
+            }
+            for src in 0..3 {
+                if src != me {
+                    assert_eq!(&*fabric.recv(me, src, tag).unwrap(), &[src as u8]);
+                }
+            }
+        };
+        std::thread::scope(|scope| {
+            for rank in 0..2 {
+                let root = root.clone();
+                scope.spawn(move || {
+                    let fabric = mk(rank, &root, false);
+                    exchange(&fabric, 1);
+                    // Wait for the crash to be detected, then recover.
+                    let t0 = Instant::now();
+                    while !fabric.fault_pending() {
+                        assert!(t0.elapsed() < Duration::from_secs(10), "fault never seen");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    fabric.recover(Duration::from_secs(10)).unwrap();
+                    exchange(&fabric, 2);
+                    fabric.shutdown();
+                });
+            }
+            let root = root.clone();
+            scope.spawn(move || {
+                let victim = mk(2, &root, false);
+                exchange(&victim, 1);
+                // Let the send threads flush the tag-1 frames (a real
+                // kernel keeps delivering what reached it pre-crash).
+                std::thread::sleep(Duration::from_millis(200));
+                // Crash: sockets die with no BYE. The fabric object is
+                // abandoned (leaked for the scope) exactly like a dead
+                // process's kernel state.
+                for peer in victim.peers.iter() {
+                    *peer.tx.lock() = None;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                for peer in victim.peers.iter() {
+                    if let Some(s) = peer.sock.lock().take() {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+                // Respawn: a fresh fabric rejoins the running mesh.
+                let reborn = mk(2, &root, true);
+                reborn.recover(Duration::from_secs(10)).unwrap();
+                exchange(&reborn, 2);
+                reborn.shutdown();
+                std::mem::forget(victim); // its threads still hold Weak refs
+            });
+        });
+    }
+
+    #[test]
     fn config_from_env_contract() {
         // Exercised through the injectable lookup: writing the real
         // process environment from a test would race sibling tests that
@@ -972,6 +1638,28 @@ mod tests {
         assert_eq!(cfg.root, "127.0.0.1:9");
         assert_eq!(cfg.recv_timeout, Duration::from_secs(3));
         assert_eq!(cfg.connect_timeout, Duration::from_secs(3));
+        assert!(!cfg.resilient);
+        assert!(!cfg.rejoin);
+        // The supervisor's resilience contract.
+        let cfg = NetConfig::from_lookup(vars(&[
+            (ENV_RANK, "2"),
+            (ENV_NRANKS, "4"),
+            (ENV_ROOT, "127.0.0.1:9"),
+            (ENV_RESILIENT, "1"),
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(cfg.resilient && !cfg.rejoin);
+        // Rejoin implies resilient even if the flag was lost in respawn.
+        let cfg = NetConfig::from_lookup(vars(&[
+            (ENV_RANK, "2"),
+            (ENV_NRANKS, "4"),
+            (ENV_ROOT, "127.0.0.1:9"),
+            (ENV_REJOIN, "1"),
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(cfg.resilient && cfg.rejoin);
         // Malformed contracts are loud errors, not silent non-worker mode.
         assert!(
             NetConfig::from_lookup(vars(&[

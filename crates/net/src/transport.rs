@@ -104,6 +104,10 @@ const OP_RESTART_COUNT: u8 = 7;
 const OP_CLEAR_DELTAS: u8 = 8;
 const OP_CLEAR_ALL_DELTAS: u8 = 9;
 const OP_STOP: u8 = 10;
+/// Count-pinned shard read (the recovery path): the reply must hold the
+/// shard exactly at the requested safe point, or fail — never a newer
+/// (torn) or older generation.
+const OP_GET_SHARD_AT: u8 = 11;
 
 // Response status bytes.
 const ST_OK: u8 = 0;
@@ -228,6 +232,9 @@ impl<'a> StreamTx<'a> {
         if self.buf.len() <= 1 {
             return Ok(());
         }
+        // Chaos site: a rank dying between checkpoint chunks is the
+        // hardest torn-write case the recovery ladder must survive.
+        crate::chaos::kill_point("ckpt-stream");
         while self.sent - self.acked >= STREAM_WINDOW {
             self.recv_credit()?;
         }
@@ -547,12 +554,16 @@ impl NetTransport {
 
     /// Request a merged record and receive it as a chunk stream, verifying
     /// the record's trailing CRC on the same pass that accumulates it.
-    fn get_snapshot(&self, op: u8, rank_wire: u32) -> Result<Option<Snapshot>> {
+    /// `at` pins the request to one safe point ([`OP_GET_SHARD_AT`]).
+    fn get_snapshot(&self, op: u8, rank_wire: u32, at: Option<u64>) -> Result<Option<Snapshot>> {
         let id = next_stream_id();
-        let mut req = Vec::with_capacity(9);
+        let mut req = Vec::with_capacity(17);
         req.push(op);
         req.extend_from_slice(&id.to_le_bytes());
         req.extend_from_slice(&rank_wire.to_le_bytes());
+        if let Some(count) = at {
+            req.extend_from_slice(&count.to_le_bytes());
+        }
         self.fabric
             .send(self.rank, self.root, REQ_TAG, Arc::new(req));
         let mut buf = Vec::new();
@@ -575,7 +586,17 @@ impl NetTransport {
                 Some((_, stored, computed)) if stored == computed => {
                     // The wire pass just verified integrity; no second
                     // checksum sweep over the record.
-                    Snapshot::decode_trusted(&buf).map(Some)
+                    let snap = Snapshot::decode_trusted(&buf)?;
+                    if let Some(count) = at {
+                        if snap.count != count {
+                            return Err(PparError::CorruptCheckpoint(format!(
+                                "service returned shard at safe point {} but the restore \
+                                 targets {count}",
+                                snap.count
+                            )));
+                        }
+                    }
+                    Ok(Some(snap))
                 }
                 _ => Err(PparError::CorruptCheckpoint(
                     "streamed restore record failed CRC verification".into(),
@@ -632,11 +653,15 @@ impl CkptTransport for NetTransport {
     }
 
     fn read_merged_master(&self) -> Result<Option<Snapshot>> {
-        self.get_snapshot(OP_GET_MASTER, MASTER_SENTINEL)
+        self.get_snapshot(OP_GET_MASTER, MASTER_SENTINEL, None)
     }
 
     fn read_merged_shard(&self, rank: u32) -> Result<Option<Snapshot>> {
-        self.get_snapshot(OP_GET_SHARD, rank)
+        self.get_snapshot(OP_GET_SHARD, rank, None)
+    }
+
+    fn read_shard_at(&self, rank: u32, count: u64) -> Result<Option<Snapshot>> {
+        self.get_snapshot(OP_GET_SHARD_AT, rank, Some(count))
     }
 
     fn restart_count(&self) -> Result<Option<u64>> {
@@ -776,7 +801,9 @@ fn lane_loop(
                     continue;
                 }
             }
-            OP_GET_MASTER | OP_GET_SHARD => lane_get(&fabric, root, src, &inner, body),
+            OP_GET_MASTER | OP_GET_SHARD | OP_GET_SHARD_AT => {
+                lane_get(&fabric, root, src, &inner, op, body)
+            }
             _ => {
                 let rsp = match control_request(&inner, op, body) {
                     Ok(rsp) => rsp,
@@ -790,14 +817,11 @@ fn lane_loop(
 
 /// Parse a put begin request: `(stream id, rank, seq, length hint)`.
 fn parse_put_begin(body: &[u8]) -> Result<(u32, u32, u32, u64)> {
-    if body.len() < 20 {
-        return Err(PparError::Network("truncated checkpoint request".into()));
-    }
     Ok((
-        u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")),
-        u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")),
-        u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
-        u64::from_le_bytes(body[12..20].try_into().expect("8 bytes")),
+        read_u32(body)?,
+        read_u32(body.get(4..).unwrap_or(&[]))?,
+        read_u32(body.get(8..).unwrap_or(&[]))?,
+        read_u64(body.get(12..).unwrap_or(&[]))?,
     ))
 }
 
@@ -910,6 +934,7 @@ fn lane_get(
     root: usize,
     src: usize,
     inner: &Arc<dyn CkptTransport>,
+    op: u8,
     body: &[u8],
 ) {
     let Ok(id) = read_u32(body) else {
@@ -920,7 +945,15 @@ fn lane_get(
     let mut tx = StreamTx::new(fabric.as_ref(), root, src, id, KIND_RDATA);
     let outcome = read_u32(body.get(4..).unwrap_or(&[])).and_then(|rank_raw| {
         let rank = (rank_raw != MASTER_SENTINEL).then_some(rank_raw);
-        inner.write_merged_record(rank, &mut tx)
+        if op == OP_GET_SHARD_AT {
+            // Count-pinned read (rejoin restore): the reply must hold the
+            // shard exactly at the requested safe point, or fail — never
+            // a newer (torn) or older generation.
+            let count = read_u64(body.get(8..).unwrap_or(&[]))?;
+            inner.write_merged_record_at(rank, count, &mut tx)
+        } else {
+            inner.write_merged_record(rank, &mut tx)
+        }
     });
     let finished = match outcome {
         Ok(Some(_)) => tx.finish().is_ok(),
@@ -976,9 +1009,17 @@ fn error_reply(e: &PparError) -> Vec<u8> {
 }
 
 fn read_u32(body: &[u8]) -> Result<u32> {
-    body.get(0..4)
-        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
-        .ok_or_else(|| PparError::Network("truncated checkpoint request".into()))
+    match body.get(0..4).and_then(|b| b.try_into().ok()) {
+        Some(b) => Ok(u32::from_le_bytes(b)),
+        None => Err(PparError::Network("truncated checkpoint request".into())),
+    }
+}
+
+fn read_u64(body: &[u8]) -> Result<u64> {
+    match body.get(0..8).and_then(|b| b.try_into().ok()) {
+        Some(b) => Ok(u64::from_le_bytes(b)),
+        None => Err(PparError::Network("truncated checkpoint request".into())),
+    }
 }
 
 #[cfg(test)]
