@@ -173,6 +173,15 @@ impl AdaptHook for AdaptationController {
     fn confirm(&self, mode: ExecMode) {
         self.confirm_kind(mode, ReshapeKind::InPlace);
     }
+
+    fn note_skipped(&self, n: u64) {
+        // A region-cursor fast-forward elapsed `n` crossings without
+        // executing them. Advancing the ordinal keeps timeline triggers
+        // anchored to the safe-point clock: an entry whose `at` falls
+        // inside the skipped span fires at the next polled crossing
+        // (`c >= at`), exactly as if the poll had happened late.
+        self.crossings.fetch_add(n, Ordering::SeqCst);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +246,20 @@ impl AdaptHook for RankAdaptView {
         // controller's confirm is idempotent per request regardless).
         if self.rank == 0 {
             self.shared.inner.confirm(mode);
+        }
+    }
+
+    fn note_skipped(&self, n: u64) {
+        // Every rank fast-forwards over the same span (SPMD discipline):
+        // the first one through pads the shared log — recording "nothing
+        // pending" for each skipped crossing and advancing the underlying
+        // controller's ordinal exactly once — and peers only advance their
+        // own index.
+        let idx = self.crossing.fetch_add(n, Ordering::SeqCst) as usize;
+        let mut decisions = self.shared.decisions.lock();
+        while decisions.len() < idx + n as usize {
+            decisions.push(None);
+            self.shared.inner.note_skipped(1);
         }
     }
 }

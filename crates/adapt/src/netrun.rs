@@ -21,9 +21,11 @@
 //!
 //! Rank 0 owns the durable [`ppar_ckpt::CheckpointStore`] directory and
 //! runs the start-up failure-detection pass **once**, then broadcasts
-//! `(detected_failure, replay_target)` over the fabric — re-deriving the
-//! decision per process would race the run marker rank 0 sets, the same
-//! race [`CheckpointModule::create_group`] prevents between threads.
+//! `(detected_failure, replay_target, region cursor)` over the fabric —
+//! re-deriving the decision per process would race the run marker rank 0
+//! sets, the same race [`CheckpointModule::create_group`] prevents
+//! between threads, and the piggybacked `PPARPRG1` cursor lets every
+//! worker fast-forward its loops without reading a snapshot remotely.
 //! Workers persist through a [`NetTransport`] client; rank 0's
 //! [`CkptService`] receives their shard/delta records (CRC-verified) and
 //! forwards them into the store, so one directory holds the whole job's
@@ -164,9 +166,15 @@ fn run_attempt<R>(
         None => None,
         Some(dir) if cfg.rank == 0 => {
             let module = CheckpointModule::create(dir, plan)?;
-            let mut state = Vec::with_capacity(9);
+            // The `PPARPRG1` region cursor of the snapshot being replayed
+            // to rides the same broadcast as the replay decision: workers
+            // fast-forward their loops without a network read.
+            let prog = module.resume_progress_bytes();
+            let mut state = Vec::with_capacity(13 + prog.len());
             state.push(module.detected_failure() as u8);
             state.extend_from_slice(&module.replay_target().to_le_bytes());
+            state.extend_from_slice(&(prog.len() as u32).to_le_bytes());
+            state.extend_from_slice(&prog);
             if cfg.nranks > 1 {
                 ep.bcast(0, Some(state));
                 if service.is_none() {
@@ -181,7 +189,9 @@ fn run_attempt<R>(
         }
         Some(_) => {
             let state = ep.bcast(0, None);
-            if state.len() != 9 {
+            let prog_len = (state.len() >= 13)
+                .then(|| u32::from_le_bytes(state[9..13].try_into().expect("4-byte len")) as usize);
+            if prog_len.is_none_or(|n| state.len() != 13 + n) {
                 return Err(PparError::Network(
                     "malformed replay-state broadcast from rank 0".into(),
                 ));
@@ -192,7 +202,11 @@ fn run_attempt<R>(
                 .clone()
                 .expect("worker checkpoint transport exists when ckpt_dir is set");
             Some(CheckpointModule::create_worker(
-                transport, plan, detected, target,
+                transport,
+                plan,
+                detected,
+                target,
+                &state[13..],
             ))
         }
     };

@@ -29,7 +29,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -379,29 +379,6 @@ fn metric(lines: &[String], line_prefix: &str, key: Option<&str>) -> f64 {
         .unwrap_or_else(|e| panic!("bad {key:?} in {line:?}: {e}"))
 }
 
-/// Append one run's metrics to the machine-readable history at the
-/// workspace root (a JSON array of objects, newest last).
-fn append_history(entry: &str) {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ckpt_service.json");
-    let existing = std::fs::read_to_string(&path).unwrap_or_default();
-    let body = existing.trim();
-    let out = if let Some(list) = body
-        .strip_prefix('[')
-        .and_then(|b| b.strip_suffix(']'))
-        .map(str::trim)
-    {
-        if list.is_empty() {
-            format!("[\n{entry}\n]\n")
-        } else {
-            format!("[\n{list},\n{entry}\n]\n")
-        }
-    } else {
-        format!("[\n{entry}\n]\n")
-    };
-    std::fs::write(&path, out).unwrap();
-    println!("ckpt_service: history appended to {}", path.display());
-}
-
 fn bench(_c: &mut Criterion) {
     // Child role: become one rank of the scenario and exit.
     if let Ok(Some(cfg)) = NetConfig::from_env() {
@@ -495,19 +472,19 @@ fn bench(_c: &mut Criterion) {
         migrate_min_ms < 77.0,
         "32 MiB migration must beat half the 155 ms buffered baseline: {migrate_min_ms:.2}ms"
     );
-    let ts = SystemTime::now()
-        .duration_since(SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    append_history(&format!(
-        "  {{\"unix_time\": {ts}, \"ping_rtt_us\": {ping_us:.2}, \
+    let ts = ppar_bench::json::unix_time();
+    ppar_bench::json::append_history(
+        "BENCH_ckpt_service.json",
+        &format!(
+            "  {{\"unix_time\": {ts}, \"ping_rtt_us\": {ping_us:.2}, \
          \"migrate_32mib_min_ms\": {migrate_min_ms:.2}, \
          \"stream_256mib_gbps\": {gbps:.3}, \
          \"save_wall_single_ms\": {wall_single:.2}, \
          \"save_wall_concurrent{SAVERS}_ms\": {wall_concurrent:.2}, \
          \"per_rank_cost_ratio\": {:.3}}}",
-        cost_per_rank / wall_single
-    ));
+            cost_per_rank / wall_single
+        ),
+    );
 }
 
 criterion_group!(benches, bench);

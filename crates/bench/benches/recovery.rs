@@ -26,7 +26,7 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -260,29 +260,6 @@ fn checked_bits(lines: &[String], arm: &str, want_replay: bool) -> u64 {
     u64::from_str_radix(lines[0].split_whitespace().next().unwrap(), 16).unwrap()
 }
 
-/// Append one run's metrics to the machine-readable history at the
-/// workspace root (a JSON array of objects, newest last).
-fn append_history(entry: &str) {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_recovery.json");
-    let existing = std::fs::read_to_string(&path).unwrap_or_default();
-    let body = existing.trim();
-    let out = if let Some(list) = body
-        .strip_prefix('[')
-        .and_then(|b| b.strip_suffix(']'))
-        .map(str::trim)
-    {
-        if list.is_empty() {
-            format!("[\n{entry}\n]\n")
-        } else {
-            format!("[\n{list},\n{entry}\n]\n")
-        }
-    } else {
-        format!("[\n{entry}\n]\n")
-    };
-    std::fs::write(&path, out).unwrap();
-    println!("recovery: history appended to {}", path.display());
-}
-
 fn bench(_c: &mut Criterion) {
     // Child role: become one rank of the job and exit.
     if let Ok(Some(cfg)) = NetConfig::from_env() {
@@ -355,17 +332,17 @@ fn bench(_c: &mut Criterion) {
         "single-rank MTTR must be >=3x lower than full relaunch: \
          single={single_ms:.1}ms relaunch={relaunch_ms:.1}ms"
     );
-    let ts = SystemTime::now()
-        .duration_since(SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    append_history(&format!(
-        "  {{\"unix_time\": {ts}, \"nranks\": {}, \"state_mib\": {}, \
+    let ts = ppar_bench::json::unix_time();
+    ppar_bench::json::append_history(
+        "BENCH_recovery.json",
+        &format!(
+            "  {{\"unix_time\": {ts}, \"nranks\": {}, \"state_mib\": {}, \
          \"mttr_single_rank_ms\": {single_ms:.1}, \"mttr_full_relaunch_ms\": {relaunch_ms:.1}, \
          \"speedup\": {ratio:.2}}}",
-        w.nranks,
-        (w.n * w.n * 8) >> 20
-    ));
+            w.nranks,
+            (w.n * w.n * 8) >> 20
+        ),
+    );
 }
 
 criterion_group!(benches, bench);

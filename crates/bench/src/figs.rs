@@ -310,6 +310,11 @@ pub fn fig4(cfg: &ExpConfig) -> Table {
 /// — plus the restart run's **network traffic** (messages / MB), counted
 /// by the same [`Traffic`] type the real `TcpFabric` reports, so the
 /// simulated restart cost lines up against a `tcpN` run of the same job.
+///
+/// The replay column splits in two: `resumed_at` is the safe-point clock
+/// the region cursor fast-forwarded to, `replayed_points` is how many safe
+/// points the restart actually re-visited after that jump (the bounded
+/// tail; without a cursor it would equal the full replay target).
 pub fn fig5(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig 5 — restart overhead (seconds; restart-run traffic)",
@@ -318,6 +323,7 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
             "replay",
             "load",
             "replayed_points",
+            "resumed_at",
             "net_msgs",
             "net_mb",
         ],
@@ -339,6 +345,7 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
             Table::f(stats.replay_time.as_secs_f64()),
             Table::f(stats.load_time.as_secs_f64()),
             format!("{}", stats.replayed_points),
+            format!("{}", stats.resumed_at_point),
             format!("{}", traffic.msgs()),
             Table::f(traffic.bytes() as f64 / 1e6),
         ]);
@@ -835,16 +842,20 @@ mod tests {
         assert_eq!(t4.rows.len(), 4);
         let t5 = fig5(&tiny());
         assert_eq!(t5.rows.len(), 4);
-        assert_eq!(t5.headers.len(), 6, "traffic columns present");
+        assert_eq!(t5.headers.len(), 7, "traffic + resumed_at columns present");
         for row in &t5.rows {
-            assert_eq!(row[3], "6", "replayed to the 6th safe point: {row:?}");
+            // The region cursor fast-forwards the restart to the loop
+            // iteration the snapshot (at clock 6) captured: the replay
+            // re-visits only the one-point tail instead of all 6.
+            assert_eq!(row[3], "1", "bounded replay tail: {row:?}");
+            assert_eq!(row[4], "5", "cursor jumped to clock 5: {row:?}");
         }
         // Distributed/hybrid restart rows move real bytes; the sequential
         // row moves none — sim-vs-real traffic comparability contract.
-        assert_eq!(t5.rows[0][4], "0", "seq restart has no traffic");
-        let dist_msgs: u64 = t5.rows[2][4].parse().expect("dist msgs");
+        assert_eq!(t5.rows[0][5], "0", "seq restart has no traffic");
+        let dist_msgs: u64 = t5.rows[2][5].parse().expect("dist msgs");
         assert!(dist_msgs > 0, "distributed restart must move messages");
-        let hyb_msgs: u64 = t5.rows[3][4].parse().expect("hyb msgs");
+        let hyb_msgs: u64 = t5.rows[3][5].parse().expect("hyb msgs");
         assert!(hyb_msgs > 0, "hybrid restart must move messages");
     }
 

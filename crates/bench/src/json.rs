@@ -1,0 +1,68 @@
+//! Machine-readable bench history: `BENCH_*.json` at the workspace root.
+//!
+//! Every JSON-emitting bench (`reshape_latency`, `ckpt_service`,
+//! `recovery`) appends one object per full run to its history file — a
+//! JSON array of objects, newest last — through this one helper, so the
+//! append-preserving rewrite logic lives in exactly one place.
+
+use std::path::PathBuf;
+use std::time::SystemTime;
+
+/// Append one run's metrics object to `file_name` at the workspace root.
+///
+/// The file holds a JSON array of objects, newest last. `entry` must be a
+/// complete JSON object (conventionally two-space indented, as produced by
+/// the callers). A missing or malformed file is replaced by a fresh
+/// single-entry array — bench history is advisory, never load-bearing.
+pub fn append_history(file_name: &str, entry: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    std::fs::write(&path, merged(&existing, entry)).unwrap();
+    println!("bench: history appended to {}", path.display());
+}
+
+/// The array-preserving rewrite: existing entries stay, `entry` lands last.
+fn merged(existing: &str, entry: &str) -> String {
+    let body = existing.trim();
+    if let Some(inner) = body.strip_prefix('[').and_then(|b| b.strip_suffix(']')) {
+        // Keep the existing entries byte-for-byte (indentation included);
+        // only the surrounding newlines are re-laid.
+        let list = inner.trim_end().trim_start_matches('\n');
+        if list.trim().is_empty() {
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("[\n{list},\n{entry}\n]\n")
+        }
+    } else {
+        format!("[\n{entry}\n]\n")
+    }
+}
+
+/// Seconds since the Unix epoch, for the `unix_time` field of history
+/// entries (0 if the clock is unavailable).
+pub fn unix_time() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merged;
+
+    #[test]
+    fn appends_preserving_existing_entries() {
+        let one = merged("", "  {\"a\": 1}");
+        assert_eq!(one, "[\n  {\"a\": 1}\n]\n");
+        let two = merged(&one, "  {\"b\": 2}");
+        assert_eq!(two, "[\n  {\"a\": 1},\n  {\"b\": 2}\n]\n");
+        assert_eq!(
+            merged("corrupt", "  {\"c\": 3}"),
+            "[\n  {\"c\": 3}\n]\n",
+            "malformed history is replaced, not propagated"
+        );
+    }
+}

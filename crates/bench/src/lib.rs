@@ -15,6 +15,7 @@
 
 pub mod figs;
 pub mod harness;
+pub mod json;
 
 pub use figs::ExpConfig;
 pub use harness::Table;

@@ -30,6 +30,7 @@ use ppar_core::ctx::{CkptHook, Ctx, PointDirective};
 use ppar_core::error::{PparError, Result};
 use ppar_core::partition::block_owned;
 use ppar_core::plan::{DistCkptStrategy, Plan};
+use ppar_core::runtime::{LoopFrame, RegionCursor, PROGRESS_FIELD};
 use ppar_core::state::StateCell;
 
 use crate::delta::DeltaMeta;
@@ -44,6 +45,11 @@ thread_local! {
     // Per-thread safe-point clocks, keyed by module id (one process may host
     // many modules: one per simulated aggregate element).
     static CLOCKS: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
+    // Per-thread count of safe points *skipped* by cursor fast-forwards,
+    // keyed by module id. Subtracted from the clock at restore time to
+    // report how many points were actually re-visited (replay-free resume
+    // makes this a bounded tail instead of the whole history).
+    static SKIPPED: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
 }
 
 /// Observable cost/state counters, powering Fig. 3–5 measurements.
@@ -79,8 +85,14 @@ pub struct CkptStats {
     /// Wall time from module creation to replay completion (the Fig. 5
     /// "replay" bar, including the skipped re-execution).
     pub replay_time: Duration,
-    /// Safe points replayed before the snapshot was loaded.
+    /// Safe points actually re-visited before the snapshot was loaded.
+    /// Without a region cursor this is the whole history up to the replay
+    /// target; a cursor fast-forward shrinks it to the bounded tail between
+    /// the recorded loop-iteration entry and the target.
     pub replayed_points: u64,
+    /// Safe-point clock the `PPARPRG1` region cursor fast-forwarded the
+    /// replay to (0 when the restore replayed classically from the start).
+    pub resumed_at_point: u64,
 }
 
 /// The pluggable checkpoint/restart module. One instance per process (or per
@@ -120,6 +132,38 @@ pub struct CheckpointModule {
     incremental: Option<u64>,
     /// Delta-chain bookkeeping (incremental mode).
     chain: Mutex<DeltaChain>,
+    /// Live region-progress tracker: the loop frames the master thread is
+    /// currently inside ([`CkptHook::note_loop_iter`]). Serialized as the
+    /// `PPARPRG1` cursor into every snapshot, delta and hand-off.
+    frames: Mutex<Vec<LoopFrame>>,
+    /// Lazily resolved resume cursor (`None` = not yet resolved; inner
+    /// `None` = resolved, no usable cursor). Kept *separate* from the live
+    /// tracker: during restart replay the master keeps tracking frames
+    /// while other team threads still consult the cursor.
+    resume_cursor: Mutex<Option<Option<RegionCursor>>>,
+    /// Highest safe-point clock any thread fast-forwarded to (stats).
+    resumed_at: AtomicU64,
+    /// Disk-restart resume state shared by every module of one
+    /// [`CheckpointModule::create_group`] aggregate (see [`GroupResume`]).
+    group_resume: Arc<GroupResume>,
+    /// `PPAR_CURSOR=0` disables cursor emission *and* consumption (the
+    /// benches' old-replay-path baseline).
+    cursor_enabled: bool,
+}
+
+/// Disk-restart resume state shared across one aggregate's modules. The
+/// resume cursor is aggregate-symmetric (every shard of a group commit
+/// carries the same `PPARPRG1` bytes), so the in-process elements share a
+/// **single** CRC-checked record read instead of each folding the merged
+/// record for itself — and whichever element installs that record consumes
+/// the one materialized copy rather than reading it a second time.
+#[derive(Default)]
+struct GroupResume {
+    /// `None` = not yet resolved; inner `None` = resolved, no usable cursor.
+    cursor: Mutex<Option<Option<RegionCursor>>>,
+    /// The merged record the cursor read materialized (`None` key = master
+    /// record, `Some(r)` = rank `r`'s shard), awaiting the load.
+    prefetched: Mutex<Option<(Option<u32>, Snapshot)>>,
 }
 
 /// Where this module stands in its delta chain.
@@ -216,13 +260,20 @@ impl CheckpointModule {
     /// before any of them reaches a safe point. Re-deriving per process
     /// would race the marker the root sets, exactly like the per-thread
     /// race [`CheckpointModule::create_group`] exists to prevent.
+    ///
+    /// `progress` is the encoded `PPARPRG1` region cursor the root read
+    /// from the snapshot being replayed to (empty/undecodable = classic
+    /// replay). It rides the same broadcast as the replay decision so a
+    /// worker never pays a network round-trip — or a full-snapshot read —
+    /// just to learn its loop position.
     pub fn create_worker(
         transport: Arc<dyn CkptTransport>,
         plan: &Plan,
         detected_failure: bool,
         replay_target: u64,
+        progress: &[u8],
     ) -> Arc<CheckpointModule> {
-        CheckpointModule::build_group(
+        let module = CheckpointModule::build_group(
             None,
             transport,
             plan,
@@ -232,7 +283,12 @@ impl CheckpointModule {
             replay_target,
         )
         .pop()
-        .expect("one module")
+        .expect("one module");
+        // Pre-resolve the resume cursor from the broadcast bytes: the
+        // lazy-resolution fallback would read a merged snapshot through the
+        // network transport, which is exactly what the broadcast avoids.
+        *module.resume_cursor.lock() = Some(RegionCursor::decode(progress).ok());
+        module
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -247,6 +303,8 @@ impl CheckpointModule {
     ) -> Vec<Arc<CheckpointModule>> {
         let every = plan.checkpoint_every().unwrap_or(0) as u64;
         let incremental = plan.incremental_ckpt().map(|k| k as u64);
+        let cursor_enabled = std::env::var("PPAR_CURSOR").map_or(true, |v| v != "0");
+        let group_resume = Arc::new(GroupResume::default());
         (0..n.max(1))
             .map(|_| {
                 Arc::new(CheckpointModule {
@@ -265,6 +323,11 @@ impl CheckpointModule {
                     field_bufs: Mutex::new(Vec::new()),
                     incremental,
                     chain: Mutex::new(DeltaChain::default()),
+                    frames: Mutex::new(Vec::new()),
+                    resume_cursor: Mutex::new(None),
+                    resumed_at: AtomicU64::new(0),
+                    group_resume: group_resume.clone(),
+                    cursor_enabled,
                 })
             })
             .collect()
@@ -290,9 +353,25 @@ impl CheckpointModule {
             )
         })?;
         *self.resume.lock() = Some(source);
+        // A new resume source invalidates any previously resolved cursor;
+        // the next loop entry re-reads it from the armed transport.
+        *self.resume_cursor.lock() = None;
         self.target.store(target, Ordering::SeqCst);
         self.replay.store(true, Ordering::SeqCst);
         Ok(target)
+    }
+
+    /// The encoded `PPARPRG1` cursor of the snapshot this module will
+    /// replay to (empty when there is none, the replay is fresh, or the
+    /// cursor is disabled). Rank 0 of a multi-process job broadcasts this
+    /// alongside the replay decision so workers never read a snapshot over
+    /// the network just to learn their loop position; reading it here also
+    /// warms this module's own resume cursor.
+    pub fn resume_progress_bytes(&self) -> Vec<u8> {
+        if !self.cursor_enabled || !self.will_replay() {
+            return Vec::new();
+        }
+        self.with_resume_cursor(|c| c.map(|c| c.encode()).unwrap_or_default())
     }
 
     /// Did start-up detect a failed previous execution?
@@ -347,18 +426,121 @@ impl CheckpointModule {
         CLOCKS.with(|c| c.borrow().get(&self.id).copied().unwrap_or(0))
     }
 
+    fn skipped_add(&self, v: u64) {
+        SKIPPED.with(|s| {
+            *s.borrow_mut().entry(self.id).or_insert(0) += v;
+        });
+    }
+
+    fn skipped_get(&self) -> u64 {
+        SKIPPED.with(|s| s.borrow().get(&self.id).copied().unwrap_or(0))
+    }
+
+    /// Encode the live progress tracker as a `PPARPRG1` cursor pinned to
+    /// the snapshot's safe-point count.
+    fn progress_bytes(&self, count: u64) -> Vec<u8> {
+        RegionCursor {
+            point_count: count,
+            construct_seq: 0,
+            frames: self.frames.lock().clone(),
+            singles: Vec::new(),
+            reductions: Vec::new(),
+        }
+        .encode()
+    }
+
+    /// Resolve (once) and borrow the resume cursor. Resolution prefers the
+    /// armed live-reshape source and falls back to the module's own
+    /// transport (disk restart); any read or decode failure degrades to "no
+    /// cursor" — the replay-free resume must never fail a restore that
+    /// classic replay would complete.
+    fn with_resume_cursor<R>(&self, f: impl FnOnce(Option<&RegionCursor>) -> R) -> R {
+        let mut slot = self.resume_cursor.lock();
+        if slot.is_none() {
+            let cursor = if self.cursor_enabled {
+                match self.resume.lock().clone() {
+                    // Live hand-off: the armed in-memory source serves a
+                    // zero-copy view; nothing worth prefetching.
+                    Some(source) => source.read_progress().unwrap_or(None),
+                    // Disk restart: one record read per aggregate, shared —
+                    // the lock serializes racing elements behind the single
+                    // reader, and the materialized record is kept for the
+                    // load that follows.
+                    None => {
+                        let mut shared = self.group_resume.cursor.lock();
+                        match &*shared {
+                            Some(c) => c.clone(),
+                            None => {
+                                let c = self.read_progress_prefetching().unwrap_or(None);
+                                *shared = Some(c.clone());
+                                c
+                            }
+                        }
+                    }
+                }
+            } else {
+                None
+            };
+            *slot = Some(cursor);
+        }
+        f(slot.as_ref().and_then(|c| c.as_ref()))
+    }
+
+    /// The disk-restart arm of the cursor read: fold the merged record
+    /// (master first, shard 0 otherwise — local-snapshot groups carry
+    /// identical cursors on every shard), extract the `PPARPRG1` field, and
+    /// stash the snapshot for [`CkptHook::load_snapshot`] so the restore
+    /// reads the record once instead of twice. Mirrors the decode-failure
+    /// contract of [`CkptTransport::read_progress`]: a missing or
+    /// undecodable cursor degrades to `None`, never fails the restore.
+    fn read_progress_prefetching(&self) -> Result<Option<RegionCursor>> {
+        let decode = |snap: &Snapshot| {
+            snap.field(PROGRESS_FIELD)
+                .and_then(|b| RegionCursor::decode(b).ok())
+        };
+        if let Some(snap) = self.transport.read_merged_master()? {
+            let cursor = decode(&snap);
+            *self.group_resume.prefetched.lock() = Some((None, snap));
+            return Ok(cursor);
+        }
+        if let Some(snap) = self.transport.read_merged_shard(0)? {
+            let cursor = decode(&snap);
+            *self.group_resume.prefetched.lock() = Some((Some(0), snap));
+            return Ok(cursor);
+        }
+        Ok(None)
+    }
+
+    /// Claim the group's prefetched record — only when it is exactly the
+    /// record this load would otherwise read (matching key, pinned to the
+    /// restore target); a miss leaves the slot for the element that can
+    /// use it.
+    fn take_prefetched(&self, key: Option<u32>, count: u64) -> Option<Snapshot> {
+        let mut slot = self.group_resume.prefetched.lock();
+        match &*slot {
+            Some((k, snap)) if *k == key && snap.count == count => {
+                slot.take().map(|(_, snap)| snap)
+            }
+            _ => None,
+        }
+    }
+
     /// Stream a master snapshot (complete data at the caller — engines must
     /// have collected partitioned fields first): every field streams
     /// straight from its registered cell; no payload is materialized.
     fn stream_master_snapshot(&self, ctx: &Ctx, meta: &SnapshotMeta) -> Result<u64> {
+        let prog = self.cursor_enabled.then(|| self.progress_bytes(meta.count));
         let mut cells: Vec<(&String, Arc<dyn StateCell>)> = Vec::new();
         for name in ctx.plan().safe_data() {
             cells.push((name, ctx.registry().state(name)?));
         }
-        let fields: Vec<(&str, FieldSource<'_>)> = cells
+        let mut fields: Vec<(&str, FieldSource<'_>)> = cells
             .iter()
             .map(|(name, cell)| (name.as_str(), FieldSource::Cell(&**cell)))
             .collect();
+        if let Some(p) = &prog {
+            fields.push((PROGRESS_FIELD, FieldSource::Bytes(p)));
+        }
         let mut scratch = self.scratch.lock();
         self.transport.put_master(meta, &fields, &mut scratch)
     }
@@ -394,7 +576,8 @@ impl CheckpointModule {
                 slots.push((name, Slot::Whole(ctx.registry().state(name)?)));
             }
         }
-        let fields: Vec<(&str, FieldSource<'_>)> = slots
+        let prog = self.cursor_enabled.then(|| self.progress_bytes(meta.count));
+        let mut fields: Vec<(&str, FieldSource<'_>)> = slots
             .iter()
             .map(|(name, slot)| {
                 let source = match slot {
@@ -404,6 +587,9 @@ impl CheckpointModule {
                 (name.as_str(), source)
             })
             .collect();
+        if let Some(p) = &prog {
+            fields.push((PROGRESS_FIELD, FieldSource::Bytes(p)));
+        }
         let mut scratch = self.scratch.lock();
         self.transport.put_shard(meta, &fields, &mut scratch)
     }
@@ -419,7 +605,8 @@ impl CheckpointModule {
             let ranges = cell.dirty_ranges();
             cells.push((name, cell, ranges));
         }
-        let fields: Vec<(&str, DeltaSource<'_>)> = cells
+        let prog = self.cursor_enabled.then(|| self.progress_bytes(meta.count));
+        let mut fields: Vec<(&str, DeltaSource<'_>)> = cells
             .iter()
             .map(|(name, cell, ranges)| {
                 let source = match ranges {
@@ -432,6 +619,12 @@ impl CheckpointModule {
                 (name.as_str(), source)
             })
             .collect();
+        if let Some(p) = &prog {
+            // The cursor always travels whole (tens of bytes): a `Full`
+            // delta entry replaces the base field at merge time, so the
+            // chain tip carries the cursor matching its own count.
+            fields.push((PROGRESS_FIELD, DeltaSource::Full(FieldSource::Bytes(p))));
+        }
         let mut scratch = self.scratch.lock();
         self.transport.put_master_delta(meta, &fields, &mut scratch)
     }
@@ -511,7 +704,8 @@ impl CheckpointModule {
                 }
             }
         }
-        let fields: Vec<(&str, DeltaSource<'_>)> = slots
+        let prog = self.cursor_enabled.then(|| self.progress_bytes(meta.count));
+        let mut fields: Vec<(&str, DeltaSource<'_>)> = slots
             .iter()
             .map(|(name, slot)| {
                 let source = match slot {
@@ -530,6 +724,9 @@ impl CheckpointModule {
                 (name.as_str(), source)
             })
             .collect();
+        if let Some(p) = &prog {
+            fields.push((PROGRESS_FIELD, DeltaSource::Full(FieldSource::Bytes(p))));
+        }
         let mut scratch = self.scratch.lock();
         self.transport.put_shard_delta(meta, &fields, &mut scratch)
     }
@@ -757,23 +954,35 @@ impl CkptHook for CheckpointModule {
             // Every element loads its own shard (base + delta chain folded
             // into the complete owned block) — pinned to the safe point
             // being restored, so a shard generation that outran the group
-            // commit (torn save) rolls back with everyone else.
-            let snap = self
-                .transport
-                .read_shard_at(ctx.rank() as u32, self.clock_get())?
-                .ok_or_else(|| {
-                    PparError::CorruptCheckpoint(format!("missing shard for rank {}", ctx.rank()))
-                })?;
+            // commit (torn save) rolls back with everyone else. The cursor
+            // read's prefetch (shard 0) serves the root's load only when it
+            // sits exactly at the restore target; anything else goes back
+            // through the count-pinned read and its generation fallback.
+            let snap = match self.take_prefetched(Some(ctx.rank() as u32), self.clock_get()) {
+                Some(snap) => snap,
+                None => self
+                    .transport
+                    .read_shard_at(ctx.rank() as u32, self.clock_get())?
+                    .ok_or_else(|| {
+                        PparError::CorruptCheckpoint(format!(
+                            "missing shard for rank {}",
+                            ctx.rank()
+                        ))
+                    })?,
+            };
             self.install_shard_fields(ctx, &snap)?;
         } else if ctx.rank() == 0 {
             // Master-collect: the root installs the full snapshot (base +
             // delta chain); the engine subsequently scatters partitioned
             // fields and broadcasts the rest (no file access on other
-            // elements).
-            let snap = self
-                .transport
-                .read_merged_master()?
-                .ok_or_else(|| PparError::CorruptCheckpoint("missing master snapshot".into()))?;
+            // elements). The cursor read's prefetch is that same merged
+            // record — reuse it rather than folding the chain again.
+            let snap = match self.take_prefetched(None, self.clock_get()) {
+                Some(snap) => snap,
+                None => self.transport.read_merged_master()?.ok_or_else(|| {
+                    PparError::CorruptCheckpoint("missing master snapshot".into())
+                })?,
+            };
             self.install_master_fields(ctx, &snap)?;
         }
         // A restore invalidates the in-memory chain position: the next
@@ -786,7 +995,11 @@ impl CkptHook for CheckpointModule {
         stats.load_time += t0.elapsed();
         if was_replaying {
             stats.replay_time = self.created.elapsed() - t0.elapsed();
-            stats.replayed_points = self.clock_get();
+            // The clock counts every safe point between region start and the
+            // target; subtract the span the cursor let this thread skip to
+            // report the points actually re-visited.
+            stats.replayed_points = self.clock_get().saturating_sub(self.skipped_get());
+            stats.resumed_at_point = self.resumed_at.load(Ordering::SeqCst);
         }
         Ok(())
     }
@@ -801,6 +1014,81 @@ impl CkptHook for CheckpointModule {
 
     fn note_load_extra(&self, extra: Duration) {
         self.stats.lock().load_time += extra;
+    }
+
+    fn note_loop_iter(&self, depth: usize, name: &str, start: u64, end: u64, index: u64) {
+        if !self.cursor_enabled {
+            return;
+        }
+        let clock = self.clock_get();
+        let mut frames = self.frames.lock();
+        frames.truncate(depth + 1);
+        match frames.get_mut(depth) {
+            // Steady state: update the existing frame in place — no
+            // allocation on the per-iteration path.
+            Some(f) if f.name == name && f.start == start && f.end == end => {
+                f.index = index;
+                f.clock_at_entry = clock;
+            }
+            _ => {
+                frames.truncate(depth);
+                frames.push(LoopFrame {
+                    name: name.to_string(),
+                    start,
+                    end,
+                    index,
+                    clock_at_entry: clock,
+                });
+            }
+        }
+    }
+
+    fn note_loop_exit(&self, depth: usize) {
+        if !self.cursor_enabled {
+            return;
+        }
+        self.frames.lock().truncate(depth);
+    }
+
+    fn loop_resume(&self, depth: usize, name: &str, start: u64, end: u64) -> Option<u64> {
+        if !self.cursor_enabled || !self.replay.load(Ordering::SeqCst) {
+            return None;
+        }
+        let target = self.target.load(Ordering::SeqCst);
+        self.with_resume_cursor(|cur| {
+            let f = cur.filter(|c| c.point_count == target)?.frames.get(depth)?;
+            if f.name != name || f.start != start || f.end != end {
+                return None;
+            }
+            if f.index < f.start || f.index >= f.end {
+                // Corrupt-cursor guard: reject before touching the clock —
+                // the caller independently bounds-checks the index and
+                // would decline a jump this module already committed to.
+                return None;
+            }
+            // The frame's entry clock must sit *strictly* before the target
+            // (`at_point` matches `c == target` exactly — a jump landing on
+            // or past it could never trigger the restore) and never rewind
+            // this thread's clock.
+            let here = self.clock_get();
+            if f.clock_at_entry >= target || f.clock_at_entry < here {
+                return None;
+            }
+            self.clock_set(f.clock_at_entry);
+            self.skipped_add(f.clock_at_entry - here);
+            self.resumed_at
+                .fetch_max(f.clock_at_entry, Ordering::SeqCst);
+            Some(f.index)
+        })
+    }
+
+    fn live_loop_frame(&self, depth: usize, name: &str) -> Option<(u64, u64)> {
+        if !self.cursor_enabled {
+            return None;
+        }
+        let frames = self.frames.lock();
+        let f = frames.get(depth)?;
+        (f.name == name).then_some((f.index, f.clock_at_entry))
     }
 
     fn group_commit(&self, ctx: &Ctx) -> Result<()> {
@@ -843,14 +1131,18 @@ impl CkptHook for CheckpointModule {
             rank: None,
             nranks: ctx.num_ranks() as u32,
         };
+        let prog = self.cursor_enabled.then(|| self.progress_bytes(meta.count));
         let mut cells: Vec<(&String, Arc<dyn StateCell>)> = Vec::new();
         for name in ctx.plan().safe_data() {
             cells.push((name, ctx.registry().state(name)?));
         }
-        let fields: Vec<(&str, FieldSource<'_>)> = cells
+        let mut fields: Vec<(&str, FieldSource<'_>)> = cells
             .iter()
             .map(|(name, cell)| (name.as_str(), FieldSource::Cell(&**cell)))
             .collect();
+        if let Some(p) = &prog {
+            fields.push((PROGRESS_FIELD, FieldSource::Bytes(p)));
+        }
         let written = {
             let mut scratch = self.scratch.lock();
             sink.put_master(&meta, &fields, &mut scratch)?

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use ppar_core::error::{PparError, Result};
+use ppar_core::runtime::{RegionCursor, PROGRESS_FIELD};
 
 use crate::crc::Crc32;
 use crate::delta::{DeltaMeta, DeltaSnapshot};
@@ -237,6 +238,29 @@ pub trait CkptTransport: Send + Sync {
             return Ok(None);
         };
         write_snapshot_record(&snap, out).map(Some)
+    }
+
+    /// Decode the `PPARPRG1` progress cursor carried by the newest usable
+    /// snapshot (the reserved [`PROGRESS_FIELD`] extra field), checking the
+    /// master record first and falling back to shard 0 (local-snapshot
+    /// groups carry identical cursors on every shard — the safe-point
+    /// clock is aggregate-symmetric). Snapshots written before the cursor
+    /// existed — or with it disabled — have no such field and yield
+    /// `Ok(None)`: the consumer replays classically (progress = start). A
+    /// cursor that fails to decode degrades the same way; it must never
+    /// fail a restore.
+    fn read_progress(&self) -> Result<Option<RegionCursor>> {
+        let mut bytes: Option<Vec<u8>> = None;
+        let found = self.with_merged_master(&mut |snap| {
+            bytes = snap.field(PROGRESS_FIELD).map(|b| b.to_vec());
+            Ok(())
+        })?;
+        if !found {
+            if let Some(snap) = self.read_merged_shard(0)? {
+                bytes = snap.field(PROGRESS_FIELD).map(|b| b.to_vec());
+            }
+        }
+        Ok(bytes.and_then(|b| RegionCursor::decode(&b).ok()))
     }
 }
 

@@ -76,6 +76,37 @@ pub trait CkptHook: Send + Sync {
     /// partitioned data across the aggregate).
     fn note_load_extra(&self, _extra: std::time::Duration) {}
 
+    // ---- replay-free resume seam (the `PPARPRG1` region cursor) ----
+
+    /// The master line of execution entered iteration `index` of the
+    /// [`Ctx::iter_loop`] named `name` at nesting `depth` (full range
+    /// `start..end`). Hooks that maintain a progress cursor
+    /// ([`crate::runtime::RegionCursor`]) record the frame together with
+    /// the calling thread's safe-point clock. Default: no tracking.
+    fn note_loop_iter(&self, _depth: usize, _name: &str, _start: u64, _end: u64, _index: u64) {}
+
+    /// The master left the [`Ctx::iter_loop`] at nesting `depth`: frames at
+    /// this depth and deeper are no longer live.
+    fn note_loop_exit(&self, _depth: usize) {}
+
+    /// Restart replay entered the [`Ctx::iter_loop`] (`name`, at `depth`).
+    /// A hook holding a matching progress-cursor frame jumps the *calling
+    /// thread's* safe-point clock to the frame's entry clock and returns
+    /// the iteration index to resume from; `None` replays classically.
+    /// Every replaying line of execution calls this (each jumps its own
+    /// clock), so the team still reaches the load crossing aligned.
+    fn loop_resume(&self, _depth: usize, _name: &str, _start: u64, _end: u64) -> Option<u64> {
+        None
+    }
+
+    /// Expansion replay entered the [`Ctx::iter_loop`] (`name`, at
+    /// `depth`): return the live `(index, clock_at_entry)` frame recorded
+    /// by the team master, if any. The runtime fast-forwards the replay
+    /// count from it instead of re-walking every crossed safe point.
+    fn live_loop_frame(&self, _depth: usize, _name: &str) -> Option<(u64, u64)> {
+        None
+    }
+
     // ---- live-reshape hand-off seam ----
 
     /// Is a live hand-off transport armed? When true, an engine that cannot
@@ -156,6 +187,17 @@ pub trait AdaptHook: Send + Sync {
 
     /// The engine finished reshaping to `mode`; clear the request.
     fn confirm(&self, mode: ExecMode);
+
+    /// `n` safe-point crossings elapsed without being executed: a region
+    /// cursor fast-forwarded a replay past them ([`Ctx::iter_loop`]).
+    /// Controllers that count [`AdaptHook::pending`] invocations to track
+    /// progress must advance their ordinal by `n`, keeping timeline
+    /// triggers anchored to the application's safe-point clock rather than
+    /// to the (now shorter) set of crossings actually re-visited. Called
+    /// once per skip by the same line of execution that would have polled.
+    fn note_skipped(&self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// An execution engine: the run-time realisation of one deployment target.
@@ -272,6 +314,7 @@ pub struct Ctx {
 impl Ctx {
     /// Root context for the initial line of execution.
     pub fn new_root(shared: Arc<RunShared>) -> Ctx {
+        crate::runtime::cursor::depth_reset();
         Ctx { shared, worker: 0 }
     }
 
@@ -422,6 +465,101 @@ impl Ctx {
     /// partition under a `DistFor` plug).
     pub fn each(&self, name: &str, range: Range<usize>, body: impl Fn(&Ctx, usize) + Sync) {
         self.shared.engine.for_each(self, name, range, &body);
+    }
+
+    /// Resumable iteration loop: a plain `for` over `range`, but the loop's
+    /// progress is recorded in the checkpoint hook's
+    /// [`crate::runtime::RegionCursor`], so a restart or a live reshape
+    /// resumes *at* the in-flight iteration — replaying at most the one
+    /// partial iteration up to the checkpointed crossing — instead of
+    /// re-walking the whole safe-point history from the region entry.
+    /// `body` returns `false` to leave the loop early.
+    ///
+    /// Announce the loop on every line of execution of the region (SPMD
+    /// discipline, like any other construct). Without a checkpoint hook
+    /// this is exactly a `for` loop.
+    pub fn iter_loop(
+        &self,
+        name: &str,
+        range: Range<usize>,
+        mut body: impl FnMut(&Ctx, usize) -> bool,
+    ) {
+        let depth = crate::runtime::cursor::depth_enter();
+        let mut start = range.start;
+        // A frame at depth d is only meaningful inside the recorded outer
+        // iterations: resume it only when all d enclosing frames jumped.
+        if let Some(ck) = &self.shared.ckpt {
+            if crate::runtime::cursor::jumps() == depth {
+                if crate::replay::active() {
+                    // Expansion replay (§IV.B): credit the replay count with
+                    // the safe points between region entry and the live
+                    // frame's iteration entry. The spawn clock is the
+                    // forking thread's clock at the crossing (= region-entry
+                    // clock + replay target), so the frame's entry clock
+                    // converts to a region-relative count by subtraction.
+                    if let Some((index, clock_at_entry)) = ck.live_loop_frame(depth, name) {
+                        let spawn_clock = ck.count();
+                        let credit = clock_at_entry + crate::replay::target();
+                        if credit >= spawn_clock {
+                            let jumped = credit - spawn_clock;
+                            if jumped >= crate::replay::count()
+                                && jumped < crate::replay::target()
+                                && (index as usize) >= range.start
+                                && (index as usize) < range.end
+                            {
+                                crate::replay::set_count(jumped);
+                                start = index as usize;
+                                crate::runtime::cursor::jumps_note();
+                            }
+                        }
+                    }
+                } else if ck.replaying() {
+                    let before = ck.count();
+                    if let Some(index) =
+                        ck.loop_resume(depth, name, range.start as u64, range.end as u64)
+                    {
+                        if (index as usize) >= range.start && (index as usize) < range.end {
+                            start = index as usize;
+                            crate::runtime::cursor::jumps_note();
+                            // Keep the adaptation controller's crossing
+                            // ordinal aligned with the safe-point clock: the
+                            // skipped crossings elapse without ever polling
+                            // `pending`. One notification per crossing set —
+                            // the master speaks for its team, exactly like
+                            // the per-crossing poll itself.
+                            let span = ck.count().saturating_sub(before);
+                            if span > 0 && self.is_master() {
+                                if let Some(ad) = self.adapt_hook() {
+                                    ad.note_skipped(span);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The master records frames (the same line of execution that
+        // snapshots under shared-memory and master-collect rules); tracking
+        // continues during restart replay so a load that lands mid-loop
+        // leaves the frames live for subsequent snapshots. Expansion-replay
+        // workers never track: the master's frames are the live truth.
+        let track = self
+            .shared
+            .ckpt
+            .as_ref()
+            .filter(|_| self.is_master() && !crate::replay::active());
+        for i in start..range.end {
+            if let Some(ck) = track {
+                ck.note_loop_iter(depth, name, range.start as u64, range.end as u64, i as u64);
+            }
+            if !body(self, i) {
+                break;
+            }
+        }
+        if let Some(ck) = track {
+            ck.note_loop_exit(depth);
+        }
+        crate::runtime::cursor::depth_exit(depth);
     }
 
     /// Execution-point join point: safe points, adaptation points and

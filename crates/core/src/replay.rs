@@ -61,6 +61,15 @@ pub fn target() -> u64 {
     TARGET.with(|t| t.get())
 }
 
+/// Fast-forward the replay count (cursor resume). A [`crate::runtime::cursor::RegionCursor`]
+/// lets a replaying thread jump straight to a loop iteration's entry
+/// instead of re-walking every earlier safe point; the jump credits the
+/// skipped points here so [`note_point`] still meets the target exactly
+/// at the crossing.
+pub fn set_count(v: u64) {
+    COUNT.with(|c| c.set(v));
+}
+
 /// Leave replay mode on the current thread.
 pub fn end() {
     ACTIVE.with(|a| a.set(false));

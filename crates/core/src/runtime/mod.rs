@@ -52,10 +52,12 @@
 pub mod barrier;
 pub mod claim;
 pub mod constructs;
+pub mod cursor;
 pub mod pool;
 pub mod team;
 
 pub use barrier::TeamBarrier;
 pub use claim::{CachePadded, ChunkCursor};
+pub use cursor::{LoopFrame, RegionCursor, PROGRESS_FIELD};
 pub use pool::{clear_draining, mark_draining, Drained, Latch, ModeSwitch, TeamPool};
 pub use team::{drive_point, ParallelEngine, TeamRuntime};

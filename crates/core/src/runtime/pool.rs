@@ -193,6 +193,7 @@ impl RegionJob {
     pub fn run(self) {
         set_current_worker(self.ctx.worker());
         constructs::seq_reset();
+        super::cursor::depth_reset();
         if let Some(ck) = self.ctx.ckpt_hook() {
             ck.sync_thread_clock(self.ckpt_clock);
         }

@@ -298,6 +298,7 @@ pub trait ParallelEngine: Send + Sync {
         // The master participates as worker 0.
         set_current_worker(0);
         constructs::seq_reset();
+        super::cursor::depth_reset();
         let ctx0 = ctx.for_worker(0);
         let master_outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx0)));
 

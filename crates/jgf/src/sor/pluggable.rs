@@ -43,11 +43,11 @@ pub fn sor_pluggable(ctx: &Ctx, p: &SorParams) -> SorResult {
         let record = p.record_iter_times;
         ctx.region("sor_run", move |ctx| {
             let mut last = Instant::now();
-            let mut stop = false;
-            for it in 0..iterations {
-                if stop {
-                    break;
-                }
+            // The iteration loop is a *tracked* loop: the checkpoint module
+            // records the current index in the `PPARPRG1` region cursor, so
+            // a restart or reshape fast-forwards straight to the crossing
+            // instead of replaying every earlier iteration.
+            ctx.iter_loop("iters", 0..iterations, |ctx, it| {
                 for color in 0..2usize {
                     // Data-update point: the distributed plan exchanges G's
                     // halo rows here before each sweep.
@@ -71,10 +71,8 @@ pub fn sor_pluggable(ctx: &Ctx, p: &SorParams) -> SorResult {
                     }
                     *done.lock() = it + 1;
                 }
-                if Some(it + 1) == fail_after {
-                    stop = true;
-                }
-            }
+                Some(it + 1) != fail_after
+            });
         });
     }
 
@@ -162,6 +160,27 @@ pub fn plan_ckpt(every: usize) -> Plan {
         .plug(Plug::SafeData { field: "G".into() })
         .plug(Plug::SafePoints {
             points: PointSet::Named(vec!["iter_end".into()]),
+            every,
+        })
+        .plug(Plug::Ignorable {
+            method: "sweep".into(),
+        })
+        .plug(Plug::Ignorable {
+            method: "init_grid".into(),
+        })
+}
+
+/// Checkpoint module whose safe points also land *mid-iteration*:
+/// `pre_sweep` fires twice per loop pass (once per red/black color), so a
+/// snapshot or reshape crossing can sit between the two sweeps of one
+/// iteration — the mid-loop resume tests and the reshape progress sweep
+/// pin the region cursor's behaviour exactly there, away from the clean
+/// iteration boundary `iter_end` provides.
+pub fn plan_ckpt_midloop(every: usize) -> Plan {
+    Plan::new()
+        .plug(Plug::SafeData { field: "G".into() })
+        .plug(Plug::SafePoints {
+            points: PointSet::Named(vec!["pre_sweep".into(), "iter_end".into()]),
             every,
         })
         .plug(Plug::Ignorable {
