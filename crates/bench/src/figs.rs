@@ -284,7 +284,14 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
 pub fn fig4(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig 4 — time to save checkpoint data (seconds)",
-        &["env", "save_time", "payload_mb"],
+        &[
+            "env",
+            "save_time",
+            "payload_mb",
+            "chunks_new",
+            "chunks_dup",
+            "dedup_mb",
+        ],
     );
     let params = cfg.params();
     for env in envs(cfg) {
@@ -295,6 +302,9 @@ pub fn fig4(cfg: &ExpConfig) -> Table {
             env.label(),
             Table::f(stats.last_save_time.as_secs_f64()),
             Table::f(stats.bytes_written as f64 / 1e6),
+            format!("{}", stats.chunks_written),
+            format!("{}", stats.chunks_deduped),
+            Table::f(stats.bytes_deduped as f64 / 1e6),
         ]);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -326,6 +336,7 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
             "resumed_at",
             "net_msgs",
             "net_mb",
+            "wire_skip",
         ],
     );
     for env in envs(cfg) {
@@ -348,6 +359,7 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
             format!("{}", stats.resumed_at_point),
             format!("{}", traffic.msgs()),
             Table::f(traffic.bytes() as f64 / 1e6),
+            format!("{}", stats.wire_chunks_skipped),
         ]);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -840,9 +852,14 @@ mod tests {
     fn fig4_and_fig5_report_checkpoint_costs() {
         let t4 = fig4(&tiny());
         assert_eq!(t4.rows.len(), 4);
+        assert_eq!(t4.headers.len(), 6, "dedup columns present");
         let t5 = fig5(&tiny());
         assert_eq!(t5.rows.len(), 4);
-        assert_eq!(t5.headers.len(), 7, "traffic + resumed_at columns present");
+        assert_eq!(
+            t5.headers.len(),
+            8,
+            "traffic + resumed_at + wire_skip columns present"
+        );
         for row in &t5.rows {
             // The region cursor fast-forwards the restart to the loop
             // iteration the snapshot (at clock 6) captured: the replay

@@ -1,0 +1,199 @@
+//! Vendored 128-bit non-cryptographic content digest for the
+//! content-addressed store.
+//!
+//! Chunks are keyed by content, so the key function must be fast enough to
+//! run at memory bandwidth on every checkpoint byte and wide enough that
+//! accidental collisions are out of reach for any realistic store
+//! (128 bits ≫ the birthday bound of a store holding billions of chunks).
+//! Cryptographic strength is *not* a goal — the store trusts its own
+//! writers; the digest defends against accidents, not adversaries — so a
+//! dependency-free xxHash64-style mixer is the right tool. Two independent
+//! 64-bit lanes (same mixer, different seeds) form the 128-bit key.
+//!
+//! The digest is part of the on-disk format (object file names and
+//! manifest entries), so the function is frozen: changing it orphans every
+//! existing object. See [`crate::cas`] for the store layout.
+
+// xxHash64-style primes: odd 64-bit constants with good bit dispersion.
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// Seeds for the two digest lanes. Arbitrary but frozen (on-disk format).
+const SEED_LO: u64 = 0;
+const SEED_HI: u64 = 0x5050_4152_434B_5031; // "PPARCKP1"
+
+#[inline]
+fn le64(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// One 64-bit lane over `data` (xxHash64-style: four parallel accumulators
+/// over 32-byte stripes, then the tail word by word).
+fn mix64(seed: u64, data: &[u8]) -> u64 {
+    let len = data.len();
+    let mut i = 0usize;
+    let mut h: u64;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while i + 32 <= len {
+            v1 = round(v1, le64(data, i));
+            v2 = round(v2, le64(data, i + 8));
+            v3 = round(v3, le64(data, i + 16));
+            v4 = round(v4, le64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(P5);
+    }
+    h = h.wrapping_add(len as u64);
+    while i + 8 <= len {
+        h ^= round(0, le64(data, i));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        let w = u32::from_le_bytes(data[i..i + 4].try_into().unwrap()) as u64;
+        h ^= w.wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        i += 4;
+    }
+    while i < len {
+        h ^= (data[i] as u64).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+        i += 1;
+    }
+    avalanche(h)
+}
+
+/// 128-bit content key of one store chunk (two independent 64-bit lanes,
+/// little-endian concatenated).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkDigest(pub [u8; 16]);
+
+impl ChunkDigest {
+    /// Digest `data`.
+    pub fn of(data: &[u8]) -> ChunkDigest {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&mix64(SEED_LO, data).to_le_bytes());
+        out[8..].copy_from_slice(&mix64(SEED_HI, data).to_le_bytes());
+        ChunkDigest(out)
+    }
+
+    /// Lowercase 32-character hex form (object file names).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parse the [`ChunkDigest::to_hex`] form. `None` on anything that is
+    /// not exactly 32 lowercase/uppercase hex characters.
+    pub fn from_hex(s: &str) -> Option<ChunkDigest> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(ChunkDigest(out))
+    }
+}
+
+impl std::fmt::Debug for ChunkDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChunkDigest({})", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        let a = ChunkDigest::of(b"hello world");
+        assert_eq!(a, ChunkDigest::of(b"hello world"));
+        assert_ne!(a, ChunkDigest::of(b"hello worl"));
+        assert_ne!(a, ChunkDigest::of(b"hello world "));
+        assert_ne!(ChunkDigest::of(b""), ChunkDigest::of(b"\0"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_every_lane() {
+        // Avalanche sanity across the size regimes of the mixer (tail-only,
+        // word tail, striped).
+        for len in [1usize, 7, 31, 32, 33, 255, 8192] {
+            let base: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let d0 = ChunkDigest::of(&base);
+            for bit in [0usize, len * 8 / 2, len * 8 - 1] {
+                let mut flipped = base.clone();
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                let d1 = ChunkDigest::of(&flipped);
+                assert_ne!(d0, d1, "len={len} bit={bit}");
+                // Both lanes must react independently.
+                assert_ne!(d0.0[..8], d1.0[..8], "lo lane dead: len={len}");
+                assert_ne!(d0.0[8..], d1.0[8..], "hi lane dead: len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_collisions_across_small_corpus() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000u32 {
+            let data = i.to_le_bytes();
+            assert!(seen.insert(ChunkDigest::of(&data)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = ChunkDigest::of(b"roundtrip");
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ChunkDigest::from_hex(&hex), Some(d));
+        assert_eq!(ChunkDigest::from_hex("zz"), None);
+        assert_eq!(ChunkDigest::from_hex(&hex[..30]), None);
+    }
+}

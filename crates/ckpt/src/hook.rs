@@ -93,6 +93,20 @@ pub struct CkptStats {
     /// Safe-point clock the `PPARPRG1` region cursor fast-forwarded the
     /// replay to (0 when the restore replayed classically from the start).
     pub resumed_at_point: u64,
+    /// Novel chunk objects the content-addressed store wrote (one per
+    /// chunk whose content was not already present). Zero on flat-layout
+    /// runs.
+    pub chunks_written: u64,
+    /// Chunks the content-addressed store *deduplicated* — referenced by a
+    /// manifest but already present, so they cost one 20-byte manifest
+    /// entry instead of a data write.
+    pub chunks_deduped: u64,
+    /// Payload bytes those deduplicated chunks would have cost a flat
+    /// store (the store-side savings signal of the dedup figure).
+    pub bytes_deduped: u64,
+    /// Chunks the network checkpoint path never shipped because the root's
+    /// store already held their content (wire-side dedup savings).
+    pub wire_chunks_skipped: u64,
 }
 
 /// The pluggable checkpoint/restart module. One instance per process (or per
@@ -907,6 +921,10 @@ impl CkptHook for CheckpointModule {
         }
 
         let dt = t0.elapsed();
+        // Fold the transport's dedup counters (content-addressed store
+        // and/or network dedup negotiation) into the observable stats; a
+        // flat-layout transport reports all-zero.
+        let put = self.transport.take_put_stats();
         let mut stats = self.stats.lock();
         stats.snapshots_taken += 1;
         if was_delta {
@@ -918,6 +936,10 @@ impl CkptHook for CheckpointModule {
         stats.last_save_bytes = written;
         stats.save_time += dt;
         stats.last_save_time = dt;
+        stats.chunks_written += put.chunks_written;
+        stats.chunks_deduped += put.chunks_deduped;
+        stats.bytes_deduped += put.bytes_deduped;
+        stats.wire_chunks_skipped += put.wire_chunks_skipped;
         Ok(())
     }
 

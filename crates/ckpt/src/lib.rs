@@ -67,19 +67,23 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cas;
 pub mod codec;
 pub mod crc;
 pub mod delta;
+pub mod digest;
 pub mod hook;
 pub mod pcr;
 pub mod serde_cell;
 pub mod store;
 pub mod transport;
 
+pub use cas::{CasConfig, CasStore, ChunkRef, GcStats, Manifest, PutStats};
 pub use crc::TrailingCrc;
 pub use delta::{DeltaMeta, DeltaPayload, DeltaSnapshot};
+pub use digest::ChunkDigest;
 pub use hook::{CheckpointModule, CkptStats};
 pub use pcr::{launch_seq, AppStatus, RunReport};
 pub use serde_cell::{alloc_serde, SerdeCell};
 pub use store::{CheckpointStore, Snapshot, SnapshotView};
-pub use transport::{CkptTransport, MemTransport, RawRecordKind, RawRecordSink};
+pub use transport::{CkptTransport, DedupRecordSink, MemTransport, RawRecordKind, RawRecordSink};

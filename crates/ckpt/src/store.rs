@@ -793,22 +793,65 @@ impl crate::transport::CkptTransport for CheckpointStore {
             RawRecordKind::MasterDelta { seq } => self.delta_path(None, seq),
             RawRecordKind::ShardDelta { rank, seq } => self.delta_path(Some(rank), seq),
         };
+        let rotate = match kind {
+            RawRecordKind::Shard(rank) => Some(rank),
+            _ => None,
+        };
+        if let Some(cas) = &self.cas {
+            return Ok(Box::new(CasRawSink {
+                store: self,
+                txn: Some(cas.begin()?),
+                name: CheckpointStore::rec_name(&dst).to_string(),
+                rotate,
+            }));
+        }
         // Unique temp name per in-flight install: parallel per-rank
         // pipelines may stream into the same directory concurrently.
         static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = dst.with_extension(format!("tmp{n}"));
         let file = fs::File::create(&tmp)?;
-        let rotate = match kind {
-            RawRecordKind::Shard(rank) => Some((self, rank)),
-            _ => None,
-        };
         Ok(Box::new(FileRawSink {
             tmp,
             dst,
             w: Some(BufWriter::new(file)),
-            rotate,
+            rotate: rotate.map(|rank| (self, rank)),
         }))
+    }
+
+    fn take_put_stats(&self) -> crate::cas::PutStats {
+        match &self.cas {
+            Some(cas) => cas.take_put_stats(),
+            None => crate::cas::PutStats::default(),
+        }
+    }
+
+    fn begin_raw_dedup<'a>(
+        &'a self,
+        kind: crate::transport::RawRecordKind,
+        chunks: &[crate::cas::ChunkRef],
+        total_len: u64,
+    ) -> Result<Option<Box<dyn crate::transport::DedupRecordSink + 'a>>> {
+        use crate::transport::RawRecordKind;
+        let Some(cas) = &self.cas else {
+            return Ok(None);
+        };
+        let dst = match kind {
+            RawRecordKind::Master => self.master_path(),
+            RawRecordKind::Shard(rank) => self.shard_path(rank),
+            RawRecordKind::MasterDelta { seq } => self.delta_path(None, seq),
+            RawRecordKind::ShardDelta { rank, seq } => self.delta_path(Some(rank), seq),
+        };
+        let rotate = match kind {
+            RawRecordKind::Shard(rank) => Some(rank),
+            _ => None,
+        };
+        Ok(Some(Box::new(CasDedupSink {
+            store: self,
+            txn: Some(cas.begin_dedup(chunks, total_len)?),
+            name: CheckpointStore::rec_name(&dst).to_string(),
+            rotate,
+        })))
     }
 
     fn write_merged_record_at(
@@ -826,22 +869,90 @@ impl crate::transport::CkptTransport for CheckpointStore {
     }
 
     fn write_merged_record(&self, rank: Option<u32>, out: &mut dyn Write) -> Result<Option<u64>> {
-        // Fast path: no delta chain pending — the base file *is* the
+        // Fast path: no delta chain pending — the base record *is* the
         // checksummed merged record, so copy it straight through without
         // decoding (the receiving end verifies the trailing CRC).
-        if !self.delta_path(rank, 1).exists() {
+        if !self.record_exists(&self.delta_path(rank, 1)) {
             let path = match rank {
                 None => self.master_path(),
                 Some(r) => self.shard_path(r),
             };
-            let mut file = match fs::File::open(&path) {
-                Ok(f) => f,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-                Err(e) => return Err(e.into()),
-            };
-            return Ok(Some(std::io::copy(&mut file, out)?));
+            return self.record_copy_to(&path, out);
         }
         crate::transport::write_merged_fallback(self, rank, out)
+    }
+}
+
+/// Raw streamed install into a content-addressed transaction: chunks
+/// dedup as they arrive, commit is the same rotate-then-promote sequence
+/// as [`FileRawSink`], abort (or drop) rolls the journal back.
+struct CasRawSink<'a> {
+    store: &'a CheckpointStore,
+    txn: Option<crate::cas::CasTxn>,
+    name: String,
+    rotate: Option<u32>,
+}
+
+impl crate::transport::RawRecordSink for CasRawSink<'_> {
+    fn write_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        self.txn
+            .as_mut()
+            .expect("sink used after finish")
+            .append(chunk)
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<u64> {
+        let txn = self.txn.take().expect("sink used after finish");
+        // Stage (seal + fsync the journal manifest) *before* rotating the
+        // previous generation aside: if staging fails, the directory is
+        // untouched.
+        let staged = txn.stage(&self.name)?;
+        if let Some(rank) = self.rotate {
+            self.store.rotate_shard_generation(rank)?;
+        }
+        let written = staged.promote()?;
+        self.store.remove_superseded_flat(&self.name);
+        Ok(written)
+    }
+
+    fn abort(self: Box<Self>) {
+        // Dropping the transaction rolls back its journal.
+    }
+}
+
+/// Digest-negotiated install: the transport already knows the record's
+/// chunk list; only the chunks the store lacks are supplied.
+struct CasDedupSink<'a> {
+    store: &'a CheckpointStore,
+    txn: Option<crate::cas::DedupTxn>,
+    name: String,
+    rotate: Option<u32>,
+}
+
+impl crate::transport::DedupRecordSink for CasDedupSink<'_> {
+    fn missing(&self) -> &[u32] {
+        self.txn.as_ref().expect("sink used after commit").missing()
+    }
+
+    fn supply_chunk(&mut self, bytes: &[u8]) -> Result<()> {
+        self.txn
+            .as_mut()
+            .expect("sink used after commit")
+            .supply_chunk(bytes)
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<u64> {
+        let txn = self.txn.take().expect("sink used after commit");
+        if let Some(rank) = self.rotate {
+            self.store.rotate_shard_generation(rank)?;
+        }
+        let written = txn.commit(&self.name)?;
+        self.store.remove_superseded_flat(&self.name);
+        Ok(written)
+    }
+
+    fn abort(self: Box<Self>) {
+        // Dropping the transaction rolls back its journal.
     }
 }
 
@@ -930,23 +1041,156 @@ impl<'a> Reader<'a> {
 }
 
 /// A checkpoint directory.
+///
+/// Two persistence layouts share one directory format:
+///
+/// * **flat** (the default, byte-compatible with every earlier release) —
+///   each record is one file, rewritten whole on every save;
+/// * **content-addressed** ([`crate::cas`]) — records are manifests over
+///   deduplicated chunk objects, so a steady-state snapshot whose pages
+///   mostly didn't change costs ~metadata instead of ~data.
+///
+/// Selection: `PPAR_STORE_LAYOUT=cas` (or [`CheckpointStore::new_cas`])
+/// opts a new directory into the content-addressed layout; a directory
+/// that already holds one is detected and reopened as such regardless of
+/// the environment. Either way the records read back bitwise-identical —
+/// both layouts store the same golden record encoding — and a
+/// content-addressed store still *reads* legacy flat files, so old run
+/// directories restore unchanged.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    /// `Some` when this directory uses the content-addressed layout.
+    cas: Option<crate::cas::CasStore>,
 }
 
 impl CheckpointStore {
-    /// Open (creating if needed) a checkpoint directory.
+    /// Open (creating if needed) a checkpoint directory. The layout comes
+    /// from `PPAR_STORE_LAYOUT` (`cas` selects the content-addressed
+    /// store) or from auto-detection when the directory already holds a
+    /// content-addressed store.
     pub fn new(dir: impl AsRef<Path>) -> Result<CheckpointStore> {
+        let want_cas = std::env::var("PPAR_STORE_LAYOUT").is_ok_and(|v| v == "cas")
+            || crate::cas::CasStore::detect(dir.as_ref());
+        if want_cas {
+            CheckpointStore::new_cas(dir)
+        } else {
+            CheckpointStore::new_flat(dir)
+        }
+    }
+
+    /// Open a checkpoint directory in the legacy flat layout regardless of
+    /// the environment.
+    pub fn new_flat(dir: impl AsRef<Path>) -> Result<CheckpointStore> {
         fs::create_dir_all(dir.as_ref())?;
         Ok(CheckpointStore {
             dir: dir.as_ref().to_path_buf(),
+            cas: None,
         })
+    }
+
+    /// Open a checkpoint directory in the content-addressed layout with
+    /// configuration from the environment (see [`crate::cas::CasConfig`]).
+    pub fn new_cas(dir: impl AsRef<Path>) -> Result<CheckpointStore> {
+        CheckpointStore::new_cas_with(dir, crate::cas::CasConfig::from_env())
+    }
+
+    /// [`CheckpointStore::new_cas`] with an explicit configuration.
+    pub fn new_cas_with(
+        dir: impl AsRef<Path>,
+        cfg: crate::cas::CasConfig,
+    ) -> Result<CheckpointStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(CheckpointStore {
+            dir: dir.as_ref().to_path_buf(),
+            cas: Some(crate::cas::CasStore::open_with(dir.as_ref(), cfg)?),
+        })
+    }
+
+    /// The content-addressed store backing this directory, when the CAS
+    /// layout is active (GC and dedup-stat access for benches and tools).
+    pub fn cas(&self) -> Option<&crate::cas::CasStore> {
+        self.cas.as_ref()
     }
 
     /// The directory path.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    // ---- record seam: every read/rename/peek goes record-level so the
+    // content-addressed layout (manifest first, flat file fallback for
+    // legacy directories) and the flat layout share one code path ----
+
+    fn rec_name(path: &Path) -> &str {
+        path.file_name()
+            .map(|n| n.to_str().expect("record names are ASCII"))
+            .expect("record paths always carry a file name")
+    }
+
+    /// The record's full encoded bytes, or `None` when absent under both
+    /// layouts.
+    fn record_bytes(&self, path: &Path) -> Result<Option<Vec<u8>>> {
+        if let Some(cas) = &self.cas {
+            if let Some(bytes) = cas.read_record(CheckpointStore::rec_name(path))? {
+                return Ok(Some(bytes));
+            }
+        }
+        match fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn record_exists(&self, path: &Path) -> bool {
+        if let Some(cas) = &self.cas {
+            if cas.manifest_exists(CheckpointStore::rec_name(path)) {
+                return true;
+            }
+        }
+        path.exists()
+    }
+
+    /// Rename a record (manifest-level in the content-addressed layout;
+    /// legacy flat files rename as files).
+    fn record_rename(&self, from: &Path, to: &Path) -> Result<()> {
+        if let Some(cas) = &self.cas {
+            let from_name = CheckpointStore::rec_name(from);
+            if cas.manifest_exists(from_name) {
+                cas.rename_manifest(from_name, CheckpointStore::rec_name(to))?;
+                // Stale flat files under either name are superseded by the
+                // manifest that just moved (reads prefer manifests, but the
+                // source name no longer has one to shadow its leftover).
+                CheckpointStore::remove_if_present(to.to_path_buf())?;
+                CheckpointStore::remove_if_present(from.to_path_buf())?;
+                return Ok(());
+            }
+        }
+        fs::rename(from, to)?;
+        Ok(())
+    }
+
+    /// Copy a record's encoded bytes straight into `out` (the raw
+    /// streaming restore path); `None` when absent.
+    fn record_copy_to(&self, path: &Path, out: &mut dyn Write) -> Result<Option<u64>> {
+        if let Some(cas) = &self.cas {
+            if let Some(written) = cas.write_record_to(CheckpointStore::rec_name(path), out)? {
+                return Ok(Some(written));
+            }
+        }
+        let mut file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(std::io::copy(&mut file, out)?))
+    }
+
+    /// A freshly committed content-addressed record supersedes any legacy
+    /// flat file of the same name left from before the layout switch.
+    fn remove_superseded_flat(&self, name: &str) {
+        let _ = fs::remove_file(self.dir.join(name));
     }
 
     fn master_path(&self) -> PathBuf {
@@ -999,6 +1243,24 @@ impl CheckpointStore {
         scratch: &mut Vec<u8>,
         rotate_rank: Option<u32>,
     ) -> Result<u64> {
+        if let Some(cas) = &self.cas {
+            // Content-addressed path: the record streams chunk by chunk
+            // into a staged transaction; only novel chunks hit the object
+            // tree, and promote is the same single-rename commit as the
+            // flat layout's temp-file rename.
+            let mut w = SnapshotWriter::new(cas.begin()?, meta, fields.len() as u32)?;
+            for (name, source) in fields {
+                w.field(name, source, scratch)?;
+            }
+            let (written, txn) = w.finish()?;
+            if let Some(rank) = rotate_rank {
+                self.rotate_shard_generation(rank)?;
+            }
+            let name = CheckpointStore::rec_name(path);
+            txn.commit(name)?;
+            self.remove_superseded_flat(name);
+            return Ok(written);
+        }
         let tmp = path.with_extension("tmp");
         let file = fs::File::create(&tmp)?;
         let mut w = SnapshotWriter::new(BufWriter::new(file), meta, fields.len() as u32)?;
@@ -1036,11 +1298,28 @@ impl CheckpointStore {
             buf: &head[..got],
             pos: 0,
         };
+        CheckpointStore::peek_count_in(&mut r)
+    }
+
+    fn peek_count_in(r: &mut Reader<'_>) -> Option<u64> {
         if r.take(8).ok()? != MAGIC {
             return None;
         }
         r.take_str().ok()?;
         r.take_u64().ok()
+    }
+
+    /// [`CheckpointStore::peek_record_count`] through the record seam:
+    /// manifest head first in the content-addressed layout, flat file
+    /// otherwise.
+    fn peek_count(&self, path: &Path) -> Option<u64> {
+        if let Some(cas) = &self.cas {
+            if let Ok(Some(head)) = cas.read_head(CheckpointStore::rec_name(path), 4096) {
+                let mut r = Reader { buf: &head, pos: 0 };
+                return CheckpointStore::peek_count_in(&mut r);
+            }
+        }
+        CheckpointStore::peek_record_count(path)
     }
 
     /// Preserve the committed generation of shard `rank` before a new base
@@ -1050,17 +1329,17 @@ impl CheckpointStore {
     /// not evict the only restorable record).
     fn rotate_shard_generation(&self, rank: u32) -> Result<()> {
         let dst = self.shard_path(rank);
-        if !dst.exists() {
+        if !self.record_exists(&dst) {
             return Ok(());
         }
         let keep = match self.committed_count()? {
-            Some(c) => CheckpointStore::peek_record_count(&dst) == Some(c),
+            Some(c) => self.peek_count(&dst) == Some(c),
             // No commit point yet: one generation of history is still
             // better than none.
             None => true,
         };
         if keep {
-            fs::rename(&dst, self.prev_shard_path(rank))?;
+            self.record_rename(&dst, &self.prev_shard_path(rank))?;
         }
         Ok(())
     }
@@ -1155,6 +1434,17 @@ impl CheckpointStore {
         fields: &[(&str, DeltaSource<'_>)],
         scratch: &mut Vec<u8>,
     ) -> Result<u64> {
+        if let Some(cas) = &self.cas {
+            let mut w = SnapshotWriter::new_delta(cas.begin()?, meta, fields.len() as u32)?;
+            for (name, source) in fields {
+                w.delta_field(name, source, scratch)?;
+            }
+            let (written, txn) = w.finish()?;
+            let name = CheckpointStore::rec_name(path);
+            txn.commit(name)?;
+            self.remove_superseded_flat(name);
+            return Ok(written);
+        }
         let tmp = path.with_extension("tmp");
         let file = fs::File::create(&tmp)?;
         let mut w = SnapshotWriter::new_delta(BufWriter::new(file), meta, fields.len() as u32)?;
@@ -1197,10 +1487,9 @@ impl CheckpointStore {
     }
 
     fn read(&self, path: &Path) -> Result<Option<Snapshot>> {
-        match fs::read(path) {
-            Ok(bytes) => Snapshot::decode(&bytes).map(Some),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        match self.record_bytes(path)? {
+            Some(bytes) => Snapshot::decode(&bytes).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -1209,10 +1498,9 @@ impl CheckpointStore {
         rank: Option<u32>,
         seq: u32,
     ) -> Result<Option<crate::delta::DeltaSnapshot>> {
-        match fs::read(self.delta_path(rank, seq)) {
-            Ok(bytes) => crate::delta::DeltaSnapshot::decode(&bytes).map(Some),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        match self.record_bytes(&self.delta_path(rank, seq))? {
+            Some(bytes) => crate::delta::DeltaSnapshot::decode(&bytes).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -1301,13 +1589,11 @@ impl CheckpointStore {
         out: &mut dyn Write,
     ) -> Result<Option<u64>> {
         for path in [self.shard_path(rank), self.prev_shard_path(rank)] {
-            if CheckpointStore::peek_record_count(&path) == Some(count) {
-                let mut file = match fs::File::open(&path) {
-                    Ok(f) => f,
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
-                    Err(e) => return Err(e.into()),
-                };
-                return Ok(Some(std::io::copy(&mut file, out)?));
+            if self.peek_count(&path) == Some(count) {
+                match self.record_copy_to(&path, out)? {
+                    Some(written) => return Ok(Some(written)),
+                    None => continue,
+                }
             }
         }
         match self.read_shard_at(rank, count)? {
@@ -1340,6 +1626,13 @@ impl CheckpointStore {
                 CheckpointStore::remove_if_present(entry.path())?;
             }
         }
+        if let Some(cas) = &self.cas {
+            for name in cas.list_manifests()? {
+                if name.starts_with(&prefix) {
+                    cas.remove_manifest(&name)?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -1355,6 +1648,13 @@ impl CheckpointStore {
             let name = name.to_string_lossy();
             if name.starts_with("ckpt_") && name.contains("_delta_") {
                 CheckpointStore::remove_if_present(entry.path())?;
+            }
+        }
+        if let Some(cas) = &self.cas {
+            for name in cas.list_manifests()? {
+                if name.starts_with("ckpt_") && name.contains("_delta_") {
+                    cas.remove_manifest(&name)?;
+                }
             }
         }
         Ok(())
@@ -1375,12 +1675,10 @@ impl CheckpointStore {
     /// the full merge happens once, at load time).
     fn chain_tip_count(&self, base_count: u64, rank: Option<u32>) -> Result<u64> {
         crate::transport::chain_tip_with(base_count, rank, |rank, seq| {
-            let bytes = match fs::read(self.delta_path(rank, seq)) {
-                Ok(b) => b,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-                Err(e) => return Err(e.into()),
-            };
-            crate::delta::DeltaMeta::decode(&bytes).map(Some)
+            match self.record_bytes(&self.delta_path(rank, seq))? {
+                Some(bytes) => crate::delta::DeltaMeta::decode(&bytes).map(Some),
+                None => Ok(None),
+            }
         })
     }
 
@@ -1434,6 +1732,16 @@ impl CheckpointStore {
             if name == "RUNNING" || name.starts_with("ckpt_") {
                 fs::remove_file(entry.path())?;
             }
+        }
+        if let Some(cas) = &self.cas {
+            for name in cas.list_manifests()? {
+                if name.starts_with("ckpt_") {
+                    cas.remove_manifest(&name)?;
+                }
+            }
+            // Orphaned chunk objects are reclaimed eagerly: a cleared
+            // directory should not keep paying for dead generations.
+            cas.gc()?;
         }
         Ok(())
     }

@@ -83,6 +83,27 @@ pub trait RawRecordSink: Send {
     fn abort(self: Box<Self>);
 }
 
+/// Chunk-dedup install handshake for one record whose chunk references
+/// arrived ahead of its bytes (the dedup-aware wire path — see
+/// [`CkptTransport::begin_raw_dedup`]). The sink already holds every chunk
+/// *not* listed by [`DedupRecordSink::missing`]; the caller supplies the
+/// missing chunks' bytes in listed order, each verified against its
+/// announced content digest, then commits. An aborted or dropped sink
+/// leaves the previous record for the same key intact.
+pub trait DedupRecordSink: Send {
+    /// Indexes (into the announced chunk list) whose bytes the caller must
+    /// supply, in this order.
+    fn missing(&self) -> &[u32];
+    /// Supply the bytes of the next missing chunk (digest-verified).
+    fn supply_chunk(&mut self, bytes: &[u8]) -> Result<()>;
+    /// Every missing chunk supplied: promote the record atomically.
+    /// Returns total record bytes.
+    fn commit(self: Box<Self>) -> Result<u64>;
+    /// Discard the in-flight record; the previously installed record, if
+    /// any, stays.
+    fn abort(self: Box<Self>);
+}
+
 /// A checkpoint byte transport: streaming snapshot/delta sink plus merged
 /// snapshot source. See the [module docs](self) for the contract binding
 /// all implementations (shared golden encoder, shared chain rules).
@@ -261,6 +282,30 @@ pub trait CkptTransport: Send + Sync {
             }
         }
         Ok(bytes.and_then(|b| RegionCursor::decode(&b).ok()))
+    }
+
+    /// Drain the chunk-dedup counters accumulated by this transport's
+    /// write paths since the last drain. Zero for transports without a
+    /// content-addressed medium; the checkpoint module folds the result
+    /// into [`crate::CkptStats`] after every save.
+    fn take_put_stats(&self) -> crate::cas::PutStats {
+        crate::cas::PutStats::default()
+    }
+
+    /// Begin a chunk-dedup install of one already-encoded record from its
+    /// announced chunk references (`chunks`, summing to `total_len`
+    /// record bytes). Returns `Ok(None)` when the transport has no
+    /// content-addressed store — callers fall back to
+    /// [`CkptTransport::begin_raw`] and ship the whole record. The
+    /// returned sink reports which chunks it lacks, so a wire caller
+    /// ships only novel bytes.
+    fn begin_raw_dedup<'a>(
+        &'a self,
+        _kind: RawRecordKind,
+        _chunks: &[crate::cas::ChunkRef],
+        _total_len: u64,
+    ) -> Result<Option<Box<dyn DedupRecordSink + 'a>>> {
+        Ok(None)
     }
 }
 
@@ -579,6 +624,13 @@ pub struct MemTransport {
 /// simply freed).
 const SPARE_POOL_CAP: usize = 8;
 
+/// Total *capacity* the recycle pool may retain. The count cap alone let a
+/// large job pin up to eight multi-GiB record buffers for the life of the
+/// transport; bounding retained bytes caps that at a fixed footprint while
+/// still keeping steady-state checkpointing allocation-free for records up
+/// to tens of MiB.
+const SPARE_POOL_MAX_BYTES: usize = 256 << 20;
+
 impl MemTransport {
     /// An empty in-memory transport.
     pub fn new() -> MemTransport {
@@ -705,10 +757,16 @@ impl MemTransport {
         }
     }
 
-    /// Return a retired record buffer to the recycle pool.
+    /// Return a retired record buffer to the recycle pool. Retention is
+    /// bounded in count *and* bytes (see [`SPARE_POOL_MAX_BYTES`]): after
+    /// a large job the pool must not pin multi-GiB buffers forever.
     fn recycle(&self, mut buf: Vec<u8>) {
         let mut pool = self.spare.lock();
-        if pool.len() < SPARE_POOL_CAP && buf.capacity() > 0 {
+        let retained: usize = pool.iter().map(Vec::capacity).sum();
+        if pool.len() < SPARE_POOL_CAP
+            && buf.capacity() > 0
+            && retained.saturating_add(buf.capacity()) <= SPARE_POOL_MAX_BYTES
+        {
             buf.clear();
             pool.push(buf);
         }

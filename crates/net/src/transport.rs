@@ -71,14 +71,15 @@
 
 use std::collections::HashMap;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 use ppar_ckpt::delta::DeltaMeta;
 use ppar_ckpt::store::{DeltaSource, FieldSource, Snapshot, SnapshotMeta, SnapshotWriter};
 use ppar_ckpt::transport::{CkptTransport, RawRecordKind, RawRecordSink};
-use ppar_ckpt::TrailingCrc;
+use ppar_ckpt::{ChunkDigest, ChunkRef, PutStats, TrailingCrc};
 use ppar_core::error::{PparError, Result};
+use ppar_core::shared::DIRTY_CHUNK_BYTES;
 
 use crate::fabric::{Fabric, Payload};
 use crate::frame::{max_frame_payload, TAG_RAW_PAYLOAD_BIT};
@@ -108,10 +109,28 @@ const OP_STOP: u8 = 10;
 /// shard exactly at the requested safe point, or fail — never a newer
 /// (torn) or older generation.
 const OP_GET_SHARD_AT: u8 = 11;
+/// Digest-negotiated full-snapshot put: the client announces the record's
+/// chunk digests first; the service answers with the indices its store
+/// lacks, and only those chunks ride the wire. Falls back to the plain
+/// streamed put when the root's durable transport has no
+/// content-addressed store behind it.
+const OP_PUT_DEDUP: u8 = 12;
 
 // Response status bytes.
 const ST_OK: u8 = 0;
 const ST_ERR: u8 = 1;
+/// Answer to [`OP_PUT_DEDUP`] when the root's durable transport cannot
+/// install by digest (flat store): the client re-sends as a plain put and
+/// caches the answer so later snapshots skip the probe.
+const ST_NODEDUP: u8 = 2;
+
+/// Bytes per dedup-negotiated chunk. Matches the store's default chunk
+/// size ([`DIRTY_CHUNK_BYTES`]) so wire-installed records share chunk
+/// identities with locally written ones — dedup works across ranks *and*
+/// across transports.
+const DEDUP_CHUNK: usize = DIRTY_CHUNK_BYTES;
+/// Bytes of one dedup digest-table entry on the wire (digest + length).
+const DEDUP_ENTRY: usize = 20;
 
 // Stream-frame kinds, encoded at bits 40..48 of the tag (alongside the
 // stream id in bits 0..32). Data kinds ride raw-payload frames.
@@ -385,6 +404,15 @@ pub struct NetTransport {
     fabric: Arc<dyn Fabric>,
     rank: usize,
     root: usize,
+    /// Digest negotiation enabled (`PPAR_NET_DEDUP` ≠ `0`).
+    dedup_enabled: bool,
+    /// Whether the root's durable transport accepted the last dedup
+    /// negotiation; flipped off on [`ST_NODEDUP`] so a flat-store root
+    /// costs one probe per job, not one per snapshot.
+    dedup_supported: AtomicBool,
+    /// Client-side wire-dedup counters, drained by
+    /// [`CkptTransport::take_put_stats`].
+    stats: Mutex<PutStats>,
 }
 
 impl NetTransport {
@@ -395,6 +423,9 @@ impl NetTransport {
             fabric,
             rank,
             root: 0,
+            dedup_enabled: std::env::var("PPAR_NET_DEDUP").map_or(true, |v| v != "0"),
+            dedup_supported: AtomicBool::new(true),
+            stats: Mutex::new(PutStats::default()),
         }
     }
 
@@ -504,6 +535,86 @@ impl NetTransport {
         Ok(written)
     }
 
+    /// Negotiate a full-snapshot put by chunk digest: send the record's
+    /// digest table, receive the indices the root's store is missing, and
+    /// stream only those chunks. `Ok(None)` means the negotiation is
+    /// unavailable (root on a flat store, or the digest table itself
+    /// would not fit a frame) — the caller falls back to the plain
+    /// streamed put.
+    fn put_dedup(&self, op: u8, rank_wire: u32, record: &[u8]) -> Result<Option<u64>> {
+        let n = record.len().div_ceil(DEDUP_CHUNK);
+        let id = next_stream_id();
+        let req_len = 21 + 4 + n * DEDUP_ENTRY;
+        if req_len > chunk_capacity() {
+            // Digest table larger than a frame: a record this large gains
+            // little from saving one round's chunks anyway.
+            return Ok(None);
+        }
+        let mut req = Vec::with_capacity(req_len);
+        req.push(op);
+        req.extend_from_slice(&id.to_le_bytes());
+        req.extend_from_slice(&rank_wire.to_le_bytes());
+        req.extend_from_slice(&0u32.to_le_bytes()); // seq (unused: full puts)
+        req.extend_from_slice(&(record.len() as u64).to_le_bytes());
+        req.extend_from_slice(&(n as u32).to_le_bytes());
+        for chunk in record.chunks(DEDUP_CHUNK) {
+            req.extend_from_slice(&ChunkDigest::of(chunk).0);
+            req.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        }
+        self.fabric
+            .send(self.rank, self.root, REQ_TAG, Arc::new(req));
+        let rsp = self.fabric.recv(self.rank, self.root, RSP_TAG)?;
+        let missing: Vec<u32> = match rsp.first() {
+            Some(&ST_NODEDUP) => {
+                self.dedup_supported.store(false, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Some(&ST_ERR) => {
+                return Err(PparError::Network(format!(
+                    "checkpoint service on rank {}: {}",
+                    self.root,
+                    String::from_utf8_lossy(&rsp[1..])
+                )))
+            }
+            Some(&ST_OK) => {
+                let count = rsp
+                    .get(1..5)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte count")) as usize)
+                    .ok_or_else(|| PparError::Network("malformed dedup response".into()))?;
+                let idx = rsp
+                    .get(5..5 + 4 * count)
+                    .ok_or_else(|| PparError::Network("malformed dedup response".into()))?;
+                idx.chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte index")))
+                    .collect()
+            }
+            _ => return Err(PparError::Network("empty checkpoint response".into())),
+        };
+        // Stream the missing chunks (possibly none) back to back; the
+        // service re-slices by the lengths it already holds.
+        let mut tx = StreamTx::new(self.fabric.as_ref(), self.rank, self.root, id, KIND_DATA);
+        let sent = missing.iter().try_for_each(|&mi| {
+            let start = mi as usize * DEDUP_CHUNK;
+            let chunk = record
+                .get(start..record.len().min(start + DEDUP_CHUNK))
+                .ok_or_else(|| PparError::Network("dedup index out of range".into()))?;
+            tx.write_all(chunk)
+                .map_err(|e| PparError::Network(e.to_string()))
+        });
+        let finished = sent.and_then(|()| tx.finish());
+        if let Err(e) = finished {
+            tx.abort(&e.to_string());
+            let _ = self.recv_response();
+            let _ = tx.wait_drained();
+            return Err(e);
+        }
+        let rsp = self.recv_response();
+        tx.wait_drained()?;
+        rsp?;
+        self.stats.lock().expect("stats lock").wire_chunks_skipped += (n - missing.len()) as u64;
+        Ok(Some(record.len() as u64))
+    }
+
     fn put_full(
         &self,
         op: u8,
@@ -517,6 +628,29 @@ impl NetTransport {
         } else {
             MASTER_SENTINEL
         };
+        if self.dedup_enabled && self.dedup_supported.load(Ordering::Relaxed) {
+            // Dedup negotiation needs the digest table up front, so the
+            // record is encoded into a buffer first — the one path that
+            // trades a record-sized staging `Vec` for shipping only the
+            // chunks the root doesn't already hold.
+            let mut buf = Vec::new();
+            let mut w = SnapshotWriter::new(&mut buf, meta, fields.len() as u32)?;
+            for (name, source) in fields {
+                w.field(name, source, scratch)?;
+            }
+            let (written, _) = w.finish()?;
+            if let Some(total) = self.put_dedup(OP_PUT_DEDUP, rank_wire, &buf)? {
+                debug_assert_eq!(total, written);
+                return Ok(written);
+            }
+            // Root can't dedup: the record is already encoded, stream it
+            // through the plain put path verbatim.
+            return self.stream_put(op, rank_wire, 0, buf.len() as u64, |tx| {
+                tx.write_all(&buf)
+                    .map_err(|e| PparError::Network(e.to_string()))?;
+                Ok(written)
+            });
+        }
         let hint = NetTransport::reserve_hint(fields) as u64;
         self.stream_put(op, rank_wire, 0, hint, |tx| {
             let mut w = SnapshotWriter::new(tx, meta, fields.len() as u32)?;
@@ -686,6 +820,10 @@ impl CkptTransport for NetTransport {
     fn clear_all_deltas(&self) -> Result<()> {
         self.rpc(vec![OP_CLEAR_ALL_DELTAS]).map(|_| ())
     }
+
+    fn take_put_stats(&self) -> PutStats {
+        std::mem::take(&mut *self.stats.lock().expect("stats lock"))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -798,6 +936,11 @@ fn lane_loop(
                 if !lane_put(&fabric, root, src, &inner, op, body) {
                     // The peer died mid-stream; nothing further from it
                     // can arrive. Park until shutdown closes the channel.
+                    continue;
+                }
+            }
+            OP_PUT_DEDUP => {
+                if !lane_put_dedup(&fabric, root, src, &inner, body) {
                     continue;
                 }
             }
@@ -923,6 +1066,149 @@ fn lane_put(
         Err(e) => error_reply(&e),
     };
     fabric.send(root, src, RSP_TAG, Arc::new(rsp));
+    true
+}
+
+/// Serve one digest-negotiated put: answer the client's digest table with
+/// the indices the durable store is missing, re-slice the arriving chunk
+/// stream by the announced lengths, and install through
+/// [`CkptTransport::begin_raw_dedup`]. Integrity on this path rides the
+/// per-chunk digests (verified by the store at supply time) instead of
+/// the record's trailing CRC — the record CRC is still verified whenever
+/// the record is read back. Returns `false` when the peer died
+/// mid-stream.
+fn lane_put_dedup(
+    fabric: &Arc<dyn Fabric>,
+    root: usize,
+    src: usize,
+    inner: &Arc<dyn CkptTransport>,
+    body: &[u8],
+) -> bool {
+    let reply = |rsp: Vec<u8>| fabric.send(root, src, RSP_TAG, Arc::new(rsp));
+    let parsed = parse_put_begin(body).and_then(|(id, rank_raw, _seq, total)| {
+        let n = read_u32(body.get(20..).unwrap_or(&[]))? as usize;
+        let table = body
+            .get(24..24 + n * DEDUP_ENTRY)
+            .ok_or_else(|| PparError::Network("truncated dedup digest table".into()))?;
+        let refs: Vec<ChunkRef> = table
+            .chunks_exact(DEDUP_ENTRY)
+            .map(|e| ChunkRef {
+                digest: ChunkDigest(e[..16].try_into().expect("16-byte digest")),
+                len: u32::from_le_bytes(e[16..].try_into().expect("4-byte len")),
+            })
+            .collect();
+        Ok((id, rank_raw, total, refs))
+    });
+    let (id, rank_raw, total, refs) = match parsed {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            reply(error_reply(&e));
+            return true;
+        }
+    };
+    let kind = if rank_raw == MASTER_SENTINEL {
+        RawRecordKind::Master
+    } else {
+        RawRecordKind::Shard(rank_raw)
+    };
+    let mut sink = match inner.begin_raw_dedup(kind, &refs, total) {
+        Ok(Some(sink)) => sink,
+        Ok(None) => {
+            reply(vec![ST_NODEDUP]);
+            return true;
+        }
+        Err(e) => {
+            reply(error_reply(&e));
+            return true;
+        }
+    };
+    let missing: Vec<u32> = sink.missing().to_vec();
+    let mut rsp = Vec::with_capacity(5 + 4 * missing.len());
+    rsp.push(ST_OK);
+    rsp.extend_from_slice(&(missing.len() as u32).to_le_bytes());
+    for &mi in &missing {
+        rsp.extend_from_slice(&mi.to_le_bytes());
+    }
+    reply(rsp);
+
+    // Re-slice the concatenated missing chunks out of the (much larger)
+    // stream frames. A supply failure flips to discard mode — keep
+    // crediting so the sender's window never wedges, report at the end.
+    let mut failure: Option<PparError> = None;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut next = 0usize;
+    let end = recv_stream(fabric.as_ref(), root, src, id, KIND_DATA, |mut data| {
+        while !data.is_empty() && failure.is_none() {
+            let Some(&mi) = missing.get(next) else {
+                failure = Some(PparError::Network(
+                    "dedup stream carries more bytes than the missing set".into(),
+                ));
+                return;
+            };
+            let want = refs[mi as usize].len as usize;
+            if pending.is_empty() && data.len() >= want {
+                // Whole chunk in this frame: supply without a copy.
+                if let Err(e) = sink.supply_chunk(&data[..want]) {
+                    failure = Some(e);
+                    return;
+                }
+                data = &data[want..];
+                next += 1;
+            } else {
+                let take = (want - pending.len()).min(data.len());
+                pending.extend_from_slice(&data[..take]);
+                data = &data[take..];
+                if pending.len() == want {
+                    if let Err(e) = sink.supply_chunk(&pending) {
+                        failure = Some(e);
+                        return;
+                    }
+                    pending.clear();
+                    next += 1;
+                }
+            }
+        }
+    });
+    let result: Result<u64> = match (end, failure) {
+        (Err(_), _) => {
+            sink.abort();
+            return false;
+        }
+        (Ok(StreamEnd::Complete), None) => {
+            if next == missing.len() && pending.is_empty() {
+                sink.commit()
+            } else {
+                sink.abort();
+                Err(PparError::Network(
+                    "dedup stream ended short of the missing set".into(),
+                ))
+            }
+        }
+        (Ok(StreamEnd::Complete), Some(e)) => {
+            sink.abort();
+            Err(e)
+        }
+        (Ok(StreamEnd::Aborted(msg)), _) => {
+            sink.abort();
+            Err(PparError::Network(format!("client aborted record: {msg}")))
+        }
+        (Ok(StreamEnd::Absent), _) => {
+            sink.abort();
+            Err(PparError::Network(
+                "malformed checkpoint stream frame".into(),
+            ))
+        }
+    };
+    let rsp = match result {
+        Ok(written) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(ST_OK);
+            out.extend_from_slice(&written.to_le_bytes());
+            out
+        }
+        Err(e) => error_reply(&e),
+    };
+    reply(rsp);
     true
 }
 
@@ -1203,6 +1489,82 @@ mod tests {
                 );
             },
         );
+    }
+
+    /// A dedup-negotiated put against a content-addressed root ships only
+    /// the chunks the root's store is missing: the second snapshot of a
+    /// mostly unchanged state skips nearly every chunk on the wire, and
+    /// the restore comes back byte-identical.
+    #[test]
+    fn dedup_put_ships_only_novel_chunks() {
+        use ppar_ckpt::{CasConfig, CheckpointStore};
+        let dir = std::env::temp_dir().join(format!("ppar_net_dedup_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let root_addr = free_loopback_addr().unwrap();
+        std::thread::scope(|scope| {
+            let addr = &root_addr;
+            let dir2 = dir.clone();
+            scope.spawn(move || {
+                let mut cfg = NetConfig::new(0, 2, addr.clone());
+                cfg.recv_timeout = Duration::from_secs(20);
+                let fabric = TcpFabric::connect(&cfg).unwrap();
+                let dyn_fabric: Arc<dyn Fabric> = fabric.clone();
+                let store = CheckpointStore::new_cas_with(&dir2, CasConfig::default()).unwrap();
+                let inner: Arc<dyn CkptTransport> = Arc::new(store);
+                let service = NetTransport::serve(dyn_fabric.clone(), 0, inner);
+                dyn_fabric.recv(0, 1, DONE_TAG).unwrap();
+                service.stop();
+            });
+            scope.spawn(move || {
+                let mut cfg = NetConfig::new(1, 2, addr.clone());
+                cfg.recv_timeout = Duration::from_secs(20);
+                let fabric = TcpFabric::connect(&cfg).unwrap();
+                let dyn_fabric: Arc<dyn Fabric> = fabric.clone();
+                let t = NetTransport::client(dyn_fabric.clone(), 1);
+
+                // 32 store chunks of aperiodic payload.
+                let mut payload: Vec<u8> = (0..32 * DEDUP_CHUNK)
+                    .map(|i| (i ^ (i >> 8) ^ (i >> 16)) as u8)
+                    .collect();
+                t.put_master(
+                    &meta(4, None, 2),
+                    &[("G", FieldSource::Bytes(&payload))],
+                    &mut Vec::new(),
+                )
+                .unwrap();
+                // Empty store: nothing to skip.
+                assert_eq!(t.take_put_stats().wire_chunks_skipped, 0);
+
+                // Dirty one chunk, advance the safe point, save again:
+                // only the header chunk, the dirtied chunk (straddling at
+                // most two store chunks) and the CRC tail are novel.
+                for b in &mut payload[5 * DEDUP_CHUNK..6 * DEDUP_CHUNK] {
+                    *b ^= 0xFF;
+                }
+                let written = t
+                    .put_master(
+                        &meta(8, None, 2),
+                        &[("G", FieldSource::Bytes(&payload))],
+                        &mut Vec::new(),
+                    )
+                    .unwrap();
+                let n_chunks = written.div_ceil(DEDUP_CHUNK as u64);
+                let skipped = t.take_put_stats().wire_chunks_skipped;
+                assert!(
+                    skipped >= n_chunks - 5,
+                    "expected ≥{} wire chunks skipped, got {skipped}",
+                    n_chunks - 5
+                );
+
+                // Restore is byte-identical state.
+                let snap = t.read_merged_master().unwrap().unwrap();
+                assert_eq!(snap.count, 8);
+                assert_eq!(snap.field("G").unwrap(), payload.as_slice());
+
+                dyn_fabric.send(1, 0, DONE_TAG, Arc::new(Vec::new()));
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Satellite: a chunk corrupted in flight (after the frame layer —
