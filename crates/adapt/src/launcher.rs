@@ -21,6 +21,7 @@ use ppar_core::state::Registry;
 use ppar_dsm::spmd::{run_spmd_on, SpmdConfig};
 use ppar_dsm::{SimNet, Traffic};
 use ppar_smp::TeamEngine;
+use ppar_task::TaskEngine;
 
 pub use ppar_ckpt::pcr::AppStatus;
 
@@ -39,6 +40,15 @@ pub enum Deploy {
         threads: usize,
         /// Expansion headroom.
         max_threads: usize,
+    },
+    /// Work-stealing task engine (`ppar-task`): a thread team of `workers`
+    /// whose safe points additionally verify task-graph quiescence,
+    /// expandable at run time up to `max_workers`.
+    Task {
+        /// Initial team size.
+        workers: usize,
+        /// Expansion headroom.
+        max_workers: usize,
     },
     /// Simulated distributed aggregate.
     Dist(SpmdConfig),
@@ -75,6 +85,7 @@ impl Deploy {
         match self {
             Deploy::Seq => "seq".into(),
             Deploy::Smp { threads, .. } => format!("smp{threads}"),
+            Deploy::Task { workers, .. } => format!("task{workers}"),
             Deploy::Dist(cfg) => format!("dist{}", cfg.nranks),
             Deploy::Hybrid { cfg, threads, .. } => format!("hyb{}x{}", cfg.nranks, threads),
         }
@@ -121,7 +132,7 @@ pub fn launch<R: Send>(
     let adapt_hook = controller.map(|c| c as Arc<dyn AdaptHook>);
 
     match deploy {
-        Deploy::Seq | Deploy::Smp { .. } => {
+        Deploy::Seq | Deploy::Smp { .. } | Deploy::Task { .. } => {
             let module = match ckpt_dir {
                 Some(dir) => Some(CheckpointModule::create(dir, &plan)?),
                 None => None,
@@ -133,6 +144,10 @@ pub fn launch<R: Send>(
                     threads,
                     max_threads,
                 } => TeamEngine::new(*threads, *max_threads),
+                Deploy::Task {
+                    workers,
+                    max_workers,
+                } => TaskEngine::new(*workers, (*max_workers).max(*workers)),
                 Deploy::Dist(_) | Deploy::Hybrid { .. } => unreachable!(),
             };
             let shared = RunShared::new(

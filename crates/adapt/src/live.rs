@@ -44,6 +44,7 @@ use ppar_core::runtime::{clear_draining, ModeSwitch};
 use ppar_core::state::Registry;
 use ppar_dsm::SpmdConfig;
 use ppar_smp::TeamEngine;
+use ppar_task::TaskEngine;
 
 use crate::controller::{AdaptationController, ReshapeKind};
 use crate::launcher::Deploy;
@@ -106,15 +107,21 @@ pub fn deploy_for_mode(mode: ExecMode, template: &Deploy) -> Deploy {
             _ => SpmdConfig::instant(p),
         }
     };
-    match mode {
-        ExecMode::Sequential => Deploy::Smp {
-            threads: 1,
-            max_threads: 1,
+    // A task-engine session stays on the task engine across shared-memory
+    // retargets: the successor must keep verifying graph quiescence.
+    let local = |threads: usize| match template {
+        Deploy::Task { .. } => Deploy::Task {
+            workers: threads,
+            max_workers: threads,
         },
-        ExecMode::SharedMemory { threads } => Deploy::Smp {
+        _ => Deploy::Smp {
             threads,
             max_threads: threads,
         },
+    };
+    match mode {
+        ExecMode::Sequential => local(1),
+        ExecMode::SharedMemory { threads } => local(threads),
         ExecMode::Distributed { processes } => Deploy::Dist(cfg_for(processes)),
         ExecMode::Hybrid {
             processes,
@@ -129,7 +136,7 @@ pub fn deploy_for_mode(mode: ExecMode, template: &Deploy) -> Deploy {
 
 fn deploy_ranks(deploy: &Deploy) -> usize {
     match deploy {
-        Deploy::Seq | Deploy::Smp { .. } => 1,
+        Deploy::Seq | Deploy::Smp { .. } | Deploy::Task { .. } => 1,
         Deploy::Dist(cfg) | Deploy::Hybrid { cfg, .. } => cfg.nranks,
     }
 }
@@ -186,13 +193,17 @@ pub fn launch_live<R: Send>(
         let rank0 = modules[0].clone();
 
         let rounds: Vec<Round<R>> = match &deploy {
-            Deploy::Seq | Deploy::Smp { .. } => {
+            Deploy::Seq | Deploy::Smp { .. } | Deploy::Task { .. } => {
                 let engine: Arc<dyn ppar_core::ctx::Engine> = match &deploy {
                     Deploy::Seq => Arc::new(SeqEngine),
                     Deploy::Smp {
                         threads,
                         max_threads,
                     } => TeamEngine::new(*threads, *max_threads),
+                    Deploy::Task {
+                        workers,
+                        max_workers,
+                    } => TaskEngine::new(*workers, (*max_workers).max(*workers)),
                     _ => unreachable!(),
                 };
                 let shared = RunShared::new(

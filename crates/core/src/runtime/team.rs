@@ -219,6 +219,16 @@ pub trait ParallelEngine: Send + Sync {
     /// point (hybrid/distributed override; identity for pure teams).
     fn point_updates(&self, _ctx: &Ctx, _name: &str) {}
 
+    /// Quiescence hook, fired on every worker at each *safe-point* crossing
+    /// before the checkpoint directive is polled. Engines whose constructs
+    /// can leave deferred work outstanding — the work-stealing task engine's
+    /// per-worker deques — drain or verify that work here, so
+    /// [`drive_point`] always observes a **stable task frontier**: no task
+    /// is mid-execution or queued when the quiesced snapshot body runs.
+    /// The default (engines whose constructs all complete synchronously
+    /// before the point is announced) has nothing outstanding.
+    fn quiesce_tasks(&self, _ctx: &Ctx, _name: &str) {}
+
     /// Quiesced snapshot body, run between two team barriers (§IV.A: "we
     /// introduce a barrier before and another after the safe point"). The
     /// default is the shared-memory rule: the master saves. Distributed
@@ -474,6 +484,7 @@ pub trait ParallelEngine: Send + Sync {
         if !ctx.plan().is_safe_point(name) {
             return;
         }
+        self.quiesce_tasks(ctx, name);
         if ctx.worker() == 0 {
             rt.points.fetch_add(1, Ordering::SeqCst);
         }

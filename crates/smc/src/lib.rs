@@ -1,0 +1,382 @@
+//! # ppar-smc — parallel Sequential Monte Carlo on the task engine
+//!
+//! A particle filter (sequential importance resampling) for a 1-D
+//! linear-Gaussian state-space model, written as pluggable base code and
+//! deployed on the work-stealing task engine (`ppar-task`). Each step
+//! **propagates** and **weights** particles as an overdecomposed task graph
+//! (per-particle cost is deliberately imbalanced, so stealing wins over a
+//! static block partition), then crosses the `"resample"` safe point, then
+//! **resamples** systematically on the master.
+//!
+//! The workload exists to *prove* the task engine's two claims:
+//!
+//! * **Schedule-independence** — per-particle randomness derives from
+//!   `(seed, step, particle)` counters and the weight reduction folds in
+//!   task-id order, so sequential and stolen schedules of any width produce
+//!   bitwise-identical particles, log-likelihood and checksum.
+//! * **Quiescence checkpoints** — the resampling safe point sits between
+//!   graph runs, where the task frontier is stable; the frontier is
+//!   registered as announced state, so a run killed at the safe point
+//!   restarts from the snapshot (frontier included) and finishes
+//!   bitwise-identical to the uninterrupted run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ppar_core::ctx::Ctx;
+use ppar_core::plan::{Plan, Plug, PointSet};
+use ppar_task::{GraphRun, Policy, TaskGraph};
+
+/// Configuration of one particle-filter run.
+#[derive(Debug, Clone)]
+pub struct SmcConfig {
+    /// Number of particles.
+    pub particles: usize,
+    /// Filtering steps (observations to assimilate).
+    pub steps: usize,
+    /// Particles per task chunk (the overdecomposition grain).
+    pub chunk: usize,
+    /// Master seed; all randomness is a pure function of
+    /// `(seed, step, particle, stream-tag)`.
+    pub seed: u64,
+    /// Busy-work iterations per *light* particle (0 in tests; the benches
+    /// raise it so per-particle cost dominates scheduling overhead).
+    pub work: usize,
+    /// Busy-work multiplier for the *heavy* first quarter of the particle
+    /// index space. The default (16) concentrates ~84% of propagation cost
+    /// in the first quarter, which a static block partition piles onto
+    /// worker 0 while stealing spreads it.
+    pub heavy_factor: usize,
+    /// Crash (leave the region) right after crossing this step's resampling
+    /// safe point, *before* the resample runs — the checkpoint experiments'
+    /// "killed mid-resample" scenario. 1-based, like `steps`.
+    pub fail_after: Option<usize>,
+    /// Task scheduling policy for the propagate/weight graph.
+    pub policy: Policy,
+}
+
+impl SmcConfig {
+    /// Reasonable defaults: chunked at 16 particles, stealing, no busy work.
+    pub fn new(particles: usize, steps: usize) -> SmcConfig {
+        SmcConfig {
+            particles,
+            steps,
+            chunk: 16,
+            seed: 0x5EC0_0FFE_E5A1_7A55,
+            work: 0,
+            heavy_factor: 16,
+            fail_after: None,
+            policy: Policy::Steal,
+        }
+    }
+}
+
+/// Result of a filter run, with bitwise-comparable fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmcResult {
+    /// Accumulated log-likelihood estimate `Σ ln(Σᵢ wᵢ / n)`.
+    pub loglik: f64,
+    /// Steps fully assimilated (resampled).
+    pub steps_done: usize,
+    /// Mean of the final particle cloud.
+    pub mean: f64,
+    /// Order-sensitive checksum over the final particle bits.
+    pub checksum: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) as f64) / (u64::MAX as f64)
+}
+
+/// Deterministic RNG stream for `(seed, step, slot, stream-tag)`.
+fn stream(seed: u64, step: usize, slot: usize, tag: u64) -> u64 {
+    seed ^ (step as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (slot as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+        ^ tag.wrapping_mul(0x8EBC_6AF0_9C88_C6E3)
+}
+
+/// Standard normal draw (Box–Muller) from a counter-derived stream.
+fn gauss(state: &mut u64) -> f64 {
+    let u1 = unit(state).max(1e-12);
+    let u2 = unit(state);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+const TAG_INIT: u64 = 0x1A17;
+const TAG_PROP: u64 = 0x9209;
+const TAG_OBS: u64 = 0x0B5E;
+const TAG_RES: u64 = 0x2E5A;
+
+/// The synthetic observation assimilated at `step` (1-based): a pure
+/// function of `(seed, step)`, so every deployment filters the same data.
+pub fn observation(seed: u64, step: usize) -> f64 {
+    let mut s = stream(seed, step, 0, TAG_OBS);
+    unit(&mut s) * 4.0 - 2.0
+}
+
+/// Deterministic busy-work (never influences results): models expensive
+/// per-particle likelihoods.
+fn busy(iters: usize) {
+    let mut acc = 0.0f64;
+    for k in 0..iters {
+        acc += std::hint::black_box((k as f64).sqrt());
+    }
+    std::hint::black_box(acc);
+}
+
+fn work_for(cfg: &SmcConfig, i: usize) -> usize {
+    if i * 4 < cfg.particles {
+        cfg.work * cfg.heavy_factor
+    } else {
+        cfg.work
+    }
+}
+
+/// The SMC base code: announce particles/weights/step/log-likelihood plus
+/// the task frontier, filter `cfg.steps` observations with one resampling
+/// safe point per step.
+pub fn smc_pluggable(ctx: &Ctx, cfg: &SmcConfig) -> SmcResult {
+    let n = cfg.particles;
+    let xs = ctx.alloc_vec("particles", n, 0.0f64);
+    let ws = ctx.alloc_vec("weights", n, 0.0f64);
+    let step_done = ctx.alloc_value("step", 0u64);
+    let loglik = ctx.alloc_value("loglik", 0.0f64);
+
+    // The propagate/weight task graph: overdecomposed chunks of the
+    // particle index space. Its frontier is announced state, so in-flight
+    // graph progress (completion bits, cursors, weight partials) rides
+    // every checkpoint.
+    let run = GraphRun::new(TaskGraph::chunked(n, cfg.chunk), cfg.policy);
+    ctx.register_state("task_frontier", run.frontier());
+
+    {
+        let (xs, cfg) = (xs.clone(), cfg.clone());
+        ctx.call("init_particles", move |_| {
+            for i in 0..cfg.particles {
+                let mut rng = stream(cfg.seed, 0, i, TAG_INIT);
+                xs.set(i, gauss(&mut rng));
+            }
+        });
+    }
+
+    {
+        let (xs, ws, step_done, loglik, run, cfg) = (
+            xs.clone(),
+            ws.clone(),
+            step_done.clone(),
+            loglik.clone(),
+            run.clone(),
+            cfg.clone(),
+        );
+        ctx.region("smc", move |ctx| {
+            let start = step_done.get() as usize;
+            for step in start..cfg.steps {
+                let epoch = (step + 1) as u64;
+                let y = observation(cfg.seed, step + 1);
+
+                // Propagate + weight as a task graph; the returned fold
+                // (task-id order) is the total weight, identical on every
+                // worker and under every schedule.
+                {
+                    let (xs2, ws2, run2, cfg2) = (xs.clone(), ws.clone(), run.clone(), cfg.clone());
+                    ctx.call("propagate_weight", move |ctx| {
+                        run2.run(ctx, epoch, &|_, _t, i| {
+                            let mut rng = stream(cfg2.seed, step + 1, i, TAG_PROP);
+                            let xp = 0.9 * xs2.get(i) + 0.35 * gauss(&mut rng);
+                            busy(work_for(&cfg2, i));
+                            xs2.set(i, xp);
+                            let w = (-0.5 * (y - xp) * (y - xp)).exp();
+                            ws2.set(i, w);
+                            w
+                        });
+                    });
+                }
+
+                // The quiescent safe point: all deques drained, frontier
+                // stable. Snapshots and adaptations happen here.
+                ctx.point("resample");
+                if Some(step + 1) == cfg.fail_after {
+                    break;
+                }
+
+                // Systematic resampling on the master (serial, so the
+                // ancestor choice is schedule-independent).
+                {
+                    let (xs3, ws3, cfg3) = (xs.clone(), ws.clone(), cfg.clone());
+                    ctx.call("resample", move |ctx| {
+                        if !ctx.is_master() {
+                            return;
+                        }
+                        let n = cfg3.particles;
+                        let mut cum = Vec::with_capacity(n);
+                        let mut tot = 0.0;
+                        for i in 0..n {
+                            tot += ws3.get(i);
+                            cum.push(tot);
+                        }
+                        let old: Vec<f64> = (0..n).map(|i| xs3.get(i)).collect();
+                        let mut rng = stream(cfg3.seed, step + 1, 0, TAG_RES);
+                        let u0 = unit(&mut rng);
+                        let mut j = 0;
+                        for p in 0..n {
+                            let target = (u0 + p as f64) / n as f64 * tot;
+                            while j < n - 1 && cum[j] < target {
+                                j += 1;
+                            }
+                            xs3.set(p, old[j]);
+                        }
+                    });
+                }
+
+                // Frontier epoch gates the bookkeeping against restart
+                // replay: skipped replay iterations never ran the graph, so
+                // they must not touch the (about-to-be-restored) cells.
+                if ctx.is_master() && run.frontier().epoch() == epoch {
+                    let wsum = run.frontier().fold_partials(0.0, |a, b| a + b);
+                    loglik.set(loglik.get() + (wsum / n as f64).ln());
+                    step_done.set(epoch);
+                }
+            }
+        });
+    }
+
+    let mut checksum = 0u64;
+    let mut sum = 0.0;
+    for i in 0..n {
+        let x = xs.get(i);
+        checksum = checksum.rotate_left(7) ^ x.to_bits();
+        sum += x;
+    }
+    SmcResult {
+        loglik: loglik.get(),
+        steps_done: step_done.get() as usize,
+        mean: sum / n as f64,
+        checksum,
+    }
+}
+
+/// Task-engine plan: the filter loop is a parallel method; resampling is
+/// master-only with a closing barrier (workers must not start the next
+/// step's graph while the master rewrites the particle cloud).
+pub fn plan_task() -> Plan {
+    Plan::new()
+        .plug(Plug::ParallelMethod {
+            method: "smc".into(),
+        })
+        .plug(Plug::Master {
+            method: "resample".into(),
+        })
+        .plug(Plug::Barrier {
+            method: "resample".into(),
+            before: false,
+            after: true,
+        })
+}
+
+/// Checkpoint plan: particles, weights, counters and the task frontier are
+/// safe data; the resampling point is the safe point; the heavy phases
+/// replay-skip.
+pub fn plan_ckpt(every: usize) -> Plan {
+    Plan::new()
+        .plug(Plug::SafeData {
+            field: "particles".into(),
+        })
+        .plug(Plug::SafeData {
+            field: "weights".into(),
+        })
+        .plug(Plug::SafeData {
+            field: "step".into(),
+        })
+        .plug(Plug::SafeData {
+            field: "loglik".into(),
+        })
+        .plug(Plug::SafeData {
+            field: "task_frontier".into(),
+        })
+        .plug(Plug::SafePoints {
+            points: PointSet::Named(vec!["resample".into()]),
+            every,
+        })
+        .plug(Plug::Ignorable {
+            method: "propagate_weight".into(),
+        })
+        .plug(Plug::Ignorable {
+            method: "resample".into(),
+        })
+        .plug(Plug::Ignorable {
+            method: "init_particles".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppar_core::ctx::run_sequential;
+    use ppar_task::run_tasks;
+    use std::sync::Arc;
+
+    fn cfg() -> SmcConfig {
+        SmcConfig::new(192, 10)
+    }
+
+    fn run_seq(c: &SmcConfig) -> SmcResult {
+        let c = c.clone();
+        run_sequential(Arc::new(Plan::new()), None, None, move |ctx| {
+            smc_pluggable(ctx, &c)
+        })
+    }
+
+    #[test]
+    fn observations_are_reproducible() {
+        assert_eq!(observation(1, 3), observation(1, 3));
+        assert_ne!(observation(1, 3), observation(1, 4));
+        assert_ne!(observation(1, 3), observation(2, 3));
+    }
+
+    #[test]
+    fn filter_tracks_all_steps() {
+        let r = run_seq(&cfg());
+        assert_eq!(r.steps_done, 10);
+        assert!(r.loglik.is_finite());
+        assert!(r.mean.is_finite());
+    }
+
+    #[test]
+    fn task_engine_matches_seq_bitwise_at_2_4_8_workers() {
+        let reference = run_seq(&cfg());
+        for workers in [2, 4, 8] {
+            let c = cfg();
+            let got = run_tasks(Arc::new(plan_task()), workers, None, None, move |ctx| {
+                smc_pluggable(ctx, &c)
+            });
+            assert_eq!(got.checksum, reference.checksum, "workers={workers}");
+            assert_eq!(
+                got.loglik.to_bits(),
+                reference.loglik.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(got.mean.to_bits(), reference.mean.to_bits());
+            assert_eq!(got.steps_done, 10);
+        }
+    }
+
+    #[test]
+    fn static_block_policy_is_bitwise_identical_too() {
+        let reference = run_seq(&cfg());
+        let mut c = cfg();
+        c.policy = Policy::StaticBlock;
+        let got = run_tasks(Arc::new(plan_task()), 4, None, None, move |ctx| {
+            smc_pluggable(ctx, &c)
+        });
+        assert_eq!(got.checksum, reference.checksum);
+        assert_eq!(got.loglik.to_bits(), reference.loglik.to_bits());
+    }
+}

@@ -1,0 +1,154 @@
+//! Overdecomposed, migratable task graphs.
+//!
+//! A [`TaskGraph`] is the *static* shape of one parallel computation: a DAG
+//! of task chunks, each covering a contiguous item range (the
+//! overdecomposition: many more chunks than workers, so stealing can
+//! rebalance irregular per-item cost), with explicit dependency edges.
+//! Task ids are dense indices assigned in creation order; that order is the
+//! graph's canonical *sequential* order (a valid topological order, because
+//! edges may only point from lower ids to higher ids) and the order in
+//! which reduction partials are folded — which is what makes results
+//! bitwise independent of the steal schedule.
+//!
+//! The graph carries no execution state: which tasks have completed, chunk
+//! cursors and reduction partials live in the serializable
+//! [`crate::frontier::TaskFrontier`], so one graph can be re-run every
+//! epoch (e.g. one SMC step) and a restored checkpoint can resume a
+//! half-executed run of the same graph.
+
+use std::ops::Range;
+
+/// Dense task identifier (index into the graph's creation order).
+pub type TaskId = usize;
+
+#[derive(Debug, Clone)]
+struct Node {
+    range: Range<usize>,
+    parents: u32,
+    children: Vec<TaskId>,
+}
+
+/// A DAG of overdecomposed task chunks. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// A graph of independent chunk tasks covering `0..items` in chunks of
+    /// `chunk` (the last chunk may be short). This is the common
+    /// data-parallel overdecomposition: `items / chunk` migratable tasks.
+    pub fn chunked(items: usize, chunk: usize) -> TaskGraph {
+        let chunk = chunk.max(1);
+        let mut g = TaskGraph::new();
+        let mut start = 0;
+        while start < items {
+            let end = (start + chunk).min(items);
+            g.add(start..end);
+            start = end;
+        }
+        g
+    }
+
+    /// Add a task covering item range `range`; returns its id. Ranges may
+    /// be empty (pure synchronisation nodes) and may overlap across tasks —
+    /// the scheduler does not interpret them beyond iterating `range` when
+    /// executing the task.
+    pub fn add(&mut self, range: Range<usize>) -> TaskId {
+        self.nodes.push(Node {
+            range,
+            parents: 0,
+            children: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add a dependency edge: `child` becomes ready only after `parent`
+    /// completes. Edges must point forward (`parent < child`) so that id
+    /// order stays a topological order.
+    ///
+    /// # Panics
+    /// On a backward or self edge, or an unknown id.
+    pub fn add_dep(&mut self, parent: TaskId, child: TaskId) {
+        assert!(
+            parent < child && child < self.nodes.len(),
+            "dependency edges must point forward: {parent} -> {child} (len {})",
+            self.nodes.len()
+        );
+        self.nodes[parent].children.push(child);
+        self.nodes[child].parents += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Item range of task `t`.
+    pub fn range(&self, t: TaskId) -> Range<usize> {
+        self.nodes[t].range.clone()
+    }
+
+    /// Static dependency count of task `t`.
+    pub fn parents(&self, t: TaskId) -> u32 {
+        self.nodes[t].parents
+    }
+
+    /// Tasks unblocked by the completion of `t`.
+    pub fn children(&self, t: TaskId) -> &[TaskId] {
+        &self.nodes[t].children
+    }
+
+    /// Total items across all task ranges.
+    pub fn items(&self) -> usize {
+        self.nodes.iter().map(|n| n.range.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_covers_items_exactly() {
+        let g = TaskGraph::chunked(10, 4);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.range(0), 0..4);
+        assert_eq!(g.range(2), 8..10);
+        assert_eq!(g.items(), 10);
+        assert!(TaskGraph::chunked(0, 4).is_empty());
+    }
+
+    #[test]
+    fn dependencies_count_and_list() {
+        let mut g = TaskGraph::new();
+        let a = g.add(0..1);
+        let b = g.add(1..2);
+        let c = g.add(2..3);
+        g.add_dep(a, c);
+        g.add_dep(b, c);
+        assert_eq!(g.parents(c), 2);
+        assert_eq!(g.parents(a), 0);
+        assert_eq!(g.children(a), &[c]);
+        assert!(g.children(c).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edges_are_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add(0..1);
+        let b = g.add(1..2);
+        g.add_dep(b, a);
+    }
+}

@@ -1,0 +1,124 @@
+//! Checkpoint/restore of an in-flight task graph: a frontier serialized
+//! halfway through a run resumes in a *fresh* scheduler, executes only the
+//! not-done tasks, and reproduces the uninterrupted fold bitwise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ppar_core::ctx::{run_sequential, Ctx};
+use ppar_core::plan::Plan;
+use ppar_core::state::StateCell;
+use ppar_task::{GraphRun, Policy, TaskGraph};
+
+const TASKS: usize = 12;
+const CHUNK: usize = 10;
+
+fn graph() -> TaskGraph {
+    TaskGraph::chunked(TASKS * CHUNK, CHUNK)
+}
+
+fn body(_: &Ctx, t: usize, i: usize) -> f64 {
+    ((t as f64) + (i as f64) * 0.03).cos()
+}
+
+/// Run `run` for epoch 1 sequentially, counting per-task executions.
+fn drive(run: &Arc<GraphRun>, execs: &Arc<Vec<AtomicUsize>>) -> f64 {
+    let (run, execs) = (run.clone(), execs.clone());
+    run_sequential(Arc::new(Plan::new()), None, None, move |ctx| {
+        run.run(ctx, 1, &|ctx, t, i| {
+            execs[t].fetch_add(1, Ordering::Relaxed);
+            body(ctx, t, i)
+        })
+    })
+}
+
+#[test]
+fn restored_frontier_resumes_without_reexecution_and_matches_bitwise() {
+    // Uninterrupted reference.
+    let reference = GraphRun::new(graph(), Policy::Steal);
+    let ref_execs: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let want = drive(&reference, &ref_execs);
+
+    // Simulate a run checkpointed at quiescence with half the graph done:
+    // completion bits, boundary cursors and final partials for tasks
+    // 0..TASKS/2, untouched state for the rest. This is exactly what a
+    // snapshot at a safe point captures.
+    let half = GraphRun::new(graph(), Policy::Steal);
+    let f = half.frontier();
+    f.begin_epoch(1);
+    for t in 0..TASKS / 2 {
+        f.set_cursor(t, half.graph().range(t).end as u64);
+        f.set_partial(t, reference.frontier().partial(t));
+        f.mark_done(t);
+    }
+    let snapshot = f.save_bytes();
+
+    // "Restart": a brand-new scheduler instance loads the snapshot through
+    // the ordinary StateCell seam and resumes the same epoch.
+    let resumed = GraphRun::new(graph(), Policy::Steal);
+    resumed.frontier().load_bytes(&snapshot).unwrap();
+    assert_eq!(resumed.frontier().epoch(), 1);
+    assert_eq!(resumed.frontier().done_count(), TASKS / 2);
+
+    let execs: Arc<Vec<AtomicUsize>> = Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let got = drive(&resumed, &execs);
+
+    // Exactly-once across the crash boundary: done tasks never re-ran,
+    // not-done tasks ran their full item range once (the body is invoked
+    // per item, so a live task counts CHUNK times).
+    for t in 0..TASKS {
+        let expect = if t >= TASKS / 2 { CHUNK } else { 0 };
+        assert_eq!(
+            execs[t].load(Ordering::Relaxed),
+            expect,
+            "task {t} item executions after resume"
+        );
+    }
+    assert_eq!(
+        got.to_bits(),
+        want.to_bits(),
+        "resumed fold diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn snapshot_restores_onto_wider_team() {
+    // The frontier is mode-independent state: a snapshot taken from a
+    // sequential run resumes on a 4-worker team (the reshape/restart path).
+    let reference = GraphRun::new(graph(), Policy::Steal);
+    let ref_execs: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let want = drive(&reference, &ref_execs);
+
+    let half = GraphRun::new(graph(), Policy::Steal);
+    let f = half.frontier();
+    f.begin_epoch(1);
+    for t in 0..TASKS / 3 {
+        f.set_cursor(t, half.graph().range(t).end as u64);
+        f.set_partial(t, reference.frontier().partial(t));
+        f.mark_done(t);
+    }
+    let snapshot = f.save_bytes();
+
+    let resumed = GraphRun::new(graph(), Policy::Steal);
+    resumed.frontier().load_bytes(&snapshot).unwrap();
+
+    let plan = {
+        let mut p = Plan::new();
+        p.add(ppar_core::plan::Plug::ParallelMethod {
+            method: "work".into(),
+        });
+        Arc::new(p)
+    };
+    let out = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let o = out.clone();
+    ppar_task::run_tasks(plan, 4, None, None, move |ctx| {
+        let (resumed, o) = (resumed.clone(), o.clone());
+        ctx.region("work", move |ctx| {
+            let v = resumed.run(ctx, 1, &body);
+            o.store(v.to_bits(), Ordering::Relaxed);
+        });
+    });
+    assert_eq!(out.load(Ordering::Relaxed), want.to_bits());
+}

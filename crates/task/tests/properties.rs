@@ -1,0 +1,161 @@
+//! Property tests: the exactly-once execution contract of the deque and
+//! the scheduler, under racing stealers, across deque sizes and
+//! steal-during-drain interleavings.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ppar_task::{run_tasks, GraphRun, Policy, Steal, StealDeque, TaskGraph};
+use proptest::prelude::*;
+
+/// Count how often each of `n` ids is claimed when `thieves` stealers race
+/// the popping owner over a deque of exactly `n` capacity.
+fn race_claims(n: usize, thieves: usize) -> Vec<usize> {
+    let d = Arc::new(StealDeque::new(n));
+    for id in 0..n {
+        d.push(id).unwrap();
+    }
+    let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..thieves {
+            let (d, hits) = (d.clone(), hits.clone());
+            scope.spawn(move || loop {
+                match d.steal() {
+                    Steal::Taken(id) => {
+                        hits[id].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => break,
+                }
+            });
+        }
+        while let Some(id) = d.pop() {
+            hits[id].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    hits.iter().map(|h| h.load(Ordering::Relaxed)).collect()
+}
+
+proptest! {
+    /// Exactly-once across all deque sizes (1..=256 slots) and thief counts.
+    #[test]
+    fn prop_racing_stealers_claim_exactly_once(
+        cap_exp in 0usize..9,
+        thieves in 1usize..5,
+    ) {
+        let n = 1usize << cap_exp;
+        let counts = race_claims(n, thieves);
+        let bad: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 1)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(
+            bad.is_empty(),
+            "n={n} thieves={thieves}: ids claimed != once at {bad:?}"
+        );
+    }
+
+    /// Steal-during-drain: the owner interleaves pushes and pops from a
+    /// generated script while thieves steal throughout; afterwards the
+    /// owner drains what is left. Every pushed id must be claimed exactly
+    /// once, whether by the owner mid-script, a thief mid-drain, or the
+    /// final drain.
+    #[test]
+    fn prop_steal_during_drain_interleavings(
+        script in proptest::collection::vec(any::<bool>(), 1..96),
+    ) {
+        let pushes = script.iter().filter(|&&p| p).count();
+        if pushes == 0 {
+            return;
+        }
+        let d = Arc::new(StealDeque::new(pushes));
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..pushes).map(|_| AtomicUsize::new(0)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let (d, hits, stop) = (d.clone(), hits.clone(), stop.clone());
+                scope.spawn(move || loop {
+                    match d.steal() {
+                        Steal::Taken(id) => {
+                            hits[id].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut next = 0;
+            for &push in &script {
+                if push {
+                    d.push(next).unwrap();
+                    next += 1;
+                } else if let Some(id) = d.pop() {
+                    hits[id].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            while let Some(id) = d.pop() {
+                hits[id].fetch_add(1, Ordering::Relaxed);
+            }
+            stop.store(true, Ordering::Release);
+        });
+        let bad: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.load(Ordering::Relaxed) != 1)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(
+            bad.is_empty(),
+            "script len {}: ids claimed != once at {bad:?}",
+            script.len()
+        );
+    }
+
+    /// Whole-scheduler exactly-once: every item of an overdecomposed graph
+    /// executes exactly once under racing stealers on a real worker team.
+    #[test]
+    fn prop_graph_items_execute_exactly_once(
+        items in 1usize..300,
+        chunk in 1usize..24,
+        workers in 2usize..5,
+    ) {
+        let plan = {
+            let mut p = ppar_core::plan::Plan::new();
+            p.add(ppar_core::plan::Plug::ParallelMethod {
+                method: "work".into(),
+            });
+            Arc::new(p)
+        };
+        let run = GraphRun::new(TaskGraph::chunked(items, chunk), Policy::Steal);
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..items).map(|_| AtomicUsize::new(0)).collect());
+        let c2 = counts.clone();
+        run_tasks(plan, workers, None, None, move |ctx| {
+            let (run, c2) = (run.clone(), c2.clone());
+            ctx.region("work", move |ctx| {
+                run.run(ctx, 1, &|_, _t, i| {
+                    c2[i].fetch_add(1, Ordering::Relaxed);
+                    1.0
+                });
+            });
+        });
+        let bad: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) != 1)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(
+            bad.is_empty(),
+            "items={items} chunk={chunk} workers={workers}: bad counts at {bad:?}"
+        );
+    }
+}

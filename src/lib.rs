@@ -13,4 +13,6 @@ pub use ppar_evo as evo;
 pub use ppar_jgf as jgf;
 pub use ppar_md as md;
 pub use ppar_net as net;
+pub use ppar_smc as smc;
 pub use ppar_smp as smp;
+pub use ppar_task as task;
