@@ -155,6 +155,13 @@ impl GraphRun {
                 own.push(t).expect("deque ring sized for the whole graph");
             }
         }
+        // No execution before every worker finishes seeding: an exec on a
+        // fast worker decrements deps and pushes newly-ready children, so a
+        // slow seeder could observe deps[t] == 0 for a task the exec
+        // already pushed and seed it a second time — double execution and a
+        // remaining underflow. Behind this barrier the deps counters seeded
+        // from are exactly prepare()'s values.
+        ctx.barrier();
 
         while self.remaining.load(Ordering::Acquire) > 0 {
             if let Some(t) = own.pop() {
@@ -236,11 +243,16 @@ impl GraphRun {
         own: &StealDeque,
         body: &(dyn Fn(&Ctx, TaskId, usize) -> f64 + Sync),
     ) {
+        let range = self.graph.range(t);
         let mut acc = 0.0;
-        for i in self.graph.range(t) {
+        for i in range.clone() {
             acc += body(ctx, t, i);
-            self.frontier.set_cursor(t, (i + 1) as u64);
         }
+        // Resume granularity is whole tasks (cursors are only observed at
+        // quiescence, where they sit at range boundaries), so one Release
+        // store after the item loop carries the same information as a store
+        // per item without the shared-cache traffic on the frontier.
+        self.frontier.set_cursor(t, range.end as u64);
         self.frontier.set_partial(t, acc);
         self.frontier.mark_done(t);
         for &c in self.graph.children(t) {
@@ -259,6 +271,12 @@ impl GraphRun {
                 self.remaining.load(Ordering::Acquire),
                 self.graph.len()
             ));
+        }
+        // Covers the window where prepare() is mutating the frontier and
+        // deps counters but has not published `remaining` yet, and the tail
+        // between the last exec and the fold.
+        if self.in_flight.load(Ordering::Acquire) {
+            return Some("a run is between prepare and its final fold".into());
         }
         let lanes = self.lanes.lock();
         for (i, lane) in lanes.iter().enumerate() {

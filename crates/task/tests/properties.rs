@@ -121,11 +121,16 @@ proptest! {
 
     /// Whole-scheduler exactly-once: every item of an overdecomposed graph
     /// executes exactly once under racing stealers on a real worker team.
+    /// Dependency chains are essential here: a task released by its last
+    /// parent's exec while a slower worker is still seeding its id block is
+    /// the double-push interleaving the seed barrier exists to forbid —
+    /// edge-free graphs can never hit it.
     #[test]
     fn prop_graph_items_execute_exactly_once(
         items in 1usize..300,
         chunk in 1usize..24,
         workers in 2usize..5,
+        stride in 2usize..6,
     ) {
         let plan = {
             let mut p = ppar_core::plan::Plan::new();
@@ -134,7 +139,13 @@ proptest! {
             });
             Arc::new(p)
         };
-        let run = GraphRun::new(TaskGraph::chunked(items, chunk), Policy::Steal);
+        let mut graph = TaskGraph::chunked(items, chunk);
+        // Short forward chains (every `stride`-th task waits on its
+        // predecessor) so releases land mid-run, racing the seed phase.
+        for t in (stride..graph.len()).step_by(stride) {
+            graph.add_dep(t - 1, t);
+        }
+        let run = GraphRun::new(graph, Policy::Steal);
         let counts: Arc<Vec<AtomicUsize>> =
             Arc::new((0..items).map(|_| AtomicUsize::new(0)).collect());
         let c2 = counts.clone();
